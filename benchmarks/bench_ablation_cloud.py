@@ -1,0 +1,48 @@
+"""Ablation — quantifying the "cloud time is negligible" reduction (§3.1).
+
+For every experiment model and bandwidth preset, compare the 2-stage
+makespan (paper's model) with the exact 3-stage makespan including
+cloud computation. The gap is the modeling error the paper accepts;
+it should be well under 1% of the makespan.
+"""
+
+from repro.core.joint import jps_line
+from repro.experiments.report import format_table
+from repro.experiments.runner import EXPERIMENT_MODELS
+from repro.extensions.flowshop3 import two_stage_approximation_gap
+
+
+def test_cloud_negligibility(benchmark, env, save_artifact):
+    def run_all():
+        rows = []
+        for model in EXPERIMENT_MODELS:
+            for bandwidth in (1.1, 5.85, 18.88):
+                table = env.cost_table(model, bandwidth)
+                schedule = jps_line(table, 50)
+                stages = [
+                    (p.compute_time, p.comm_time, p.cloud_time) for p in schedule.jobs
+                ]
+                gap = two_stage_approximation_gap(stages)
+                rows.append(
+                    (
+                        model,
+                        bandwidth,
+                        schedule.makespan,
+                        gap * 1e3,
+                        gap / schedule.makespan * 100,
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_artifact(
+        "ablation_cloud_negligibility",
+        format_table(
+            headers=["model", "Mbps", "2-stage makespan (s)", "3-stage gap (ms)", "gap (%)"],
+            rows=rows,
+            title="Ablation — cost of dropping the cloud stage (JPS, 50 jobs)",
+            float_format="{:.3f}",
+        ),
+    )
+    for _, _, _, _, gap_percent in rows:
+        assert gap_percent < 1.0

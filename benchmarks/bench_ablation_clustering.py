@@ -1,0 +1,51 @@
+"""Ablation — virtual-block clustering (§3.2) on versus off.
+
+Clustering is what makes g monotone (binary-searchable). Off-mode JPS
+must fall back to a linear scan over the raw per-layer table; this
+bench verifies clustering loses nothing (no optimal cut point is
+dropped) while shrinking the search space several-fold.
+"""
+
+import numpy as np
+
+from repro.core.baselines import brute_force
+from repro.experiments.report import format_table
+from repro.profiling.latency import line_cost_table
+
+
+def test_clustering_ablation(benchmark, env, save_artifact):
+    mobile, cloud = env.mobile, env.cloud
+    channel = env.channel(10.0)
+
+    def run_all():
+        rows = []
+        for model in ("alexnet", "vgg16", "mobilenet-v2", "resnet18"):
+            network = env.network(model)
+            clustered = line_cost_table(network, mobile, cloud, channel, cluster=True)
+            if network.is_line():
+                raw = line_cost_table(network, mobile, cloud, channel, cluster=False)
+                raw_k = raw.k
+                bf_raw = brute_force(raw, 4).makespan
+            else:
+                raw_k, bf_raw = np.nan, np.nan
+            bf_clustered = brute_force(clustered, 4).makespan
+            rows.append((model, raw_k, clustered.k, bf_raw * 1e3, bf_clustered * 1e3))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_artifact(
+        "ablation_clustering",
+        format_table(
+            headers=["model", "raw cuts", "clustered cuts", "BF raw (ms)", "BF clustered (ms)"],
+            rows=rows,
+            title="Ablation — virtual-block clustering (4 jobs, 10 Mbps)",
+            float_format="{:.2f}",
+        ),
+    )
+
+    for model, raw_k, clustered_k, bf_raw, bf_clustered in rows:
+        if not np.isnan(raw_k):
+            assert clustered_k < raw_k          # the table shrinks ...
+            # ... and the optimum over the clustered cuts matches the raw one
+            # (no optimal cut point was clustered away)
+            assert abs(bf_clustered - bf_raw) <= 1e-6 * max(bf_raw, 1.0)

@@ -1,0 +1,78 @@
+"""Extension bench — memory budgets and shared-uplink contention."""
+
+from repro.core.joint import jps_line
+from repro.experiments.report import format_table
+from repro.extensions.memory import feasible_positions, jps_memory_constrained
+from repro.extensions.multidevice import plan_contention_aware, simulate_shared_uplink
+from repro.utils.units import mb
+
+N_JOBS = 50
+
+
+def test_memory_budget_sweep(benchmark, env, save_artifact):
+    table = env.cost_table("alexnet", 10.0)
+
+    def run_all():
+        rows = []
+        for budget_mb in (1, 4, 16, 64, 256, 1024):
+            feasible = feasible_positions(table, mb(budget_mb))
+            if not feasible:
+                rows.append((budget_mb, 0, float("nan")))
+                continue
+            schedule = jps_memory_constrained(table, N_JOBS, mb(budget_mb))
+            rows.append(
+                (budget_mb, len(feasible), schedule.makespan / N_JOBS * 1e3)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_artifact(
+        "extensions_memory_budget",
+        format_table(
+            headers=["budget (MB)", "feasible cuts", "JPS-mem (ms/job)"],
+            rows=rows,
+            title=f"Extension — AlexNet under mobile RAM budgets ({N_JOBS} jobs, 10 Mbps)",
+        ),
+    )
+    # latency is monotone non-increasing as the budget grows
+    latencies = [r[2] for r in rows if r[1] > 0]
+    for a, b in zip(latencies, latencies[1:]):
+        assert b <= a + 1e-9
+
+
+def test_shared_uplink_contention(benchmark, env, save_artifact):
+    table = env.cost_table("alexnet", 18.88)
+    n = 12
+
+    def run_all():
+        rows = []
+        solo = jps_line(table, n)
+        for devices in (1, 2, 3, 4):
+            naive = simulate_shared_uplink([solo] * devices)
+            aware = simulate_shared_uplink(
+                plan_contention_aware(table, devices, n)
+            )
+            rows.append(
+                (
+                    devices,
+                    naive.makespan,
+                    aware.makespan,
+                    naive.uplink_utilization * 100,
+                    aware.uplink_utilization * 100,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_artifact(
+        "extensions_shared_uplink",
+        format_table(
+            headers=["devices", "naive plan (s)", "fair-share plan (s)",
+                     "naive link util (%)", "aware link util (%)"],
+            rows=rows,
+            title="Extension — devices sharing one uplink (AlexNet, 12 jobs each, Wi-Fi)",
+            float_format="{:.2f}",
+        ),
+    )
+    for devices, naive, aware, _, _ in rows:
+        assert aware <= naive + 1e-9

@@ -1,0 +1,82 @@
+"""Extension bench — battery energy next to the latency results.
+
+For each scheme at each preset: joules per job on the mobile device,
+under Wi-Fi and cellular radio power profiles. The latency-optimal JPS
+is not automatically the energy optimum (radio watts price uploads);
+the energy-latency frontier quantifies the trade space.
+"""
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import SCHEMES
+from repro.profiling.energy import (
+    CELLULAR_POWER,
+    WIFI_POWER,
+    energy_latency_frontier,
+    schedule_energy,
+)
+
+N_JOBS = 100
+
+
+def test_energy_per_scheme(benchmark, env, save_artifact):
+    def run_all():
+        rows = []
+        for model in ("alexnet", "mobilenet-v2"):
+            for bandwidth, power in ((18.88, WIFI_POWER), (5.85, CELLULAR_POWER)):
+                for scheme in SCHEMES:
+                    schedule = env.run_scheme(model, bandwidth, N_JOBS, scheme)
+                    rows.append(
+                        (
+                            model,
+                            f"{bandwidth:g}Mbps/{power.name}",
+                            scheme,
+                            schedule.makespan / N_JOBS * 1e3,
+                            schedule_energy(schedule, power) / N_JOBS,
+                        )
+                    )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_artifact(
+        "extensions_energy",
+        format_table(
+            headers=["model", "link/radio", "scheme", "ms/job", "J/job"],
+            rows=rows,
+            title="Extension — battery energy per job next to latency",
+            float_format="{:.2f}",
+        ),
+    )
+
+    by_key = {(m, l, s): (lat, joules) for m, l, s, lat, joules in rows}
+    for model in ("alexnet", "mobilenet-v2"):
+        # on Wi-Fi the cheap radio makes offloading a battery win too ...
+        assert (
+            by_key[(model, "18.88Mbps/wifi", "JPS")][1]
+            < by_key[(model, "18.88Mbps/wifi", "LO")][1]
+        )
+        # ... but on cellular the radio watts + tail energy invert the
+        # trade-off: the latency-optimal JPS costs MORE battery than LO.
+        # Latency-optimal != energy-optimal — the point of this extension.
+        assert (
+            by_key[(model, "5.85Mbps/cellular", "JPS")][1]
+            > by_key[(model, "5.85Mbps/cellular", "LO")][1]
+        )
+
+
+def test_energy_latency_frontier_sizes(benchmark, env, save_artifact):
+    def run_all():
+        lines = []
+        for model in ("alexnet", "resnet18"):
+            table = env.cost_table(model, 18.88)
+            frontier = energy_latency_frontier(table, WIFI_POWER)
+            lines.append(f"{model}: {len(frontier)} Pareto points of {table.k} cuts")
+            for point in frontier:
+                lines.append(
+                    f"  {point.label:<36s} latency {point.per_job_latency * 1e3:7.1f} ms  "
+                    f"energy {point.per_job_energy:6.2f} J"
+                )
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_artifact("extensions_energy_frontier", text)
+    assert "Pareto points" in text

@@ -1,0 +1,18 @@
+"""Fig. 11 — JPS vs brute-force optimum on AlexNet and AlexNet'."""
+
+from repro.experiments import fig11
+
+
+def test_fig11_jps_vs_brute_force(benchmark, env, save_artifact):
+    rows = benchmark.pedantic(
+        fig11.run, args=(env,), kwargs={"job_counts": [2, 4, 8, 12]},
+        rounds=1, iterations=1,
+    )
+    save_artifact("fig11_jps_vs_bf", fig11.render(rows))
+
+    for row in rows:
+        assert row.bf_s <= row.jps_s + 1e-12       # BF is the optimum
+        assert row.gap_percent <= 15.0             # JPS stays close
+    # on the smoothed AlexNet' (Theorem 5.3 conditions ~hold) the gap closes
+    prime = [r for r in rows if r.model == "AlexNet'" and r.n >= 4]
+    assert all(r.gap_percent < 5.0 for r in prime)

@@ -1,0 +1,34 @@
+"""Fig. 12(a-c) — LO/CO/PO/JPS average latency at 3G/4G/Wi-Fi, 100 jobs,
+and Fig. 12(d) — JPS scheduler overhead."""
+
+from repro.experiments import fig12
+
+
+def test_fig12_scheme_comparison(benchmark, env, save_artifact):
+    cells = benchmark.pedantic(fig12.run, args=(env,), rounds=1, iterations=1)
+    save_artifact("fig12_scheme_comparison", fig12.render(cells))
+
+    value = {(c.preset, c.model, c.scheme): c.avg_latency_s for c in cells}
+    models = sorted({c.model for c in cells})
+    for preset in ("3G", "4G", "Wi-Fi"):
+        for model in models:
+            jps = value[(preset, model, "JPS")]
+            assert jps <= value[(preset, model, "LO")] + 1e-9
+            assert jps <= value[(preset, model, "PO")] + 1e-9
+            assert jps <= value[(preset, model, "CO")] + 1e-9
+    # CO at 3G is off the chart (paper: > 4,000 ms for every model)
+    assert all(value[("3G", m, "CO")] > 4.0 for m in models)
+    # 3G -> 4G: PO barely moves for ResNet while JPS exploits the bandwidth
+    po_gain = value[("3G", "resnet18", "PO")] - value[("4G", "resnet18", "PO")]
+    jps_gain = value[("3G", "resnet18", "JPS")] - value[("4G", "resnet18", "JPS")]
+    assert jps_gain > po_gain
+
+
+def test_fig12d_scheduler_overhead(benchmark, env, save_artifact):
+    overheads = benchmark.pedantic(
+        fig12.run_overhead, args=(env,), kwargs={"repeats": 5}, rounds=1, iterations=1
+    )
+    save_artifact("fig12d_scheduler_overhead", fig12.render_overhead(overheads))
+    # "negligible compared with the inference time" (§6.3): < 50 ms vs
+    # hundreds of ms per job
+    assert all(v < 0.05 for v in overheads.values())

@@ -1,0 +1,24 @@
+"""Fig. 13 — latency vs uplink bandwidth (1-80 Mbps), AlexNet & MobileNet-v2."""
+
+from repro.experiments import fig13
+
+
+def test_fig13_bandwidth_sweep(benchmark, env, save_artifact):
+    curves = benchmark.pedantic(fig13.run, args=(env,), rounds=1, iterations=1)
+    save_artifact("fig13_bandwidth_sweep", fig13.render(curves))
+
+    for curve in curves:
+        lo = curve.latency_s["LO"]
+        co = curve.latency_s["CO"]
+        jps = curve.latency_s["JPS"]
+        po = curve.latency_s["PO"]
+        # LO flat, CO strictly falling
+        assert max(lo) - min(lo) < 1e-9
+        assert all(b < a for a, b in zip(co, co[1:]))
+        # JPS dominates every other scheme at every bandwidth
+        for series in (lo, co, po):
+            assert all(j <= s + 1e-9 for j, s in zip(jps, series))
+        # the benefit range covers 3G through Wi-Fi and beyond 50 Mbps
+        rng = fig13.benefit_range(curve)
+        assert rng is not None
+        assert rng[0] <= 1.1 and rng[1] >= 50.0

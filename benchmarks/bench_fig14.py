@@ -1,0 +1,23 @@
+"""Fig. 14 — makespan vs the computation-/communication-heavy job ratio."""
+
+from repro.experiments import fig14
+
+
+def test_fig14_ratio_sensitivity(benchmark, env, save_artifact):
+    curves = benchmark.pedantic(fig14.run, args=(env,), rounds=1, iterations=1)
+    save_artifact("fig14_ratio_sensitivity", fig14.render(curves))
+
+    assert {c.model for c in curves} == {"resnet18", "googlenet"}
+    for curve in curves:
+        optima = list(curve.optimal_ratio.values())
+        # the optimal mix is generally not 1:1 ...
+        assert any(abs(r - 1.0) > 1e-9 for r in optima)
+        # ... and it shifts with the bandwidth configuration
+        assert len(set(optima)) > 1 or all(
+            curve.ratios[0] < r < curve.ratios[-1] for r in optima
+        )
+        # curves are unimodal-ish: the optimum beats both endpoints
+        for label, series in curve.makespan_s.items():
+            best = min(series)
+            assert best <= series[0] + 1e-9
+            assert best <= series[-1] + 1e-9

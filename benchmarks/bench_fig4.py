@@ -1,0 +1,13 @@
+"""Fig. 4 — AlexNet per-layer time consumption (mobile/comm/cloud)."""
+
+from repro.experiments import fig4
+
+
+def test_fig4_per_layer_times(benchmark, env, save_artifact):
+    rows = benchmark(fig4.run, env)
+    save_artifact("fig4_alexnet_layers", fig4.render(rows))
+
+    # reproduction checks: f accumulates, g decays, cloud negligible
+    comm = [r.comm_ms for r in rows]
+    assert all(b <= a for a, b in zip(comm, comm[1:]))
+    assert max(r.cloud_ms for r in rows) * 20 < max(r.mobile_ms for r in rows)

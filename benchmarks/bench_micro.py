@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the algorithmic building blocks.
+
+These are proper pytest-benchmark timings (many rounds) of the hot
+paths: the O(log k) binary search against the O(k) scan, Johnson's rule
+at n = 1000, the flow-shop recurrence, the DES pipeline, and frontier
+cut enumeration — the quantities behind the Fig. 12(d) overhead claim.
+"""
+
+import numpy as np
+
+from repro.core.partition import binary_search_cut, linear_scan_cut
+from repro.core.plans import JobPlan, Schedule
+from repro.core.scheduling import flow_shop_makespan, johnson_order
+from repro.dag.cuts import enumerate_frontier_cuts
+from repro.profiling.latency import CostTable
+from repro.sim.pipeline import simulate_schedule
+
+
+def big_table(k: int = 4096) -> CostTable:
+    idx = np.arange(k, dtype=float)
+    g = 50.0 * np.exp(-0.01 * idx)
+    g[-1] = 0.0
+    return CostTable(
+        model_name="micro",
+        positions=tuple(f"l{i}" for i in range(k)),
+        f=0.01 * idx,
+        g=np.minimum.accumulate(g),
+        cloud=np.zeros(k),
+    )
+
+
+def test_binary_search_speed(benchmark):
+    table = big_table()
+    result = benchmark(binary_search_cut, table)
+    assert result == linear_scan_cut(table)
+
+
+def test_linear_scan_speed(benchmark):
+    table = big_table()
+    benchmark(linear_scan_cut, table)
+
+
+def test_johnson_order_speed_n1000(benchmark):
+    rng = np.random.default_rng(0)
+    stages = list(zip(rng.random(1000), rng.random(1000)))
+    order = benchmark(johnson_order, stages)
+    assert sorted(order) == list(range(1000))
+
+
+def test_flow_shop_recurrence_speed_n1000(benchmark):
+    rng = np.random.default_rng(1)
+    stages = list(zip(rng.random(1000), rng.random(1000)))
+    value = benchmark(flow_shop_makespan, stages)
+    assert value > 0
+
+
+def test_pipeline_simulation_speed_n500(benchmark):
+    rng = np.random.default_rng(2)
+    jobs = tuple(
+        JobPlan(job_id=i, model="m", cut_position=0,
+                compute_time=float(f), comm_time=float(g))
+        for i, (f, g) in enumerate(zip(rng.random(500), rng.random(500)))
+    )
+    schedule = Schedule(jobs=jobs, makespan=0.0, method="micro")
+    result = benchmark(simulate_schedule, schedule)
+    assert result.makespan > 0
+
+
+def test_frontier_enumeration_speed_googlenet(benchmark, env):
+    graph = env.network("googlenet").graph
+    cuts = benchmark(enumerate_frontier_cuts, graph)
+    assert len(cuts) > 2000

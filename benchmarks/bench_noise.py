@@ -1,0 +1,26 @@
+"""Ablation — prediction-noise sensitivity of the JPS planner."""
+
+from repro.experiments import noise
+
+
+def test_noise_sensitivity(benchmark, env, save_artifact):
+    cells = benchmark.pedantic(
+        noise.run, args=(env,), kwargs={"n": 50, "trials": 5}, rounds=1, iterations=1
+    )
+    save_artifact("ablation_noise_sensitivity", noise.render(cells))
+
+    by_model_sigma = {(c.model, c.sigma): c for c in cells}
+    for (model, sigma), cell in by_model_sigma.items():
+        assert cell.mean_regret_percent >= -1e-9
+        if sigma == 0.0:
+            # exact estimates -> the ground-truth plan, zero regret
+            assert cell.mean_regret_percent < 1e-6
+        if sigma <= 0.05:
+            # the paper's operating regime: a lookup table built from
+            # ~5%-noise measurements costs almost nothing
+            assert cell.mean_regret_percent < 3.0
+    # regret grows (weakly) with noise
+    for model in {m for m, _ in by_model_sigma}:
+        sigmas = sorted(s for m, s in by_model_sigma if m == model)
+        values = [by_model_sigma[(model, s)].mean_regret_percent for s in sigmas]
+        assert values[-1] >= values[0] - 1e-9

@@ -1,0 +1,54 @@
+"""Optimality probe at paper scale (n = 100), where brute force cannot go.
+
+Sandwiches JPS between the fractional LP lower bound and the strongest
+upper-bound search available (multiset local search with random
+restarts), for every experiment model at 4G.
+"""
+
+from repro.core.analysis import fractional_lower_bound
+from repro.core.joint import jps_line
+from repro.core.search import local_search
+from repro.experiments.report import format_table
+from repro.experiments.runner import EXPERIMENT_MODELS
+from repro.extensions.refine import refine_end_jobs
+
+N_JOBS = 100
+
+
+def test_optimality_probe_at_scale(benchmark, env, save_artifact):
+    def run_all():
+        rows = []
+        for model in EXPERIMENT_MODELS:
+            table = env.cost_table(model, 5.85)
+            bound = fractional_lower_bound(table, N_JOBS)
+            jps = jps_line(table, N_JOBS)
+            refined = refine_end_jobs(table, jps)
+            searched = local_search(table, N_JOBS, restarts=2, seed=0)
+            rows.append(
+                (
+                    model,
+                    bound,
+                    searched.makespan,
+                    refined.makespan,
+                    jps.makespan,
+                    (refined.makespan / bound - 1) * 100,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_artifact(
+        "optimality_probe_n100",
+        format_table(
+            headers=["model", "LP bound (s)", "local search (s)",
+                     "JPS+refine (s)", "JPS (s)", "refine vs bound (%)"],
+            rows=rows,
+            title=f"Optimality probe at n = {N_JOBS} (4G)",
+            float_format="{:.3f}",
+        ),
+    )
+    for model, bound, searched, refined, jps, gap in rows:
+        assert bound <= searched + 1e-9
+        assert refined <= jps + 1e-9
+        # JPS+refine within 11% of the LP bound -> near-optimal at scale
+        assert gap < 11.0

@@ -1,0 +1,20 @@
+"""Table 1 — latency reduction of PO and JPS relative to LO (%)."""
+
+from repro.experiments import table1
+
+
+def test_table1_latency_reduction(benchmark, env, save_artifact):
+    rows = benchmark.pedantic(table1.run, args=(env,), rounds=1, iterations=1)
+    save_artifact("table1_reduction_vs_lo", table1.render(rows))
+
+    by_model = {r.model: r.reductions for r in rows}
+    for model, reductions in by_model.items():
+        for preset, values in reductions.items():
+            # JPS never reduces less than PO (joint optimization dominates)
+            assert values["JPS"] >= values["PO"] - 1e-9
+    # paper shapes: PO gains nothing at 3G for ResNet; everyone wins at Wi-Fi
+    assert by_model["resnet18"]["3G"]["PO"] == 0.0
+    assert all(reductions["Wi-Fi"]["JPS"] > 40 for reductions in by_model.values())
+    # the 4G column shows the joint gain most clearly (paper §6.3: the
+    # bandwidth improvement is wasted without scheduling)
+    assert by_model["resnet18"]["4G"]["JPS"] - by_model["resnet18"]["4G"]["PO"] > 20

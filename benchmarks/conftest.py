@@ -1,0 +1,39 @@
+"""Benchmark fixtures and artifact plumbing.
+
+Each figure/table bench times its core computation with
+``pytest-benchmark`` *and* writes the regenerated paper table to
+``benchmarks/results/<name>.txt`` so the reproduction evidence survives
+the run (EXPERIMENTS.md references these artifacts).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentEnv
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def env() -> ExperimentEnv:
+    environment = ExperimentEnv()
+    # pre-warm the expensive caches (GoogLeNet frontier) outside any timer
+    for model in ("alexnet", "googlenet", "mobilenet-v2", "resnet18"):
+        environment.cost_table(model, 10.0)
+    return environment
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[artifact: {path}]")
+        return path
+
+    return _save

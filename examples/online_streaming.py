@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Streaming arrivals: scheduling frames that don't all exist at t = 0.
+
+The paper releases the whole job set together (a camera *burst*). A
+30 fps video feed instead delivers one frame every 33 ms. This example
+runs the online dispatcher — Johnson's rule over whichever frames have
+arrived, cuts fixed by the JPS two-type mix — across arrival rates from
+"all at once" to "slower than the pipeline", and compares against the
+offline relaxation bound.
+
+Run:  python examples/online_streaming.py
+"""
+
+from repro.experiments.runner import ExperimentEnv
+from repro.extensions.online import OnlineJpsScheduler, offline_lower_bound
+
+N_FRAMES = 60
+MODEL = "mobilenet-v2"
+BANDWIDTH = 18.88
+
+
+def main() -> None:
+    env = ExperimentEnv()
+    table = env.cost_table(MODEL, BANDWIDTH)
+    scheduler = OnlineJpsScheduler(table, nominal_burst=12)
+    print(f"{MODEL} @ {BANDWIDTH} Mbps, {N_FRAMES} frames, online dispatch\n")
+    header = (f"{'arrival':>14s} {'makespan (s)':>13s} {'bound (s)':>10s} "
+              f"{'overhead':>9s} {'throughput':>12s}")
+    print(header)
+    print("-" * len(header))
+    for label, interval in (
+        ("burst (0 ms)", 0.0),
+        ("120 fps", 1 / 120),
+        ("60 fps", 1 / 60),
+        ("30 fps", 1 / 30),
+        ("10 fps", 1 / 10),
+    ):
+        releases = [i * interval for i in range(N_FRAMES)]
+        jobs = scheduler.assign_cuts(releases)
+        _, makespan = scheduler.dispatch(jobs)
+        bound = offline_lower_bound(jobs)
+        throughput = N_FRAMES / makespan
+        print(f"{label:>14s} {makespan:>13.3f} {bound:>10.3f} "
+              f"{(makespan / bound - 1) * 100:>8.1f}% {throughput:>9.1f} fps")
+    print("\nreading: up to ~60 fps the pipeline absorbs arrivals at burst")
+    print("efficiency; beyond that the camera, not the schedule, is the")
+    print("bottleneck and every policy degenerates to frame-at-a-time.")
+
+
+if __name__ == "__main__":
+    main()

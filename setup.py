@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Legacy shim: lets `pip install -e .` work in offline environments that
+# lack the `wheel` package required by PEP-517 editable installs.
+setup()

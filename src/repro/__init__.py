@@ -1,0 +1,26 @@
+"""repro — Joint Optimization of DNN Partition and Scheduling for Mobile
+Cloud Computing (Duan & Wu, ICPP 2021): a full reimplementation.
+
+Quick tour
+----------
+>>> from repro.nn import zoo
+>>> from repro.profiling import line_cost_table, raspberry_pi_4, gtx1080_server
+>>> from repro.net import Channel, FOUR_G
+>>> from repro.core import jps, local_only
+>>> net = zoo.alexnet()
+>>> mob, srv, ch = raspberry_pi_4(), gtx1080_server(), Channel.from_preset(FOUR_G)
+>>> schedule = jps(net, mob, srv, ch, n=100)
+>>> schedule.makespan < local_only(line_cost_table(net, mob, srv, ch), 100).makespan
+True
+
+Packages: ``repro.dag`` (computation graphs and cuts), ``repro.nn``
+(layers + model zoo), ``repro.profiling`` (device cost models and
+estimators), ``repro.net`` (bandwidth/channel models), ``repro.core``
+(the paper's algorithms), ``repro.sim`` (discrete-event pipeline),
+``repro.runtime`` (system prototype), ``repro.experiments`` (per-figure
+harnesses), ``repro.extensions`` (beyond-the-paper features).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+models                         list the zoo with FLOP/param/structure info
+summary MODEL                  per-layer table of one model
+table MODEL [--mbps X]         the (f, g, cloud) cost table
+plan MODEL [-n N] [--mbps X] [--scheme S] [--gantt]
+                               plan a job set and report the schedule
+compare MODEL [-n N] [--mbps X]
+                               all four schemes side by side + LP lower bound
+experiment NAME                regenerate a paper artifact
+                               (fig4 | fig11 | fig12 | fig13 | fig14 | table1)
+dot MODEL [--mbps X]           Graphviz DOT with the JPS cut highlighted
+energy MODEL [--radio R]       energy-latency Pareto frontier
+campaign OUT [--quick] [--compare OLD] [--tolerance T]
+                               run every experiment, save JSON, diff runs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.analysis import fractional_lower_bound, speedup_report
+from repro.core.plans import Schedule
+from repro.experiments import fig4, fig11, fig12, fig13, fig14, table1
+from repro.experiments.runner import SCHEMES, ExperimentEnv
+from repro.nn.zoo import MODELS
+from repro.sim.pipeline import simulate_schedule
+from repro.sim.trace import render_gantt
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Joint DNN partition and scheduling (ICPP'21 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list available models")
+
+    p = sub.add_parser("summary", help="per-layer summary of a model")
+    p.add_argument("model", choices=sorted(MODELS))
+
+    p = sub.add_parser("table", help="print a model's cost table")
+    p.add_argument("model", choices=sorted(MODELS))
+    p.add_argument("--mbps", type=float, default=5.85, help="uplink rate (Mbps)")
+
+    p = sub.add_parser("plan", help="plan a job set with one scheme")
+    p.add_argument("model", choices=sorted(MODELS))
+    p.add_argument("-n", "--jobs", type=int, default=100)
+    p.add_argument("--mbps", type=float, default=5.85)
+    p.add_argument("--scheme", choices=SCHEMES + ["JPS-ratio"], default="JPS")
+    p.add_argument("--gantt", action="store_true", help="draw the pipeline timeline")
+
+    p = sub.add_parser("compare", help="all schemes side by side")
+    p.add_argument("model", choices=sorted(MODELS))
+    p.add_argument("-n", "--jobs", type=int, default=100)
+    p.add_argument("--mbps", type=float, default=5.85)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument(
+        "name", choices=["fig4", "fig11", "fig12", "fig13", "fig14", "table1"]
+    )
+
+    p = sub.add_parser("dot", help="Graphviz DOT of a model, JPS cut highlighted")
+    p.add_argument("model", choices=sorted(MODELS))
+    p.add_argument("--mbps", type=float, default=5.85)
+
+    p = sub.add_parser("energy", help="energy-latency frontier of a model")
+    p.add_argument("model", choices=sorted(MODELS))
+    p.add_argument("--mbps", type=float, default=5.85)
+    p.add_argument("--radio", choices=["wifi", "cellular"], default="wifi")
+
+    p = sub.add_parser(
+        "campaign", help="run every experiment, save JSON, optionally diff"
+    )
+    p.add_argument("output", help="path for the campaign JSON")
+    p.add_argument("--quick", action="store_true", help="small n / short sweeps")
+    p.add_argument("--compare", help="previous campaign JSON to diff against")
+    p.add_argument("--tolerance", type=float, default=0.05)
+    return parser
+
+
+def _print_schedule(schedule: Schedule, n: int) -> None:
+    print(f"scheme        : {schedule.method}")
+    print(f"makespan      : {schedule.makespan:.3f} s")
+    print(f"avg latency   : {schedule.makespan / n * 1e3:.1f} ms/job")
+    histogram = schedule.cut_histogram()
+    labels = {p.cut_position: p.cut_label for p in schedule.jobs}
+    for position, count in histogram.items():
+        print(f"  cut {labels[position]:<36s} x {count}")
+    if "l_star" in schedule.metadata:
+        print(f"l* = {schedule.metadata['l_star']}, "
+              f"split = {schedule.metadata.get('n_a')}/{schedule.metadata.get('n_b')}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    env = ExperimentEnv()
+
+    if args.command == "models":
+        print(f"{'name':<16s} {'layers':>6s} {'GFLOPs':>8s} {'params(M)':>10s} {'structure':>10s}")
+        for name in sorted(MODELS):
+            net = env.network(name)
+            structure = "line" if env.treats_as_line(name) else "general"
+            print(f"{name:<16s} {net.num_layers:>6d} {net.total_flops / 1e9:>8.2f} "
+                  f"{net.total_params / 1e6:>10.2f} {structure:>10s}")
+        return 0
+
+    if args.command == "summary":
+        print(env.network(args.model).summary())
+        return 0
+
+    if args.command == "table":
+        table = env.cost_table(args.model, args.mbps)
+        print(f"{args.model} @ {args.mbps:g} Mbps — {table.k} cut positions")
+        print(f"{'position':<40s} {'f (ms)':>9s} {'g (ms)':>9s} {'cloud rest (ms)':>16s}")
+        for i, position in enumerate(table.positions):
+            print(f"{position:<40s} {table.f[i] * 1e3:>9.1f} {table.g[i] * 1e3:>9.1f} "
+                  f"{table.cloud_rest(i) * 1e3:>16.2f}")
+        return 0
+
+    if args.command == "plan":
+        schedule = env.run_scheme(args.model, args.mbps, args.jobs, args.scheme)
+        _print_schedule(schedule, args.jobs)
+        if args.gantt:
+            slice_ = Schedule(
+                jobs=schedule.jobs[: min(8, len(schedule.jobs))],
+                makespan=0.0,
+                method=schedule.method,
+            )
+            print()
+            print(render_gantt(simulate_schedule(slice_)))
+        return 0
+
+    if args.command == "compare":
+        table = env.cost_table(args.model, args.mbps)
+        schedules = {
+            scheme: env.run_scheme(args.model, args.mbps, args.jobs, scheme)
+            for scheme in SCHEMES
+        }
+        bound = fractional_lower_bound(table, args.jobs)
+        print(f"{args.model} @ {args.mbps:g} Mbps, {args.jobs} jobs")
+        print(f"{'scheme':<6s} {'makespan (s)':>12s} {'ms/job':>8s}")
+        for scheme, schedule in schedules.items():
+            print(f"{scheme:<6s} {schedule.makespan:>12.2f} "
+                  f"{schedule.makespan / args.jobs * 1e3:>8.1f}")
+        print(f"{'LP-LB':<6s} {bound:>12.2f} {bound / args.jobs * 1e3:>8.1f}")
+        reductions = speedup_report(schedules)
+        print("reduction vs LO: "
+              + ", ".join(f"{k} {v:.1f}%" for k, v in reductions.items()))
+        return 0
+
+    if args.command == "dot":
+        from repro.dag.metrics import to_dot
+
+        table = env.cost_table(args.model, args.mbps)
+        schedule = env.run_scheme(args.model, args.mbps, 10, "JPS")
+        mobile_nodes = next(
+            (p.mobile_nodes for p in schedule.jobs if p.mobile_nodes), None
+        )
+        if mobile_nodes is None and table.graph is not None:
+            mobile_nodes = table.mobile_nodes_at(schedule.jobs[0].cut_position)
+        graph = env.network(args.model).graph
+        print(to_dot(graph, mobile_nodes=mobile_nodes or ()))
+        return 0
+
+    if args.command == "energy":
+        from repro.profiling.energy import (
+            CELLULAR_POWER,
+            WIFI_POWER,
+            energy_latency_frontier,
+        )
+
+        power = WIFI_POWER if args.radio == "wifi" else CELLULAR_POWER
+        table = env.cost_table(args.model, args.mbps)
+        frontier = energy_latency_frontier(table, power)
+        print(f"{args.model} @ {args.mbps:g} Mbps, {power.name} radio — "
+              f"{len(frontier)} Pareto points of {table.k} cuts")
+        for point in frontier:
+            print(f"  {point.label:<40s} {point.per_job_latency * 1e3:8.1f} ms "
+                  f"{point.per_job_energy:7.2f} J")
+        return 0
+
+    if args.command == "campaign":
+        from repro.experiments.campaign import (
+            compare_campaigns,
+            load_campaign,
+            run_campaign,
+            save_campaign,
+        )
+
+        document = run_campaign(env, quick=args.quick)
+        path = save_campaign(document, args.output)
+        print(f"campaign saved to {path}")
+        if args.compare:
+            problems = compare_campaigns(
+                load_campaign(args.compare), document, rel_tolerance=args.tolerance
+            )
+            if problems:
+                print(f"{len(problems)} regressions vs {args.compare}:")
+                for problem in problems[:40]:
+                    print(f"  {problem}")
+                return 1
+            print(f"no regressions vs {args.compare} (tolerance {args.tolerance:g})")
+        return 0
+
+    if args.command == "experiment":
+        harness = {
+            "fig4": lambda: fig4.render(fig4.run(env)),
+            "fig11": lambda: fig11.render(fig11.run(env)),
+            "fig12": lambda: fig12.render(fig12.run(env)),
+            "fig13": lambda: fig13.render(fig13.run(env)),
+            "fig14": lambda: fig14.render(fig14.run(env)),
+            "table1": lambda: table1.render(table1.run(env)),
+        }[args.name]
+        print(harness())
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

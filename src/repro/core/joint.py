@@ -1,0 +1,198 @@
+"""JPS — the paper's joint partition-and-scheduling scheme.
+
+For line-structure (or linearizable) DNNs this is Alg. 2 + Theorem 5.3:
+binary-search the crossing layer, split the n jobs across the two
+adjacent candidate cuts, Johnson-schedule the result.
+
+For general-structure DNNs two modes exist:
+
+* ``frontier`` — exact enumeration of the series-parallel cut space,
+  Pareto-pruned; the survivors, ordered by increasing ``f``, behave
+  exactly like a line-structure cost table (``g`` strictly decreasing),
+  so the *same* binary search and two-type split apply. This is the
+  strongest scheme in the repo and an upper baseline for Alg. 3.
+* ``paths`` — the paper's Alg. 3 heuristic (:mod:`repro.core.general`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.partition import (
+    TwoTypeSplit,
+    binary_search_cut,
+    plans_for_split,
+    split_best_pair,
+    split_by_paper_ratio,
+    split_exact,
+)
+from repro.core.plans import Schedule
+from repro.core.scheduling import schedule_jobs
+from repro.dag.cuts import Cut, enumerate_frontier_cuts, prune_dominated
+from repro.net.channel import Channel
+from repro.nn.network import Network
+from repro.profiling.device import DeviceModel
+from repro.profiling.latency import (
+    CostTable,
+    LayerPredictor,
+    cut_costs,
+    line_cost_table,
+)
+
+__all__ = ["jps_line", "FrontierTable", "frontier_table", "jps_frontier", "jps"]
+
+
+def jps_line(table: CostTable, n: int, split: str = "exact") -> Schedule:
+    """JPS on a line-structure cost table.
+
+    ``split`` selects the two-type allocation over (l*-1, l*):
+    ``"ratio"`` is the paper's floor-ratio rule (Alg. 2 line 9) —
+    faithful but degenerate when the true ratio is below 1 (the floor
+    collapses to a single cut layer); ``"exact"`` sweeps the integer
+    split for the best makespan over the same two layers and is the
+    default. The ablation bench quantifies the gap.
+    """
+    started = perf_counter()
+    l_star = binary_search_cut(table)
+    if split == "ratio":
+        chosen: TwoTypeSplit = split_by_paper_ratio(table, l_star, n)
+    elif split == "exact":
+        chosen = split_exact(table, l_star, n)
+    elif split == "pair":
+        # beyond the paper: the best two-type mix over all position pairs,
+        # needed when adjacent-layer time differences are drastic (VGG-16)
+        chosen = split_best_pair(table, n)
+    else:
+        raise ValueError(f"unknown split mode {split!r} (use 'ratio', 'exact' or 'pair')")
+    schedule = schedule_jobs(plans_for_split(table, chosen), method="JPS")
+    overhead = perf_counter() - started
+    return Schedule(
+        jobs=schedule.jobs,
+        makespan=schedule.makespan,
+        method="JPS",
+        metadata={
+            "l_star": l_star,
+            "split": split,
+            "n_a": chosen.n_a,
+            "n_b": chosen.n_b,
+            "cut_a": table.positions[chosen.position_a],
+            "cut_b": table.positions[chosen.position_b],
+            "scheduler_overhead_s": overhead,
+        },
+    )
+
+
+@dataclass(frozen=True, eq=False)
+class FrontierTable:
+    """A line-shaped cost table synthesized from Pareto-optimal DAG cuts.
+
+    ``cuts[i]`` is the actual cut behind table position ``i``, so a
+    schedule built on the table can be executed on the real graph.
+    """
+
+    table: CostTable
+    cuts: tuple[Cut, ...]
+
+    def cut_at(self, position: int) -> Cut:
+        return self.cuts[position]
+
+
+def frontier_table(
+    network: Network,
+    mobile: DeviceModel,
+    cloud: DeviceModel,
+    channel: Channel,
+    predictor: LayerPredictor | None = None,
+    max_cuts: int = 100_000,
+) -> FrontierTable:
+    """Exact cut space of a series-parallel DAG as a line cost table."""
+    cuts = enumerate_frontier_cuts(network.graph, max_cuts=max_cuts)
+    costs = cut_costs(network, cuts, mobile, cloud, channel, predictor)
+    compute_of = {mobile_set: fgc[0] for mobile_set, fgc in costs.items()}
+    surviving = prune_dominated(cuts, compute_of)
+    surviving.sort(key=lambda c: compute_of[c.mobile])
+
+    f = np.array([costs[c.mobile][0] for c in surviving])
+    g = np.array([costs[c.mobile][1] for c in surviving])
+    # Cloud time of the mobile part is not exactly monotone across Pareto
+    # cuts; the running max keeps CostTable's invariant while shifting the
+    # (negligible) cloud estimate by < one layer's cloud time.
+    rests = np.array([costs[c.mobile][2] for c in surviving])
+    cloud_of_mobile = np.maximum.accumulate(rests.max() - rests)
+    table = CostTable(
+        model_name=f"{network.name}/frontier",
+        positions=tuple(c.label for c in surviving),
+        f=f,
+        g=g,
+        cloud=cloud_of_mobile,
+        graph=None,
+    )
+    return FrontierTable(table=table, cuts=tuple(surviving))
+
+
+def jps_frontier(
+    network: Network,
+    mobile: DeviceModel,
+    cloud: DeviceModel,
+    channel: Channel,
+    n: int,
+    split: str = "exact",
+    predictor: LayerPredictor | None = None,
+) -> Schedule:
+    """Exact-cut-space JPS for general (series-parallel) DNNs."""
+    frontier = frontier_table(network, mobile, cloud, channel, predictor)
+    schedule = jps_line(frontier.table, n, split=split)
+    jobs = tuple(
+        replace(
+            plan,
+            model=network.name,  # the table's "/frontier" suffix is internal
+            mobile_nodes=frontier.cut_at(plan.cut_position).mobile,
+        )
+        for plan in schedule.jobs
+    )
+    return Schedule(
+        jobs=jobs,
+        makespan=schedule.makespan,
+        method="JPS-frontier",
+        metadata={**schedule.metadata, "num_pareto_cuts": len(frontier.cuts)},
+    )
+
+
+def jps(
+    network: Network,
+    mobile: DeviceModel,
+    cloud: DeviceModel,
+    channel: Channel,
+    n: int,
+    structure: str = "auto",
+    split: str = "exact",
+    predictor: LayerPredictor | None = None,
+) -> Schedule:
+    """Entry point: dispatch on network structure.
+
+    ``structure``: ``"line"`` forces linearization (virtual-block
+    clustering), ``"frontier"`` uses the exact general-DAG cut space,
+    ``"paths"`` runs the paper's Alg. 3, and ``"auto"`` picks ``line``
+    for networks that cluster into lines (AlexNet, MobileNet-v2,
+    ResNet-18) and ``frontier`` otherwise (GoogLeNet).
+    """
+    if structure == "auto":
+        from repro.dag.transform import collapse_clusterable_blocks
+
+        clustered = collapse_clusterable_blocks(network.graph)
+        structure = "line" if clustered.is_line() else "frontier"
+    if structure == "line":
+        table = line_cost_table(network, mobile, cloud, channel, predictor)
+        return jps_line(table, n, split=split)
+    if structure == "frontier":
+        return jps_frontier(network, mobile, cloud, channel, n, split, predictor)
+    if structure == "paths":
+        from repro.core.general import alg3_schedule
+
+        return alg3_schedule(network, mobile, cloud, channel, n, predictor=predictor)
+    raise ValueError(
+        f"unknown structure {structure!r} (use 'auto', 'line', 'frontier' or 'paths')"
+    )

@@ -1,0 +1,232 @@
+"""Line-structure DNN partition (paper §5.1–5.2).
+
+Given a cost table with increasing ``f`` and non-increasing ``g``,
+the discrete analogue of Theorem 5.2's crossing point is the *leftmost*
+position ``l*`` with ``f(l*) >= g(l*)`` — found by Alg. 2's binary
+search in ``O(log k)``. Theorem 5.3 then says it suffices to cut every
+job at ``l* - 1`` or ``l*``; the count ratio between the two types is
+the paper's line-9 formula::
+
+    ratio = floor( (f(l*) - g(l*)) / (g(l*-1) - f(l*-1)) )
+
+i.e. each job cut at ``l*`` leaves ``f - g`` seconds of un-overlapped
+computation, which ``ratio`` communication-heavy jobs (surplus
+``g - f`` each) can hide behind.
+
+Beyond the paper's rule we expose an *exact* integer split optimizer
+(same two candidate layers, best ``n1`` by direct makespan evaluation —
+an O(n) sweep using Prop. 4.1) used in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.plans import JobPlan
+from repro.core.scheduling import flow_shop_makespan, johnson_order
+from repro.profiling.latency import CostTable
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "binary_search_cut",
+    "linear_scan_cut",
+    "partition_ratio",
+    "TwoTypeSplit",
+    "split_by_paper_ratio",
+    "split_exact",
+    "split_best_pair",
+    "plans_for_split",
+]
+
+
+def binary_search_cut(table: CostTable) -> int:
+    """Alg. 2: leftmost position with ``f >= g`` via binary search.
+
+    Requires ``g`` non-increasing (run virtual-block clustering first);
+    ``f`` is non-decreasing by construction. The result always exists
+    because the final position has ``g = 0``: a network that never
+    crosses earlier is simply best run fully locally.
+    """
+    if not table.is_g_non_increasing():
+        raise ValueError(
+            f"{table.model_name}: g is not non-increasing; cluster virtual "
+            "blocks before searching (binary search needs a single crossing)"
+        )
+    lo, hi = 0, table.k - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if table.f[mid] < table.g[mid]:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def linear_scan_cut(table: CostTable) -> int:
+    """O(k) reference implementation of the same search (test oracle)."""
+    for position in range(table.k):
+        if table.f[position] >= table.g[position]:
+            return position
+    return table.k - 1
+
+
+def partition_ratio(table: CostTable, l_star: int) -> int:
+    """The paper's line-9 ratio: (l*-1)-cuts per one l*-cut.
+
+    Defined for ``l_star >= 1`` with a strict crossing
+    (``f(l*-1) < g(l*-1)``). A zero ratio means the computation surplus
+    at ``l*`` is smaller than one job's communication surplus at
+    ``l* - 1`` — the split optimizer still considers mixing, but the
+    paper's floor rounds to "no communication-heavy jobs needed".
+    """
+    if l_star <= 0:
+        raise ValueError("ratio is undefined when the crossing is at position 0")
+    surplus_compute = float(table.f[l_star] - table.g[l_star])
+    surplus_comm = float(table.g[l_star - 1] - table.f[l_star - 1])
+    if surplus_comm <= 0:
+        raise ValueError(
+            f"position {l_star - 1} is not communication-heavy "
+            f"(f={table.f[l_star - 1]}, g={table.g[l_star - 1]})"
+        )
+    return int(np.floor(surplus_compute / surplus_comm))
+
+
+@dataclass(frozen=True)
+class TwoTypeSplit:
+    """A job-count split over the two candidate cut layers."""
+
+    position_a: int       # l* - 1 (communication-heavy), or l* when n_a == 0
+    position_b: int       # l* (computation-heavy)
+    n_a: int
+    n_b: int
+    makespan: float
+
+    def __post_init__(self) -> None:
+        if self.n_a < 0 or self.n_b < 0:
+            raise ValueError("job counts must be >= 0")
+
+    @property
+    def total_jobs(self) -> int:
+        return self.n_a + self.n_b
+
+
+def _split_makespan(table: CostTable, l_star: int, n_a: int, n_b: int) -> float:
+    """Exact makespan of ``n_a`` jobs at l*-1 and ``n_b`` at l* (Johnson order)."""
+    stages = [table.stage_lengths(l_star - 1)] * n_a + [table.stage_lengths(l_star)] * n_b
+    order = johnson_order(stages)
+    return flow_shop_makespan([stages[i] for i in order])
+
+
+def split_by_paper_ratio(table: CostTable, l_star: int, n: int) -> TwoTypeSplit:
+    """Distribute ``n`` jobs across (l*-1, l*) by the paper's ratio rule.
+
+    With ratio ``rho = n_a : n_b`` per computation-heavy job, ``n`` jobs
+    take ``n_a = round(n * rho / (rho + 1))``. A crossing at position 0
+    (``f(0) >= g(0)``, e.g. extremely fast networks) or an exact tie
+    ``f(l*) == g(l*)`` puts every job on a single layer, matching the
+    Theorem 5.2 regime.
+    """
+    require_positive(n, "n")
+    if l_star == 0 or np.isclose(table.f[l_star], table.g[l_star]):
+        # exact crossing (Theorem 5.2 regime) or crossing at the first
+        # position: a single cut layer serves every job
+        makespan = flow_shop_makespan([table.stage_lengths(l_star)] * n)
+        return TwoTypeSplit(
+            position_a=l_star, position_b=l_star, n_a=0, n_b=n, makespan=makespan
+        )
+    rho = partition_ratio(table, l_star)
+    n_a = int(round(n * rho / (rho + 1)))
+    n_a = min(max(n_a, 0), n)
+    n_b = n - n_a
+    return TwoTypeSplit(
+        position_a=l_star - 1,
+        position_b=l_star,
+        n_a=n_a,
+        n_b=n_b,
+        makespan=_split_makespan(table, l_star, n_a, n_b),
+    )
+
+
+def split_exact(table: CostTable, l_star: int, n: int) -> TwoTypeSplit:
+    """Best integer split over the same two candidate layers.
+
+    Sweeps ``n_a`` from 0 to n evaluating the exact Johnson makespan —
+    O(n) evaluations, each O(n); still microseconds for the paper's
+    n = 100. The ratio rule is a closed-form approximation of this.
+    """
+    require_positive(n, "n")
+    if l_star == 0:
+        makespan = flow_shop_makespan([table.stage_lengths(0)] * n)
+        return TwoTypeSplit(0, 0, 0, n, makespan)
+    best: TwoTypeSplit | None = None
+    for n_a in range(n + 1):
+        makespan = _split_makespan(table, l_star, n_a, n - n_a)
+        if best is None or makespan < best.makespan - 1e-15:
+            best = TwoTypeSplit(l_star - 1, l_star, n_a, n - n_a, makespan)
+    assert best is not None
+    return best
+
+
+def split_best_pair(table: CostTable, n: int) -> TwoTypeSplit:
+    """Best two-type split over *all* position pairs (beyond the paper).
+
+    Theorem 5.3 restricts the two cut types to the adjacent pair
+    (l*-1, l*), which is only guaranteed sufficient when adjacent-layer
+    time differences are not drastic. On coarse clustered tables (e.g.
+    VGG-16, whose first block holds most of the computation) the optimal
+    mixture pairs non-adjacent layers. Because the fractional LP bound
+    has at most two non-zero weights, searching all O(k^2) pairs with an
+    exact integer split recovers the best two-type solution outright.
+    O(k^2 · n) Johnson evaluations — still milliseconds at the paper's
+    scales.
+    """
+    require_positive(n, "n")
+    best: TwoTypeSplit | None = None
+    for b in range(table.k):
+        stage_b = table.stage_lengths(b)
+        # homogeneous candidate
+        makespan = flow_shop_makespan([stage_b] * n)
+        if best is None or makespan < best.makespan - 1e-15:
+            best = TwoTypeSplit(b, b, 0, n, makespan)
+        for a in range(b):
+            stage_a = table.stage_lengths(a)
+            for n_a in range(1, n):
+                stages = [stage_a] * n_a + [stage_b] * (n - n_a)
+                order = johnson_order(stages)
+                makespan = flow_shop_makespan([stages[i] for i in order])
+                if makespan < best.makespan - 1e-15:
+                    best = TwoTypeSplit(a, b, n_a, n - n_a, makespan)
+    assert best is not None
+    return best
+
+
+def plans_for_split(table: CostTable, split: TwoTypeSplit) -> list[JobPlan]:
+    """Materialize JobPlans (communication-heavy jobs first, ids 0..n-1).
+
+    When the table was built from a graph, each plan also carries the
+    concrete mobile node set so the runtime prototype can execute it.
+    """
+    plans: list[JobPlan] = []
+    mobile_sets: dict[int, frozenset[str] | None] = {}
+    for index in range(split.total_jobs):
+        position = split.position_a if index < split.n_a else split.position_b
+        if position not in mobile_sets:
+            mobile_sets[position] = (
+                table.mobile_nodes_at(position) if table.graph is not None else None
+            )
+        f, g = table.stage_lengths(position)
+        plans.append(
+            JobPlan(
+                job_id=index,
+                model=table.model_name,
+                cut_position=position,
+                compute_time=f,
+                comm_time=g,
+                cloud_time=table.cloud_rest(position),
+                cut_label=table.positions[position],
+                mobile_nodes=mobile_sets[position],
+            )
+        )
+    return plans

@@ -1,0 +1,76 @@
+"""Plan data types shared by the partitioners, schedulers, and simulator.
+
+A :class:`JobPlan` is one inference job with a chosen partition: the
+scalars the flow-shop machinery needs (compute/communication/cloud stage
+lengths) plus enough provenance (cut position, mobile node set) for the
+simulator and the runtime prototype to execute it for real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.utils.validation import require_non_negative
+
+__all__ = ["JobPlan", "Schedule"]
+
+
+@dataclass(frozen=True)
+class JobPlan:
+    """One job's partition and the resulting stage lengths."""
+
+    job_id: int
+    model: str
+    cut_position: int                      # index into the CostTable, -1 if N/A
+    compute_time: float                    # f(P): mobile computation stage
+    comm_time: float                       # g(P): upload stage
+    cloud_time: float = 0.0                # remaining cloud computation
+    cut_label: str = ""
+    mobile_nodes: frozenset[str] | None = None  # for general-structure cuts
+    group: str = ""                        # free-form tag (e.g. Alg.3 path id)
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.compute_time, "compute_time")
+        require_non_negative(self.comm_time, "comm_time")
+        require_non_negative(self.cloud_time, "cloud_time")
+
+    @property
+    def is_communication_heavy(self) -> bool:
+        """Membership test for Johnson's set S1 (f < g)."""
+        return self.compute_time < self.comm_time
+
+    @property
+    def stages(self) -> tuple[float, float]:
+        return (self.compute_time, self.comm_time)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An ordered set of planned jobs plus the achieved makespan."""
+
+    jobs: tuple[JobPlan, ...]              # execution order on the mobile device
+    makespan: float
+    method: str
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.makespan, "makespan")
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def average_completion(self) -> float:
+        """Makespan per job — the paper's reported metric for 100-job runs."""
+        if not self.jobs:
+            return 0.0
+        return self.makespan / len(self.jobs)
+
+    def cut_histogram(self) -> dict[int, int]:
+        """How many jobs use each cut position (diagnoses the two-type split)."""
+        counts: dict[int, int] = {}
+        for job in self.jobs:
+            counts[job.cut_position] = counts.get(job.cut_position, 0) + 1
+        return dict(sorted(counts.items()))

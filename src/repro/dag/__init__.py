@@ -1,0 +1,62 @@
+"""DAG substrate: computation graphs, topology queries, cuts, transforms."""
+
+from repro.dag.cuts import (
+    Cut,
+    cut_transfer_bytes,
+    enumerate_frontier_cuts,
+    is_downward_closed,
+    make_cut,
+    prune_dominated,
+)
+from repro.dag.graph import CycleError, Dag, Edge
+from repro.dag.metrics import GraphMetrics, critical_path, graph_metrics, to_dot
+from repro.dag.topology import (
+    ParallelBlock,
+    PathExplosionError,
+    count_paths,
+    enumerate_paths,
+    is_series_parallel,
+    parallel_blocks,
+    separators,
+)
+from repro.dag.transform import (
+    IndependentPaths,
+    VirtualBlock,
+    cluster_line_cut_points,
+    collapse_clusterable_blocks,
+    expand_members,
+    linearize,
+    should_cluster_block,
+    to_independent_paths,
+)
+
+__all__ = [
+    "Cut",
+    "CycleError",
+    "Dag",
+    "Edge",
+    "GraphMetrics",
+    "IndependentPaths",
+    "ParallelBlock",
+    "PathExplosionError",
+    "VirtualBlock",
+    "cluster_line_cut_points",
+    "collapse_clusterable_blocks",
+    "count_paths",
+    "critical_path",
+    "cut_transfer_bytes",
+    "enumerate_frontier_cuts",
+    "enumerate_paths",
+    "expand_members",
+    "graph_metrics",
+    "is_downward_closed",
+    "is_series_parallel",
+    "linearize",
+    "make_cut",
+    "parallel_blocks",
+    "prune_dominated",
+    "separators",
+    "should_cluster_block",
+    "to_dot",
+    "to_independent_paths",
+]

@@ -1,0 +1,111 @@
+"""Graph metrics and DOT export for DNN computation DAGs.
+
+Inspection utilities used by the CLI, the examples, and tests:
+structural metrics (depth, width, branching), cost-weighted critical
+paths, and Graphviz DOT output for eyeballing partition decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.dag.graph import Dag
+
+__all__ = ["GraphMetrics", "graph_metrics", "critical_path", "to_dot"]
+
+
+@dataclass(frozen=True)
+class GraphMetrics:
+    """Structural summary of one DAG."""
+
+    nodes: int
+    edges: int
+    depth: int               # longest path, in nodes
+    max_width: int           # widest antichain by level
+    branch_nodes: int        # out-degree > 1
+    merge_nodes: int         # in-degree > 1
+    total_edge_bytes: float
+
+
+def graph_metrics(dag: Dag) -> GraphMetrics:
+    """Compute structural metrics in one topological pass."""
+    order = dag.topological_order()
+    level: dict[str, int] = {}
+    for v in order:
+        preds = dag.predecessors(v)
+        level[v] = 1 + max((level[p] for p in preds), default=0)
+    width: dict[int, int] = {}
+    for v in order:
+        width[level[v]] = width.get(level[v], 0) + 1
+    return GraphMetrics(
+        nodes=len(dag),
+        edges=dag.num_edges(),
+        depth=max(level.values(), default=0),
+        max_width=max(width.values(), default=0),
+        branch_nodes=sum(dag.out_degree(v) > 1 for v in order),
+        merge_nodes=sum(dag.in_degree(v) > 1 for v in order),
+        total_edge_bytes=sum(e.volume for e in dag.edges()),
+    )
+
+
+def critical_path(dag: Dag, cost: Callable[[str], float]) -> tuple[list[str], float]:
+    """Longest source→sink path under per-node costs.
+
+    For a serial device the critical path *is* the whole node set; this
+    is the intrinsic lower bound for a hypothetical fully parallel
+    device, useful for reasoning about how much intra-job parallelism a
+    DAG even offers.
+    """
+    order = dag.topological_order()
+    best: dict[str, float] = {}
+    parent: dict[str, str | None] = {}
+    for v in order:
+        preds = dag.predecessors(v)
+        if preds:
+            prev = max(preds, key=lambda p: best[p])
+            best[v] = best[prev] + cost(v)
+            parent[v] = prev
+        else:
+            best[v] = cost(v)
+            parent[v] = None
+    end = max(best, key=lambda v: best[v])
+    path = []
+    cursor: str | None = end
+    while cursor is not None:
+        path.append(cursor)
+        cursor = parent[cursor]
+    return path[::-1], best[end]
+
+
+def to_dot(
+    dag: Dag,
+    mobile_nodes: Iterable[str] | None = None,
+    name: str | None = None,
+) -> str:
+    """Graphviz DOT text; optional highlighting of a cut's mobile side.
+
+    Mobile-side nodes render filled; the crossing edges are bold and
+    labelled with their payload size — a quick visual check of where a
+    partition landed.
+    """
+    mobile = set(mobile_nodes or ())
+    unknown = mobile - set(dag.node_ids)
+    if unknown:
+        raise KeyError(f"unknown nodes in highlight set: {sorted(unknown)[:5]}")
+    lines = [f'digraph "{name or dag.name}" {{', "  rankdir=TB;",
+             "  node [shape=box, fontsize=10];"]
+    for v in dag.topological_order():
+        attrs = ' style=filled fillcolor="#cfe8ff"' if v in mobile else ""
+        lines.append(f'  "{v}"[label="{v}"{attrs}];')
+    for edge in dag.edges():
+        crossing = edge.tail in mobile and edge.head not in mobile
+        if crossing:
+            lines.append(
+                f'  "{edge.tail}" -> "{edge.head}"'
+                f' [penwidth=2.5, color="#d43d3d", label="{edge.volume / 1e3:.0f} KB"];'
+            )
+        else:
+            lines.append(f'  "{edge.tail}" -> "{edge.head}";')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Experiment harness: one module per table/figure of the paper's §6."""
+
+from repro.experiments import (
+    ascii_plot,
+    campaign,
+    fig4,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    noise,
+    table1,
+    workloads,
+)
+from repro.experiments.runner import EXPERIMENT_MODELS, SCHEMES, ExperimentEnv
+
+__all__ = [
+    "ascii_plot",
+    "campaign",
+    "EXPERIMENT_MODELS",
+    "ExperimentEnv",
+    "SCHEMES",
+    "fig4",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "noise",
+    "table1",
+    "workloads",
+]

@@ -1,0 +1,82 @@
+"""ASCII line plots so benchmark artifacts resemble the paper's figures.
+
+`pytest-benchmark` artifacts are plain text; these renderers draw the
+Fig.-13/Fig.-14 curves as terminal plots (one glyph per series, optional
+log-y like the paper's Fig. 13) in addition to the numeric tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["line_plot"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, log: bool) -> float:
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi == lo:
+        return 0.5
+    return (value - lo) / (hi - lo)
+
+
+def line_plot(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render curves as an ASCII scatter-line plot.
+
+    All series must be positive when ``log_y`` is set. X positions are
+    mapped by value (not index), so unevenly spaced sweeps render
+    faithfully.
+    """
+    if not xs or not series:
+        raise ValueError("need at least one x value and one series")
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise ValueError(f"series {name!r} length {len(values)} != {len(xs)}")
+        if log_y and any(v <= 0 for v in values):
+            raise ValueError(f"series {name!r} has non-positive values under log_y")
+
+    flat = [v for values in series.values() for v in values]
+    y_lo, y_hi = min(flat), max(flat)
+    x_lo, x_hi = min(xs), max(xs)
+    grid = [[" "] * width for _ in range(height)]
+
+    for glyph, (name, values) in zip(_GLYPHS, series.items()):
+        for x, y in zip(xs, values):
+            col = round(_scale(x, x_lo, x_hi, False) * (width - 1))
+            row = round((1 - _scale(y, y_lo, y_hi, log_y)) * (height - 1))
+            grid[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:g}"
+    bottom_label = f"{y_lo:g}"
+    margin = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}|")
+    lines.append(f"{' ' * margin}+{'-' * width}+")
+    lines.append(f"{' ' * margin} {x_lo:g}{'':>{max(width - 12, 1)}}{x_hi:g}")
+    legend = "  ".join(
+        f"{glyph}={name}" for glyph, name in zip(_GLYPHS, series.keys())
+    )
+    lines.append(f"{' ' * margin} {legend}" + ("  (log y)" if log_y else ""))
+    return "\n".join(lines)

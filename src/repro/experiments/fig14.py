@@ -1,0 +1,180 @@
+"""Fig. 14 — sensitivity to the computation-/communication-heavy job mix.
+
+Around the crossing layer l*, force ``n`` jobs into a two-type partition
+with a prescribed ratio between computation-heavy jobs (cut at l*) and
+communication-heavy jobs (cut at l*-1), and measure the makespan as the
+ratio sweeps. The paper shows (a) the optimal ratio is not 1, and
+(b) it shifts with bandwidth (9/10/11 Mbps): larger per-job surplus on
+the communication side pushes the optimum toward more computation-heavy
+jobs.
+
+The ratio convention follows the figure: x = (# computation-heavy) /
+(# communication-heavy); ResNet is swept over x in 2..9, GoogLeNet over
+x in 0.2..1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partition import binary_search_cut
+from repro.core.plans import JobPlan
+from repro.core.scheduling import schedule_jobs
+from repro.experiments.report import format_series
+from repro.experiments.runner import ExperimentEnv
+from repro.profiling.latency import CostTable
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "Fig14Curve",
+    "run",
+    "render",
+    "forced_ratio_makespan",
+    "analytic_optimal_ratio",
+    "select_bandwidths",
+]
+
+DEFAULT_BANDWIDTHS = [9.0, 10.0, 11.0]
+RESNET_RATIOS = [2, 3, 4, 5, 6, 7, 8, 9]
+GOOGLENET_RATIOS = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+
+
+@dataclass(frozen=True)
+class Fig14Curve:
+    model: str
+    ratios: tuple[float, ...]
+    makespan_s: dict[str, tuple[float, ...]]  # "9Mbps" -> series
+    optimal_ratio: dict[str, float]
+
+
+def forced_ratio_makespan(table: CostTable, ratio: float, n: int) -> float:
+    """Makespan of an n-job set with comp:comm count ratio forced to ``ratio``.
+
+    Computation-heavy jobs cut at l*, communication-heavy at l*-1; the
+    ratio fixes the counts (rounded), Johnson's rule orders them.
+    """
+    require_positive(ratio, "ratio")
+    require_positive(n, "n")
+    l_star = binary_search_cut(table)
+    if l_star == 0:
+        raise ValueError(
+            f"{table.model_name}: crossing at position 0 leaves no "
+            "communication-heavy cut to mix"
+        )
+    n_comp = round(n * ratio / (1.0 + ratio))
+    n_comp = min(max(n_comp, 1), n - 1)  # keep both types present
+    n_comm = n - n_comp
+    plans = [
+        JobPlan(
+            job_id=i,
+            model=table.model_name,
+            cut_position=l_star - 1 if i < n_comm else l_star,
+            compute_time=table.stage_lengths(l_star - 1 if i < n_comm else l_star)[0],
+            comm_time=table.stage_lengths(l_star - 1 if i < n_comm else l_star)[1],
+        )
+        for i in range(n)
+    ]
+    return schedule_jobs(plans).makespan
+
+
+def analytic_optimal_ratio(table: CostTable) -> float | None:
+    """The steady-state optimal comp/comm ratio at the crossing layer.
+
+    Balancing the pipeline — total computation equals total
+    communication — gives ``n_comp / n_comm = (g(l*-1) - f(l*-1)) /
+    (f(l*) - g(l*))``. Returns None when the crossing degenerates (no
+    communication-heavy layer or an exact tie).
+    """
+    l_star = binary_search_cut(table)
+    if l_star == 0:
+        return None
+    surplus_comm = float(table.g[l_star - 1] - table.f[l_star - 1])
+    surplus_comp = float(table.f[l_star] - table.g[l_star])
+    if surplus_comp <= 0 or surplus_comm <= 0:
+        return None
+    return surplus_comm / surplus_comp
+
+
+def select_bandwidths(
+    env: ExperimentEnv,
+    model: str,
+    ratios: list[float],
+    candidates_mbps: list[float] | None = None,
+    count: int = 3,
+) -> list[float]:
+    """Pick ``count`` bandwidths whose optimal ratio falls inside the sweep.
+
+    The paper plots 9/10/11 Mbps because, on *its* cost tables, the
+    interior optimum lands inside the swept ratio window; with different
+    device constants the interesting bandwidths move. This scans a
+    candidate grid and keeps the rates whose analytic optimum is within
+    [min(ratios), max(ratios)], falling back to the paper's 9/10/11 when
+    fewer than ``count`` qualify.
+    """
+    grid = candidates_mbps or [round(x * 0.5, 1) for x in range(2, 81)]
+    lo, hi = min(ratios), max(ratios)
+    chosen: list[float] = []
+    for bw in grid:
+        ratio = analytic_optimal_ratio(env.cost_table(model, float(bw)))
+        if ratio is not None and lo <= ratio <= hi:
+            chosen.append(float(bw))
+    if len(chosen) < count:
+        return DEFAULT_BANDWIDTHS
+    picks = [chosen[0], chosen[len(chosen) // 2], chosen[-1]]
+    return sorted(set(picks))[:count] if len(set(picks)) >= count else chosen[:count]
+
+
+def run(
+    env: ExperimentEnv | None = None,
+    bandwidths_mbps: list[float] | None = None,
+    n: int = 100,
+) -> list[Fig14Curve]:
+    env = env or ExperimentEnv()
+    curves: list[Fig14Curve] = []
+    for model, ratios in (("resnet18", RESNET_RATIOS), ("googlenet", GOOGLENET_RATIOS)):
+        bws = bandwidths_mbps or select_bandwidths(env, model, list(map(float, ratios)))
+        series: dict[str, tuple[float, ...]] = {}
+        optima: dict[str, float] = {}
+        for bw in bws:
+            table = env.cost_table(model, float(bw))
+            values = tuple(forced_ratio_makespan(table, r, n) for r in ratios)
+            label = f"{bw:g}Mbps"
+            series[label] = values
+            optima[label] = float(ratios[values.index(min(values))])
+        curves.append(
+            Fig14Curve(
+                model=model,
+                ratios=tuple(float(r) for r in ratios),
+                makespan_s=series,
+                optimal_ratio=optima,
+            )
+        )
+    return curves
+
+
+def render(curves: list[Fig14Curve]) -> str:
+    from repro.experiments.ascii_plot import line_plot
+
+    blocks = []
+    for curve in curves:
+        table = format_series(
+            x_label="ratio",
+            xs=[f"{r:g}" for r in curve.ratios],
+            series={k: [v for v in vs] for k, vs in curve.makespan_s.items()},
+            title=f"Fig. 14 — {curve.model}: makespan (s) vs comp/comm job ratio",
+            float_format="{:.3f}",
+        )
+        plot = line_plot(
+            curve.ratios,
+            {k: list(v) for k, v in curve.makespan_s.items()},
+            y_label="s",
+            height=12,
+            title=f"{curve.model} (interior optimum shifts with bandwidth)",
+        )
+        optima = ", ".join(f"{k}: ratio={v:g}" for k, v in curve.optimal_ratio.items())
+        blocks.append(table + "\n\n" + plot + f"\noptimal ratios -> {optima}")
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":
+    print(render(run()))

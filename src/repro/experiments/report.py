@@ -1,0 +1,63 @@
+"""Paper-style table and series formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "reduction_vs"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.1f}",
+) -> str:
+    """Fixed-width text table (floats formatted, everything else str())."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        rendered.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered)) if rendered else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    float_format: str = "{:.1f}",
+) -> str:
+    """A figure as a table: one x column plus one column per curve."""
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(values[i] for values in series.values())]
+        for i, x in enumerate(xs)
+    ]
+    return format_table(headers, rows, title=title, float_format=float_format)
+
+
+def reduction_vs(baseline: float, value: float) -> float:
+    """Latency reduction percentage relative to ``baseline`` (Table 1).
+
+    Clamped at 0: a scheme that loses to the baseline reduces nothing
+    (the paper reports 0 for those cells, e.g. PO on ResNet at 3G).
+    """
+    if baseline <= 0:
+        raise ValueError(f"baseline must be > 0, got {baseline}")
+    return max(0.0, (baseline - value) / baseline * 100.0)

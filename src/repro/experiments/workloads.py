@@ -1,0 +1,107 @@
+"""Workload generators: job sets beyond the homogeneous n-at-time-0 case.
+
+The paper's experiments use ``n`` identical jobs released together; the
+examples and extension benches also need forced mixes (Fig. 14),
+heterogeneous multi-model sets, and bursty arrival patterns. All
+generators return plain :class:`JobPlan` lists so any scheduler in
+:mod:`repro.core` can consume them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.partition import binary_search_cut
+from repro.core.plans import JobPlan
+from repro.profiling.latency import CostTable
+from repro.utils.rng import make_rng
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "uniform_jobs",
+    "two_type_jobs",
+    "ratio_mix",
+    "heterogeneous_mix",
+    "bursty_job_counts",
+]
+
+
+def _plan(table: CostTable, job_id: int, position: int) -> JobPlan:
+    f, g = table.stage_lengths(position)
+    return JobPlan(
+        job_id=job_id,
+        model=table.model_name,
+        cut_position=position,
+        compute_time=f,
+        comm_time=g,
+        cloud_time=table.cloud_rest(position),
+        cut_label=table.positions[position],
+        mobile_nodes=(
+            table.mobile_nodes_at(position) if table.graph is not None else None
+        ),
+    )
+
+
+def uniform_jobs(table: CostTable, position: int, n: int) -> list[JobPlan]:
+    """``n`` identical jobs all cut at ``position``."""
+    require_positive(n, "n")
+    if not 0 <= position < table.k:
+        raise IndexError(f"position must be in [0, {table.k})")
+    return [_plan(table, i, position) for i in range(n)]
+
+
+def two_type_jobs(
+    table: CostTable, position_a: int, position_b: int, n_a: int, n_b: int
+) -> list[JobPlan]:
+    """``n_a`` jobs at ``position_a`` followed by ``n_b`` at ``position_b``."""
+    if n_a < 0 or n_b < 0 or n_a + n_b == 0:
+        raise ValueError("need non-negative counts with at least one job")
+    plans = [_plan(table, i, position_a) for i in range(n_a)]
+    plans += [_plan(table, n_a + i, position_b) for i in range(n_b)]
+    return plans
+
+
+def ratio_mix(table: CostTable, ratio: float, n: int) -> list[JobPlan]:
+    """Fig.-14-style mix around the crossing layer.
+
+    ``ratio`` = (# computation-heavy at l*) / (# communication-heavy at
+    l*-1); both types kept non-empty.
+    """
+    require_positive(ratio, "ratio")
+    require_positive(n, "n")
+    l_star = binary_search_cut(table)
+    if l_star == 0:
+        raise ValueError(f"{table.model_name}: no communication-heavy layer to mix")
+    n_comp = min(max(round(n * ratio / (1 + ratio)), 1), n - 1)
+    return two_type_jobs(table, l_star - 1, l_star, n - n_comp, n_comp)
+
+
+def heterogeneous_mix(groups: list[tuple[CostTable, int, int]]) -> list[JobPlan]:
+    """Pool jobs from several models: (table, cut position, count) each."""
+    if not groups:
+        raise ValueError("need at least one group")
+    plans: list[JobPlan] = []
+    base = 0
+    for table, position, count in groups:
+        require_positive(count, "count")
+        for index in range(count):
+            plans.append(_plan(table, base + index, position))
+        base += count
+    return plans
+
+
+def bursty_job_counts(
+    bursts: int,
+    mean_jobs: float,
+    seed: int | np.random.Generator | None = None,
+    minimum: int = 1,
+) -> list[int]:
+    """Poisson-distributed per-burst job counts (multi-camera frame bursts).
+
+    Deterministic under a fixed seed; every burst has at least
+    ``minimum`` jobs so downstream schedulers never see an empty set.
+    """
+    require_positive(bursts, "bursts")
+    require_positive(mean_jobs, "mean_jobs")
+    rng = make_rng(seed)
+    return [max(int(v), minimum) for v in rng.poisson(mean_jobs, size=bursts)]

@@ -1,0 +1,109 @@
+"""Three-stage flow shop: dropping the "cloud time is negligible" assumption.
+
+The paper argues (Fig. 4a) that cloud computation is orders of magnitude
+below mobile computation and communication and schedules a 2-stage shop.
+This module keeps the third stage:
+
+* the exact 3-machine permutation recurrence,
+* Johnson's classical *3-machine special case*: when
+  ``min f >= max g`` or ``min c >= max g`` (the middle machine is
+  dominated), ordering by Johnson's rule on the surrogate 2-machine jobs
+  ``(f + g, g + c)`` is optimal,
+* a checker for whether the special case applies — for every cost table
+  in this repo the *cloud* machine is dominated by both others, which is
+  the quantitative footing under the paper's 2-stage reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.plans import JobPlan, Schedule
+
+__all__ = [
+    "flow_shop3_completion_times",
+    "flow_shop3_makespan",
+    "johnson_dominance_holds",
+    "johnson3_order",
+    "schedule_jobs_3stage",
+]
+
+Stage3 = tuple[float, float, float]
+
+
+def flow_shop3_completion_times(stages: Sequence[Stage3]) -> list[tuple[float, float, float]]:
+    """Per-job stage completion times of a 3-machine permutation schedule."""
+    out: list[tuple[float, float, float]] = []
+    c1 = c2 = c3 = 0.0
+    for f, g, c in stages:
+        if min(f, g, c) < 0:
+            raise ValueError(f"stage lengths must be >= 0, got ({f}, {g}, {c})")
+        c1 += f
+        c2 = max(c2, c1) + g
+        c3 = max(c3, c2) + c
+        out.append((c1, c2, c3))
+    return out
+
+
+def flow_shop3_makespan(stages: Sequence[Stage3]) -> float:
+    if not stages:
+        return 0.0
+    return flow_shop3_completion_times(stages)[-1][2]
+
+
+def johnson_dominance_holds(stages: Sequence[Stage3]) -> bool:
+    """True if machine 2 is dominated (Johnson's 3-machine condition)."""
+    if not stages:
+        return True
+    max_g = max(s[1] for s in stages)
+    min_f = min(s[0] for s in stages)
+    min_c = min(s[2] for s in stages)
+    return min_f >= max_g or min_c >= max_g
+
+
+def johnson3_order(stages: Sequence[Stage3]) -> list[int]:
+    """Johnson order on the surrogate jobs ``(f+g, g+c)``.
+
+    Optimal when :func:`johnson_dominance_holds`; otherwise a standard
+    heuristic (the 3-machine problem is NP-hard in general).
+    """
+    surrogate = [(f + g, g + c) for f, g, c in stages]
+    s1 = [i for i, (a, b) in enumerate(surrogate) if a < b]
+    s2 = [i for i, (a, b) in enumerate(surrogate) if a >= b]
+    s1.sort(key=lambda i: (surrogate[i][0], i))
+    s2.sort(key=lambda i: (-surrogate[i][1], i))
+    return s1 + s2
+
+
+def two_stage_approximation_gap(stages: Sequence[Stage3]) -> float:
+    """How much the paper's 2-stage reduction under-reports the makespan.
+
+    Returns ``makespan_3stage - makespan_2stage`` for the given order.
+    The gap is bounded by ``max c + total idle`` and in practice — cloud
+    times hundreds of times below the other stages — is under one cloud
+    layer's worth of time; the benchmark suite reports it per model.
+    """
+    if not stages:
+        return 0.0
+    three = flow_shop3_makespan(stages)
+    c1 = c2 = 0.0
+    for f, g, _ in stages:
+        c1 += f
+        c2 = max(c2, c1) + g
+    return three - c2
+
+
+def schedule_jobs_3stage(plans: Sequence[JobPlan]) -> Schedule:
+    """Order plans with the surrogate Johnson rule; exact 3-stage makespan."""
+    stages = [(p.compute_time, p.comm_time, p.cloud_time) for p in plans]
+    order = johnson3_order(stages)
+    ordered = tuple(plans[i] for i in order)
+    makespan = flow_shop3_makespan(
+        [(p.compute_time, p.comm_time, p.cloud_time) for p in ordered]
+    )
+    return Schedule(
+        jobs=ordered,
+        makespan=makespan,
+        method="johnson3",
+        metadata={"dominance": johnson_dominance_holds(stages)},
+    )

@@ -1,0 +1,114 @@
+"""Memory-constrained partitioning (beyond the paper).
+
+The paper assumes the mobile device can host any prefix of the DNN. On
+real devices the binding constraint is often RAM: the mobile side must
+hold its layers' weights plus the largest live activation. This module
+prices each cut position's mobile memory footprint and restricts the
+JPS machinery to the positions that fit a budget.
+
+Footprint of cutting after position ``i`` (float32):
+
+* weights of every mobile-side layer (they stay resident), plus
+* the peak activation: the largest single tensor materialized on the
+  mobile side (a simple single-buffer executor model).
+"""
+
+from __future__ import annotations
+
+
+from repro.core.joint import jps_line
+from repro.core.plans import Schedule
+from repro.nn.layers import numel
+from repro.nn.network import LayerNode
+from repro.profiling.latency import CostTable
+from repro.utils.units import FLOAT32_BYTES
+from repro.utils.validation import require_positive
+
+__all__ = ["mobile_memory_bytes", "feasible_positions", "restrict_table",
+           "jps_memory_constrained"]
+
+
+def _layers_at(table: CostTable, position: int) -> list[LayerNode]:
+    if table.graph is None:
+        raise ValueError(
+            f"{table.model_name}: memory accounting needs a graph-backed table"
+        )
+    from repro.profiling.latency import _payload_layers
+
+    layers: list[LayerNode] = []
+    for block_id in table.positions[: position + 1]:
+        layers.extend(_payload_layers(table.graph.payload(block_id)))
+    return layers
+
+
+def mobile_memory_bytes(table: CostTable, position: int) -> float:
+    """Weights + peak activation of the mobile side of cut ``position``."""
+    layers = _layers_at(table, position)
+    weights = sum(layer.params for layer in layers) * FLOAT32_BYTES
+    peak_activation = max(
+        (numel(layer.output_shape) * FLOAT32_BYTES for layer in layers),
+        default=0.0,
+    )
+    return weights + peak_activation
+
+
+def feasible_positions(table: CostTable, budget_bytes: float) -> list[int]:
+    """Cut positions whose mobile footprint fits the budget.
+
+    The footprint grows with the position (weights accumulate), so the
+    feasible set is a prefix of the position range. Position 0 (the
+    Input pseudo-layer: no weights, just the input frame) is always
+    feasible for any budget that can hold the input at all.
+    """
+    require_positive(budget_bytes, "budget_bytes")
+    feasible = []
+    for position in range(table.k):
+        if mobile_memory_bytes(table, position) <= budget_bytes:
+            feasible.append(position)
+        else:
+            break  # monotone: later positions only add weights
+    return feasible
+
+
+def restrict_table(table: CostTable, positions: list[int]) -> CostTable:
+    """A cost table restricted to the given positions (order preserved).
+
+    The final surviving position keeps its true ``g`` — under a memory
+    budget the device may simply be *unable* to run everything locally,
+    so the restricted table legitimately loses the g=0 endpoint.
+    """
+    if not positions:
+        raise ValueError("no feasible cut positions under this budget")
+    return CostTable(
+        model_name=f"{table.model_name}/restricted",
+        positions=tuple(table.positions[i] for i in positions),
+        f=table.f[positions],
+        g=table.g[positions],
+        cloud=table.cloud[positions],
+        graph=None,
+    )
+
+
+def jps_memory_constrained(
+    table: CostTable, n: int, budget_bytes: float
+) -> Schedule:
+    """JPS over the memory-feasible cut positions only.
+
+    Uses the all-pairs split: the feasible table can be short and
+    irregular, so the adjacent-pair restriction is not reliable there.
+    Raises if no position fits (the device cannot even hold the input).
+    """
+    feasible = feasible_positions(table, budget_bytes)
+    restricted = restrict_table(table, feasible)
+    schedule = jps_line(restricted, n, split="pair")
+    return Schedule(
+        jobs=schedule.jobs,
+        makespan=schedule.makespan,
+        method="JPS-mem",
+        metadata={
+            **schedule.metadata,
+            "budget_bytes": budget_bytes,
+            "feasible_positions": len(feasible),
+            "total_positions": table.k,
+        },
+    )

@@ -1,0 +1,161 @@
+"""Online scheduling: jobs that arrive over time (beyond the paper).
+
+§3.1 releases all ``n`` jobs at time 0 — the multi-camera burst case.
+Video pipelines instead deliver frame bursts at a fixed rate. This
+module extends the flow-shop machinery with release times:
+
+* :func:`flow_shop_makespan_with_releases` — exact completion times
+  when a job's computation may not start before its release.
+* :class:`OnlineJpsScheduler` — a dispatching policy: whenever the
+  mobile CPU goes idle, (re-)apply Johnson's rule to the jobs that have
+  arrived and not yet started. Partitions come from the JPS two-type
+  split computed once per cost table (cut decisions do not depend on
+  arrival times; the order does).
+* :func:`clairvoyant_makespan` — the offline bound: Johnson's rule over
+  all jobs with releases ignored, a lower bound no online policy beats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.partition import binary_search_cut, split_exact
+from repro.core.plans import JobPlan
+from repro.core.scheduling import johnson_order
+from repro.profiling.latency import CostTable
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = [
+    "ReleasedJob",
+    "flow_shop_makespan_with_releases",
+    "clairvoyant_makespan",
+    "offline_lower_bound",
+    "OnlineJpsScheduler",
+]
+
+
+@dataclass(frozen=True)
+class ReleasedJob:
+    """A planned job plus its arrival time."""
+
+    plan: JobPlan
+    release: float
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.release, "release")
+
+
+def flow_shop_makespan_with_releases(jobs: list[ReleasedJob]) -> float:
+    """Exact 2-stage makespan executing ``jobs`` in the given order.
+
+    ``C1[j] = max(C1[j-1], r_j) + f_j`` — the CPU additionally waits for
+    the job to exist; the uplink recurrence is unchanged.
+    """
+    c1 = c2 = 0.0
+    for job in jobs:
+        f, g = job.plan.stages
+        c1 = max(c1, job.release) + f
+        c2 = max(c2, c1) + g
+    return c2
+
+
+def clairvoyant_makespan(jobs: list[ReleasedJob]) -> float:
+    """Johnson order over all jobs, releases still enforced.
+
+    A *reference heuristic*, not a bound in either direction: the
+    release-time flow shop is NP-hard and a fixed Johnson order can idle
+    the CPU waiting for a late-arriving communication-heavy job — cases
+    where the online dispatcher legitimately does better. For a true
+    lower bound use :func:`offline_lower_bound`.
+    """
+    stages = [j.plan.stages for j in jobs]
+    order = johnson_order(stages)
+    return flow_shop_makespan_with_releases([jobs[i] for i in order])
+
+
+def offline_lower_bound(jobs: list[ReleasedJob]) -> float:
+    """A valid lower bound for any policy: max of
+
+    * the Johnson makespan with all releases relaxed to 0 (optimal for
+      the relaxation), and
+    * for each job, its release plus its own two stages (it must fully
+      run after it arrives).
+    """
+    from repro.core.scheduling import flow_shop_makespan
+
+    stages = [j.plan.stages for j in jobs]
+    order = johnson_order(stages)
+    relaxed = flow_shop_makespan([stages[i] for i in order])
+    per_job = max((j.release + j.plan.compute_time + j.plan.comm_time for j in jobs),
+                  default=0.0)
+    return max(relaxed, per_job)
+
+
+@dataclass
+class OnlineJpsScheduler:
+    """Dispatch arrived jobs with Johnson's rule, cuts fixed by JPS.
+
+    The cut *mix* is precomputed from the cost table (two-type split for
+    a nominal burst size); each arriving job takes the next cut from the
+    mix in round-robin order, and the dispatcher picks, whenever the CPU
+    frees up, the Johnson-best among the arrived-but-unstarted jobs.
+    """
+
+    table: CostTable
+    nominal_burst: int = 8
+    _mix: list[int] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.nominal_burst, "nominal_burst")
+        l_star = binary_search_cut(self.table)
+        if l_star == 0:
+            self._mix = [0]
+        else:
+            split = split_exact(self.table, l_star, self.nominal_burst)
+            self._mix = [split.position_a] * split.n_a + [split.position_b] * split.n_b
+            if not self._mix:
+                self._mix = [l_star]
+
+    def assign_cuts(self, releases: list[float], model: str = "online") -> list[ReleasedJob]:
+        """Round-robin the precomputed cut mix over arriving jobs."""
+        jobs = []
+        for index, release in enumerate(sorted(releases)):
+            position = self._mix[index % len(self._mix)]
+            f, g = self.table.stage_lengths(position)
+            jobs.append(
+                ReleasedJob(
+                    plan=JobPlan(
+                        job_id=index, model=model, cut_position=position,
+                        compute_time=f, comm_time=g,
+                        cut_label=self.table.positions[position],
+                    ),
+                    release=release,
+                )
+            )
+        return jobs
+
+    def dispatch(self, jobs: list[ReleasedJob]) -> tuple[list[ReleasedJob], float]:
+        """Simulate the online policy; returns (execution order, makespan).
+
+        Event loop on CPU availability: among arrived, unstarted jobs
+        pick the Johnson-preferred one; if none has arrived, idle until
+        the next release.
+        """
+        pending = sorted(jobs, key=lambda j: j.release)
+        started: list[ReleasedJob] = []
+        c1 = c2 = 0.0
+        remaining = list(range(len(pending)))
+        while remaining:
+            arrived = [i for i in remaining if pending[i].release <= c1 + 1e-15]
+            if not arrived:
+                c1 = min(pending[i].release for i in remaining)
+                continue
+            stages = [pending[i].plan.stages for i in arrived]
+            pick = arrived[johnson_order(stages)[0]]
+            job = pending[pick]
+            f, g = job.plan.stages
+            c1 = max(c1, job.release) + f
+            c2 = max(c2, c1) + g
+            started.append(job)
+            remaining.remove(pick)
+        return started, c2

@@ -1,0 +1,23 @@
+"""Network substrate: bandwidth presets, traffic shaping, channel model."""
+
+from repro.net.bandwidth import (
+    FOUR_G,
+    PRESETS,
+    THREE_G,
+    WIFI,
+    BandwidthPreset,
+    TrafficShaper,
+)
+from repro.net.channel import Channel
+from repro.net.timeline import BandwidthTimeline
+
+__all__ = [
+    "BandwidthPreset",
+    "BandwidthTimeline",
+    "Channel",
+    "FOUR_G",
+    "PRESETS",
+    "THREE_G",
+    "TrafficShaper",
+    "WIFI",
+]

@@ -1,0 +1,108 @@
+"""Time-varying bandwidth: piecewise-constant uplink rate traces.
+
+The paper shapes a *fixed* rate per trial (wondershaper). Real wireless
+links fluctuate during a burst. A :class:`BandwidthTimeline` is a
+piecewise-constant rate function `b(t)`; the time to move `B` payload
+bits starting at `t0` solves
+
+    ∫_{t0}^{t_end} b(t) dt = B
+
+computed segment by segment in closed form. The discrete-event pipeline
+consumes it through start-time-dependent transfer durations
+(:func:`repro.sim.pipeline.simulate_schedule_on_timeline`).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.utils.units import BITS_PER_BYTE
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["BandwidthTimeline"]
+
+
+@dataclass(frozen=True)
+class BandwidthTimeline:
+    """Piecewise-constant uplink rate: ``rates[i]`` holds on
+    ``[times[i], times[i+1])``; the last rate extends forever.
+
+    ``times[0]`` must be 0.0 and times strictly increasing.
+    """
+
+    times: tuple[float, ...]
+    rates_bps: tuple[float, ...]
+    setup_latency: float = 0.0
+    header_bytes: float = 0.0
+    protocol_overhead: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.times or self.times[0] != 0.0:
+            raise ValueError("times must start at 0.0")
+        if len(self.times) != len(self.rates_bps):
+            raise ValueError("times and rates must have equal lengths")
+        for a, b in zip(self.times, self.times[1:]):
+            if b <= a:
+                raise ValueError("times must be strictly increasing")
+        for rate in self.rates_bps:
+            require_positive(rate, "rate")
+        require_non_negative(self.setup_latency, "setup_latency")
+        require_non_negative(self.header_bytes, "header_bytes")
+        require_positive(self.protocol_overhead, "protocol_overhead")
+
+    @classmethod
+    def constant(cls, rate_bps: float, **kwargs) -> "BandwidthTimeline":
+        return cls(times=(0.0,), rates_bps=(rate_bps,), **kwargs)
+
+    @classmethod
+    def steps_mbps(cls, steps: list[tuple[float, float]], **kwargs) -> "BandwidthTimeline":
+        """Build from ``[(start_time_s, rate_mbps), ...]``."""
+        if not steps:
+            raise ValueError("need at least one step")
+        times = tuple(t for t, _ in steps)
+        rates = tuple(r * 1e6 for _, r in steps)
+        return cls(times=times, rates_bps=rates, **kwargs)
+
+    # ------------------------------------------------------------------
+    def rate_at(self, t: float) -> float:
+        """Instantaneous rate in bits/s at time ``t`` (>= 0)."""
+        require_non_negative(t, "t")
+        index = bisect_right(self.times, t) - 1
+        return self.rates_bps[index]
+
+    def transfer_end(self, start: float, payload_bytes: float) -> float:
+        """Completion time of a transfer of ``payload_bytes`` starting at
+        ``start`` (absolute simulation time). Zero payloads are free."""
+        require_non_negative(start, "start")
+        require_non_negative(payload_bytes, "payload_bytes")
+        if payload_bytes == 0:
+            return start
+        remaining_bits = (
+            (payload_bytes + self.header_bytes) * self.protocol_overhead * BITS_PER_BYTE
+        )
+        t = start + self.setup_latency
+        index = bisect_right(self.times, t) - 1
+        while True:
+            rate = self.rates_bps[index]
+            segment_end = (
+                self.times[index + 1] if index + 1 < len(self.times) else float("inf")
+            )
+            window = segment_end - t
+            bits_in_window = rate * window
+            if bits_in_window >= remaining_bits:
+                return t + remaining_bits / rate
+            remaining_bits -= bits_in_window
+            t = segment_end
+            index += 1
+
+    def uplink_time(self, payload_bytes: float) -> float:
+        """Channel-compatible view: transfer duration starting at t = 0.
+
+        Lets planners that expect a :class:`repro.net.Channel` price
+        against the *initial* rate — the natural "plan with what you can
+        measure now" behaviour.
+        """
+        if payload_bytes == 0:
+            return 0.0
+        return self.transfer_end(0.0, payload_bytes)

@@ -1,0 +1,6 @@
+"""DNN substrate: analytic layers, network builder, model zoo."""
+
+from repro.nn import layers, zoo
+from repro.nn.network import LayerNode, Network, NetworkBuilder
+
+__all__ = ["layers", "zoo", "LayerNode", "Network", "NetworkBuilder"]

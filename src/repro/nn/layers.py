@@ -1,0 +1,472 @@
+"""Analytic DNN layer models: output shapes, FLOP counts, parameters.
+
+The partition/scheduling algorithms never run real inference — they only
+need, per layer, (a) how much computation it costs on a device and
+(b) how many bytes its output tensor occupies. Both derive from shape
+arithmetic identical to the frameworks': a ``Conv2d`` here produces the
+same output shape and multiply-accumulate count as ``torch.nn.Conv2d``.
+
+Conventions
+-----------
+* Shapes are channel-first tuples without the batch dimension:
+  ``(C, H, W)`` for feature maps, ``(N,)`` after flattening. Batch size
+  is always 1 — the paper schedules single-image inference jobs.
+* FLOPs count one multiply and one add as 2 FLOPs; a conv layer with
+  ``M`` output elements and ``K`` multiply-accumulates per element costs
+  ``2*M*K`` (+ ``M`` if biased).
+* ``kind`` is a short stable string used by the device cost model and
+  the latency regression as the layer-type feature.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "Shape",
+    "ShapeError",
+    "Layer",
+    "Input",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool",
+    "Linear",
+    "ReLU",
+    "BatchNorm2d",
+    "LRN",
+    "Dropout",
+    "Flatten",
+    "Softmax",
+    "Concat",
+    "Add",
+    "OutputCollector",
+    "numel",
+]
+
+Shape = tuple[int, ...]
+
+
+class ShapeError(ValueError):
+    """Raised when a layer receives an incompatible input shape."""
+
+
+def numel(shape: Shape) -> int:
+    """Number of elements in a tensor of ``shape``."""
+    return math.prod(shape)
+
+
+def _require_chw(shape: Shape, layer: str) -> tuple[int, int, int]:
+    if len(shape) != 3 or any(d <= 0 for d in shape):
+        raise ShapeError(f"{layer} expects a (C, H, W) input, got {shape}")
+    return shape  # type: ignore[return-value]
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"kernel {kernel}/stride {stride}/padding {padding} collapses size {size}"
+        )
+    return out
+
+
+def _pair(value: int | tuple[int, int], name: str) -> tuple[int, int]:
+    """Normalize a square-or-rectangular size spec to (height, width)."""
+    if isinstance(value, int):
+        return (value, value)
+    if (
+        isinstance(value, tuple)
+        and len(value) == 2
+        and all(isinstance(v, int) for v in value)
+    ):
+        return value
+    raise ShapeError(f"{name} must be an int or an (h, w) pair, got {value!r}")
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Base class: a pure shape/FLOP transformer.
+
+    Subclasses override :meth:`output_shape`, :meth:`flops` and
+    :meth:`param_count`. ``arity`` > 1 marks merge layers (Concat, Add)
+    that take multiple input tensors.
+    """
+
+    @property
+    def kind(self) -> str:
+        """Layer-type tag used as the cost-model feature."""
+        return type(self).__name__.lower()
+
+    @property
+    def arity(self) -> int:
+        """How many input tensors the layer consumes (-1 = variadic)."""
+        return 1
+
+    def output_shape(self, *inputs: Shape) -> Shape:
+        raise NotImplementedError
+
+    def flops(self, *inputs: Shape) -> float:
+        raise NotImplementedError
+
+    def param_count(self, *inputs: Shape) -> int:
+        """Learnable parameters (weights held on whichever device runs it)."""
+        return 0
+
+    def _one(self, inputs: Sequence[Shape]) -> Shape:
+        if len(inputs) != 1:
+            raise ShapeError(f"{self.kind} expects exactly 1 input, got {len(inputs)}")
+        return inputs[0]
+
+
+@dataclass(frozen=True)
+class Input(Layer):
+    """Pseudo-layer marking the network input (zero cost).
+
+    Cutting *after* the Input node is the cloud-only scheme: nothing is
+    computed locally and the raw input tensor is uploaded.
+    """
+
+    shape: Shape
+
+    def __post_init__(self) -> None:
+        if not self.shape or any(d <= 0 for d in self.shape):
+            raise ShapeError(f"invalid input shape {self.shape}")
+
+    @property
+    def arity(self) -> int:
+        return 0
+
+    def output_shape(self, *inputs: Shape) -> Shape:
+        if inputs:
+            raise ShapeError("Input takes no upstream tensors")
+        return self.shape
+
+    def flops(self, *inputs: Shape) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class Conv2d(Layer):
+    """Standard 2-D convolution.
+
+    ``kernel`` may be an int (square) or an ``(kh, kw)`` pair — the
+    asymmetric 1x7 / 7x1 factorized convolutions of Inception-v4 need
+    rectangular kernels. ``padding`` may be an int, an ``(ph, pw)``
+    pair, or ``"same"`` (stride-1 shape-preserving, odd kernels only).
+    """
+
+    out_channels: int
+    kernel: int | tuple[int, int]
+    stride: int = 1
+    padding: int | tuple[int, int] | str = 0
+    bias: bool = True
+
+    def __post_init__(self) -> None:
+        kh, kw = _pair(self.kernel, "kernel")
+        if self.out_channels <= 0 or kh <= 0 or kw <= 0 or self.stride <= 0:
+            raise ShapeError(f"invalid conv config {self}")
+        if isinstance(self.padding, str):
+            if self.padding != "same":
+                raise ShapeError(
+                    f"padding must be int/(h, w)/'same', got {self.padding!r}"
+                )
+        else:
+            _pair(self.padding, "padding")
+
+    def _kernel(self) -> tuple[int, int]:
+        return _pair(self.kernel, "kernel")
+
+    def _padding(self) -> tuple[int, int]:
+        kh, kw = self._kernel()
+        if self.padding == "same":
+            if kh % 2 == 0 or kw % 2 == 0:
+                raise ShapeError("'same' padding requires an odd kernel")
+            return ((kh - 1) // 2, (kw - 1) // 2)
+        return _pair(self.padding, "padding")  # type: ignore[arg-type]
+
+    def output_shape(self, *inputs: Shape) -> Shape:
+        c, h, w = _require_chw(self._one(inputs), "Conv2d")
+        kh, kw = self._kernel()
+        ph, pw = self._padding()
+        return (
+            self.out_channels,
+            _conv_out(h, kh, self.stride, ph),
+            _conv_out(w, kw, self.stride, pw),
+        )
+
+    def flops(self, *inputs: Shape) -> float:
+        c_in, _, _ = _require_chw(self._one(inputs), "Conv2d")
+        kh, kw = self._kernel()
+        out = self.output_shape(*inputs)
+        macs_per_element = c_in * kh * kw
+        total = 2.0 * numel(out) * macs_per_element
+        if self.bias:
+            total += numel(out)
+        return total
+
+    def param_count(self, *inputs: Shape) -> int:
+        c_in, _, _ = _require_chw(self._one(inputs), "Conv2d")
+        kh, kw = self._kernel()
+        weights = self.out_channels * c_in * kh * kw
+        return weights + (self.out_channels if self.bias else 0)
+
+
+@dataclass(frozen=True)
+class DepthwiseConv2d(Layer):
+    """Depthwise convolution (one filter per input channel, MobileNet)."""
+
+    kernel: int
+    stride: int = 1
+    padding: int | str = "same"
+    bias: bool = True
+
+    def _padding(self) -> int:
+        if self.padding == "same":
+            if self.kernel % 2 == 0:
+                raise ShapeError("'same' padding requires an odd kernel")
+            return (self.kernel - 1) // 2
+        return int(self.padding)
+
+    def output_shape(self, *inputs: Shape) -> Shape:
+        c, h, w = _require_chw(self._one(inputs), "DepthwiseConv2d")
+        p = self._padding()
+        return (
+            c,
+            _conv_out(h, self.kernel, self.stride, p),
+            _conv_out(w, self.kernel, self.stride, p),
+        )
+
+    def flops(self, *inputs: Shape) -> float:
+        out = self.output_shape(*inputs)
+        total = 2.0 * numel(out) * self.kernel * self.kernel
+        if self.bias:
+            total += numel(out)
+        return total
+
+    def param_count(self, *inputs: Shape) -> int:
+        c, _, _ = _require_chw(self._one(inputs), "DepthwiseConv2d")
+        return c * self.kernel * self.kernel + (c if self.bias else 0)
+
+
+@dataclass(frozen=True)
+class _Pool2d(Layer):
+    kernel: int
+    stride: int | None = None
+    padding: int = 0
+
+    def _stride(self) -> int:
+        return self.stride if self.stride is not None else self.kernel
+
+    def output_shape(self, *inputs: Shape) -> Shape:
+        c, h, w = _require_chw(self._one(inputs), self.kind)
+        s = self._stride()
+        return (
+            c,
+            _conv_out(h, self.kernel, s, self.padding),
+            _conv_out(w, self.kernel, s, self.padding),
+        )
+
+    def flops(self, *inputs: Shape) -> float:
+        # one comparison/add per window element per output element
+        return float(numel(self.output_shape(*inputs)) * self.kernel * self.kernel)
+
+
+@dataclass(frozen=True)
+class MaxPool2d(_Pool2d):
+    """Max pooling; shrinks spatial dims, the paper's volume-reducer."""
+
+
+@dataclass(frozen=True)
+class AvgPool2d(_Pool2d):
+    """Average pooling."""
+
+
+@dataclass(frozen=True)
+class GlobalAvgPool(Layer):
+    """Average over all spatial positions → ``(C,)`` vector."""
+
+    def output_shape(self, *inputs: Shape) -> Shape:
+        c, _, _ = _require_chw(self._one(inputs), "GlobalAvgPool")
+        return (c,)
+
+    def flops(self, *inputs: Shape) -> float:
+        return float(numel(self._one(inputs)))
+
+
+@dataclass(frozen=True)
+class Linear(Layer):
+    """Fully-connected layer on a flattened input."""
+
+    out_features: int
+    bias: bool = True
+
+    def __post_init__(self) -> None:
+        if self.out_features <= 0:
+            raise ShapeError(f"out_features must be > 0, got {self.out_features}")
+
+    def output_shape(self, *inputs: Shape) -> Shape:
+        shape = self._one(inputs)
+        if len(shape) != 1:
+            raise ShapeError(f"Linear expects a flat (N,) input, got {shape}")
+        return (self.out_features,)
+
+    def flops(self, *inputs: Shape) -> float:
+        (in_features,) = self._one(inputs)
+        total = 2.0 * in_features * self.out_features
+        if self.bias:
+            total += self.out_features
+        return total
+
+    def param_count(self, *inputs: Shape) -> int:
+        (in_features,) = self._one(inputs)
+        return in_features * self.out_features + (self.out_features if self.bias else 0)
+
+
+@dataclass(frozen=True)
+class _Elementwise(Layer):
+    """Shape-preserving unary layer costing ``ops_per_element`` per entry."""
+
+    @property
+    def ops_per_element(self) -> float:
+        return 1.0
+
+    def output_shape(self, *inputs: Shape) -> Shape:
+        return self._one(inputs)
+
+    def flops(self, *inputs: Shape) -> float:
+        return self.ops_per_element * numel(self._one(inputs))
+
+
+@dataclass(frozen=True)
+class ReLU(_Elementwise):
+    """Rectified linear activation (``max_value`` models ReLU6)."""
+
+    max_value: float | None = None
+
+
+@dataclass(frozen=True)
+class BatchNorm2d(_Elementwise):
+    """Inference-time batch norm: one scale and one shift per element."""
+
+    @property
+    def ops_per_element(self) -> float:
+        return 2.0
+
+    def param_count(self, *inputs: Shape) -> int:
+        shape = self._one(inputs)
+        c = shape[0]
+        return 4 * c  # gamma, beta, running mean, running var
+
+
+@dataclass(frozen=True)
+class LRN(_Elementwise):
+    """Local response normalization (AlexNet/GoogLeNet era)."""
+
+    local_size: int = 5
+
+    @property
+    def ops_per_element(self) -> float:
+        # square, windowed sum, scale, pow, divide ~= local_size + 4 ops
+        return float(self.local_size + 4)
+
+
+@dataclass(frozen=True)
+class Dropout(_Elementwise):
+    """No-op at inference time; kept so zoo graphs mirror the originals."""
+
+    rate: float = 0.5
+
+    @property
+    def ops_per_element(self) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class Softmax(_Elementwise):
+    """Softmax over the feature vector (exp + sum + divide)."""
+
+    @property
+    def ops_per_element(self) -> float:
+        return 5.0
+
+
+@dataclass(frozen=True)
+class Flatten(Layer):
+    """Reshape to a flat vector; free."""
+
+    def output_shape(self, *inputs: Shape) -> Shape:
+        return (numel(self._one(inputs)),)
+
+    def flops(self, *inputs: Shape) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class Concat(Layer):
+    """Channel-wise concatenation of feature maps (Inception merge)."""
+
+    @property
+    def arity(self) -> int:
+        return -1
+
+    def output_shape(self, *inputs: Shape) -> Shape:
+        if len(inputs) < 2:
+            raise ShapeError(f"Concat expects >= 2 inputs, got {len(inputs)}")
+        shapes = [_require_chw(s, "Concat") for s in inputs]
+        spatial = {s[1:] for s in shapes}
+        if len(spatial) != 1:
+            raise ShapeError(f"Concat inputs disagree on spatial dims: {sorted(spatial)}")
+        h, w = shapes[0][1], shapes[0][2]
+        return (sum(s[0] for s in shapes), h, w)
+
+    def flops(self, *inputs: Shape) -> float:
+        return 0.0  # memory movement only; charged via the device's byte cost
+
+
+@dataclass(frozen=True)
+class Add(Layer):
+    """Element-wise sum (residual merge)."""
+
+    @property
+    def arity(self) -> int:
+        return -1
+
+    def output_shape(self, *inputs: Shape) -> Shape:
+        if len(inputs) < 2:
+            raise ShapeError(f"Add expects >= 2 inputs, got {len(inputs)}")
+        distinct = set(inputs)
+        if len(distinct) != 1:
+            raise ShapeError(f"Add inputs must share a shape, got {sorted(distinct)}")
+        return inputs[0]
+
+    def flops(self, *inputs: Shape) -> float:
+        return float((len(inputs) - 1) * numel(inputs[0]))
+
+
+@dataclass(frozen=True)
+class OutputCollector(Layer):
+    """Virtual sink joining multiple task heads (tree-structure DNNs).
+
+    Multi-task networks (one backbone, several output heads) have
+    several sinks; the topology machinery assumes one. This zero-cost
+    collector re-joins the heads. Its *incoming edges must carry zero
+    volume* when wired by :meth:`NetworkBuilder.collect_outputs` —
+    results are consumed on whichever side produced them, so finishing a
+    head locally never charges an upload.
+    """
+
+    @property
+    def arity(self) -> int:
+        return -1
+
+    def output_shape(self, *inputs: Shape) -> Shape:
+        if len(inputs) < 2:
+            raise ShapeError(f"OutputCollector expects >= 2 heads, got {len(inputs)}")
+        return (len(inputs),)  # one slot per collected result
+
+    def flops(self, *inputs: Shape) -> float:
+        return 0.0

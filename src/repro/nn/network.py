@@ -1,0 +1,220 @@
+"""Network builder: wire layers into a shape-checked computation DAG.
+
+The builder propagates shapes as layers are added, so every structural
+mistake (mismatched Concat branches, pooling a flattened tensor, ...)
+fails at construction time with the offending layer named. The result is
+a :class:`Network`: a :class:`repro.dag.Dag` whose node payloads are
+:class:`LayerNode` records carrying everything the cost models need —
+FLOPs, parameter counts, and output tensor bytes (which become the edge
+volumes the partition algorithms cut).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.dag.graph import Dag
+from repro.nn.layers import Input, Layer, OutputCollector, Shape, ShapeError, numel
+from repro.utils.units import FLOAT32_BYTES
+
+__all__ = ["LayerNode", "Network", "NetworkBuilder"]
+
+
+@dataclass(frozen=True)
+class LayerNode:
+    """A placed layer: the static facts cost models consume."""
+
+    name: str
+    layer: Layer
+    input_shapes: tuple[Shape, ...]
+    output_shape: Shape
+    flops: float
+    params: int
+    output_bytes: float
+
+    @property
+    def kind(self) -> str:
+        return self.layer.kind
+
+
+@dataclass(frozen=True)
+class Network:
+    """An immutable, validated DNN computation graph."""
+
+    name: str
+    graph: Dag
+    input_id: str
+    output_id: str
+
+    @property
+    def input_shape(self) -> Shape:
+        return self.node(self.input_id).output_shape
+
+    @property
+    def output_shape(self) -> Shape:
+        return self.node(self.output_id).output_shape
+
+    @property
+    def input_bytes(self) -> float:
+        """Upload size of the raw input (the cloud-only transfer)."""
+        return self.node(self.input_id).output_bytes
+
+    def node(self, node_id: str) -> LayerNode:
+        payload = self.graph.payload(node_id)
+        if not isinstance(payload, LayerNode):
+            raise TypeError(f"node {node_id!r} does not carry a LayerNode")
+        return payload
+
+    def nodes(self) -> list[LayerNode]:
+        """All layer nodes in topological order."""
+        return [self.node(v) for v in self.graph.topological_order()]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.graph)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(n.flops for n in self.nodes())
+
+    @property
+    def total_params(self) -> int:
+        return sum(n.params for n in self.nodes())
+
+    def is_line(self) -> bool:
+        return self.graph.is_line()
+
+    def summary(self) -> str:
+        """Human-readable per-layer table (name, kind, shape, MFLOPs, KB)."""
+        lines = [f"{self.name}: {self.num_layers} layers, "
+                 f"{self.total_flops / 1e9:.3f} GFLOPs, {self.total_params / 1e6:.2f} M params"]
+        for node in self.nodes():
+            lines.append(
+                f"  {node.name:<24s} {node.kind:<16s} out={node.output_shape!s:<18s} "
+                f"{node.flops / 1e6:>10.2f} MFLOPs {node.output_bytes / 1e3:>10.1f} KB"
+            )
+        return "\n".join(lines)
+
+
+class NetworkBuilder:
+    """Incrementally build a :class:`Network`.
+
+    >>> b = NetworkBuilder("toy", input_shape=(3, 32, 32))
+    >>> b.add(Conv2d(8, kernel=3, padding="same"))
+    'conv2d_1'
+    >>> b.add(ReLU())
+    'relu_2'
+    >>> net = b.build()
+
+    ``add`` defaults to consuming the previously added node, so a plain
+    sequence of calls produces a line-structure network. Branches pass
+    ``inputs=`` explicitly and re-join via a Concat/Add layer.
+    """
+
+    def __init__(self, name: str, input_shape: Shape, dtype_bytes: int = FLOAT32_BYTES):
+        if dtype_bytes <= 0:
+            raise ValueError(f"dtype_bytes must be > 0, got {dtype_bytes}")
+        self._dag = Dag(name=name)
+        self._dtype_bytes = dtype_bytes
+        self._counter = 0
+        self._last: str | None = None
+        self._shapes: dict[str, Shape] = {}
+        input_layer = Input(shape=tuple(input_shape))
+        self._input_id = self._place("input", input_layer, inputs=())
+
+    # ------------------------------------------------------------------
+    def _fresh_name(self, layer: Layer) -> str:
+        self._counter += 1
+        return f"{layer.kind}_{self._counter}"
+
+    def _place(self, name: str | None, layer: Layer, inputs: tuple[str, ...]) -> str:
+        node_name = name or self._fresh_name(layer)
+        input_shapes = tuple(self._shapes[i] for i in inputs)
+        try:
+            output_shape = layer.output_shape(*input_shapes)
+            flops = layer.flops(*input_shapes)
+            params = layer.param_count(*input_shapes)
+        except ShapeError as exc:
+            raise ShapeError(f"placing {node_name!r}: {exc}") from exc
+        collector = isinstance(layer, OutputCollector)
+        node = LayerNode(
+            name=node_name,
+            layer=layer,
+            input_shapes=input_shapes,
+            output_shape=output_shape,
+            flops=flops,
+            params=params,
+            # a collector's "output" is the set of already-delivered results
+            output_bytes=0.0 if collector else float(
+                numel(output_shape) * self._dtype_bytes
+            ),
+        )
+        self._dag.add_node(node_name, node)
+        for upstream in inputs:
+            upstream_node: LayerNode = self._dag.payload(upstream)
+            # results are consumed where they were produced: edges into an
+            # OutputCollector never cost an upload
+            volume = 0.0 if collector else upstream_node.output_bytes
+            self._dag.add_edge(upstream, node_name, volume)
+        self._shapes[node_name] = output_shape
+        self._last = node_name
+        return node_name
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        layer: Layer,
+        name: str | None = None,
+        inputs: Iterable[str] | str | None = None,
+    ) -> str:
+        """Place ``layer``; defaults to consuming the last placed node."""
+        if isinstance(inputs, str):
+            inputs = (inputs,)
+        if inputs is None:
+            if self._last is None:
+                raise ValueError("no upstream node; pass inputs= explicitly")
+            inputs = (self._last,)
+        inputs = tuple(inputs)
+        arity = layer.arity
+        if arity == 0 and inputs:
+            raise ShapeError(f"{layer.kind} takes no inputs")
+        if arity == 1 and len(inputs) != 1:
+            raise ShapeError(f"{layer.kind} takes exactly one input, got {len(inputs)}")
+        if arity == -1 and len(inputs) < 2:
+            raise ShapeError(f"{layer.kind} merges >= 2 inputs, got {len(inputs)}")
+        return self._place(name, layer, inputs)
+
+    def sequence(self, layers: Iterable[Layer], start: str | None = None) -> str:
+        """Chain ``layers`` one after another; returns the final node name."""
+        previous = start or self._last
+        if previous is None:
+            raise ValueError("no upstream node for sequence()")
+        for layer in layers:
+            previous = self.add(layer, inputs=previous)
+        return previous
+
+    @property
+    def last(self) -> str:
+        """Name of the most recently placed node."""
+        if self._last is None:
+            raise ValueError("builder is empty")
+        return self._last
+
+    def shape_of(self, node_name: str) -> Shape:
+        return self._shapes[node_name]
+
+    def build(self) -> Network:
+        """Validate and freeze the network."""
+        self._dag.validate()
+        sinks = self._dag.sinks()
+        if len(sinks) != 1:
+            raise ValueError(
+                f"{self._dag.name!r} must end in exactly one output layer, got {sinks}"
+            )
+        return Network(
+            name=self._dag.name,
+            graph=self._dag,
+            input_id=self._input_id,
+            output_id=sinks[0],
+        )

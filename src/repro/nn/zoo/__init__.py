@@ -1,0 +1,86 @@
+"""Model zoo: layer-faithful reconstructions of the paper's DNNs.
+
+``get_model(name)`` is the registry used by the experiment harness; the
+four experiment models (AlexNet, GoogLeNet, MobileNet-v2, ResNet-18)
+plus the paper's cited line-structure examples are all here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.nn.network import Network
+from repro.nn.zoo.alexnet import alexnet, alexnet_prime
+from repro.nn.zoo.googlenet import INCEPTION_CONFIGS, googlenet, inception_module
+from repro.nn.zoo.inception import inception_v4
+from repro.nn.zoo.mobilenet import mobilenet_v2
+from repro.nn.zoo.multitask import multitask_perception
+from repro.nn.zoo.nin import nin
+from repro.nn.zoo.resnet import resnet18
+from repro.nn.zoo.squeezenet import squeezenet
+from repro.nn.zoo.synthetic import (
+    branchy_dnn,
+    line_dnn,
+    mini_inception,
+    random_cost_profile,
+    random_series_parallel_network,
+)
+from repro.nn.zoo.vgg import vgg11, vgg13, vgg16, vgg19
+from repro.nn.zoo.yolo import tiny_yolov2
+
+__all__ = [
+    "MODELS",
+    "get_model",
+    "alexnet",
+    "alexnet_prime",
+    "branchy_dnn",
+    "googlenet",
+    "inception_module",
+    "inception_v4",
+    "INCEPTION_CONFIGS",
+    "line_dnn",
+    "mini_inception",
+    "mobilenet_v2",
+    "multitask_perception",
+    "nin",
+    "random_cost_profile",
+    "random_series_parallel_network",
+    "resnet18",
+    "squeezenet",
+    "tiny_yolov2",
+    "vgg11",
+    "vgg13",
+    "vgg16",
+    "vgg19",
+]
+
+MODELS: dict[str, Callable[[], Network]] = {
+    "alexnet": alexnet,
+    "alexnet-prime": alexnet_prime,
+    "vgg11": vgg11,
+    "vgg13": vgg13,
+    "vgg16": vgg16,
+    "vgg19": vgg19,
+    "squeezenet": squeezenet,
+    "nin": nin,
+    "multitask-perception": multitask_perception,
+    "tiny-yolov2": tiny_yolov2,
+    "mobilenet-v2": mobilenet_v2,
+    "resnet18": resnet18,
+    "googlenet": googlenet,
+    "inception-v4": inception_v4,
+    "mini-inception": mini_inception,
+    "branchy-dnn": branchy_dnn,
+    "line-dnn": line_dnn,
+}
+
+
+def get_model(name: str) -> Network:
+    """Instantiate a zoo model by registry name."""
+    try:
+        factory = MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODELS)}"
+        ) from None
+    return factory()

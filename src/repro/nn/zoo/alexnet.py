@@ -1,0 +1,70 @@
+"""AlexNet (Krizhevsky et al., 2012; torchvision layer configuration).
+
+The paper's Fig. 4 profiles AlexNet "layers" that are really blocks of
+conv + activation + pooling; the virtual-block clustering in
+:mod:`repro.dag.transform` recovers exactly that grouping from this
+layer-level graph (conv1's 64x55x55 output is *larger* than the input,
+so cutting right after conv1 is dominated and the block extends to the
+first pooling layer).
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import (
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    LRN,
+    MaxPool2d,
+    ReLU,
+    Softmax,
+)
+from repro.nn.network import Network, NetworkBuilder
+
+__all__ = ["alexnet", "alexnet_prime"]
+
+
+def alexnet(name: str = "alexnet", num_classes: int = 1000) -> Network:
+    """AlexNet for 3x224x224 inputs; a pure line-structure DNN."""
+    b = NetworkBuilder(name, input_shape=(3, 224, 224))
+    b.sequence(
+        [
+            Conv2d(64, kernel=11, stride=4, padding=2),
+            ReLU(),
+            LRN(),
+            MaxPool2d(kernel=3, stride=2),
+            Conv2d(192, kernel=5, padding=2),
+            ReLU(),
+            LRN(),
+            MaxPool2d(kernel=3, stride=2),
+            Conv2d(384, kernel=3, padding=1),
+            ReLU(),
+            Conv2d(256, kernel=3, padding=1),
+            ReLU(),
+            Conv2d(256, kernel=3, padding=1),
+            ReLU(),
+            MaxPool2d(kernel=3, stride=2),
+            Flatten(),
+            Dropout(),
+            Linear(4096),
+            ReLU(),
+            Dropout(),
+            Linear(4096),
+            ReLU(),
+            Linear(num_classes),
+            Softmax(),
+        ]
+    )
+    return b.build()
+
+
+def alexnet_prime(num_classes: int = 1000) -> Network:
+    """The paper's synthetic AlexNet′ (Fig. 11).
+
+    Structurally identical to AlexNet; the experiment harness replaces
+    its measured communication times with samples from the fitted convex
+    curve (``repro.profiling.latency.smooth_cost_table``), which makes
+    the Theorem 5.3 adjacency condition hold exactly.
+    """
+    return alexnet(name="alexnet-prime", num_classes=num_classes)

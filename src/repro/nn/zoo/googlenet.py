@@ -1,0 +1,104 @@
+"""GoogLeNet / Inception-v1 (Szegedy et al., 2015), inference graph.
+
+The paper's representative *general-structure* DNN: Inception modules
+must not be clustered because their 1x1 reduction convs shrink branch
+tensors below the module's input volume, so interior cuts can be
+optimal. Auxiliary classifiers are omitted — they exist only during
+training and the paper schedules inference jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.layers import (
+    Concat,
+    Conv2d,
+    Dropout,
+    GlobalAvgPool,
+    Linear,
+    LRN,
+    MaxPool2d,
+    ReLU,
+    Softmax,
+)
+from repro.nn.network import Network, NetworkBuilder
+
+__all__ = ["googlenet", "inception_module", "INCEPTION_CONFIGS"]
+
+
+@dataclass(frozen=True)
+class InceptionConfig:
+    """Channel counts of one Inception module (Table 1 of the GoogLeNet paper)."""
+
+    c1: int        # 1x1 branch
+    c3_reduce: int # 1x1 before 3x3
+    c3: int        # 3x3 branch
+    c5_reduce: int # 1x1 before 5x5
+    c5: int        # 5x5 branch
+    pool_proj: int # 1x1 after the pool branch
+
+
+INCEPTION_CONFIGS: dict[str, InceptionConfig] = {
+    "3a": InceptionConfig(64, 96, 128, 16, 32, 32),
+    "3b": InceptionConfig(128, 128, 192, 32, 96, 64),
+    "4a": InceptionConfig(192, 96, 208, 16, 48, 64),
+    "4b": InceptionConfig(160, 112, 224, 24, 64, 64),
+    "4c": InceptionConfig(128, 128, 256, 24, 64, 64),
+    "4d": InceptionConfig(112, 144, 288, 32, 64, 64),
+    "4e": InceptionConfig(256, 160, 320, 32, 128, 128),
+    "5a": InceptionConfig(256, 160, 320, 32, 128, 128),
+    "5b": InceptionConfig(384, 192, 384, 48, 128, 128),
+}
+
+
+def inception_module(b: NetworkBuilder, entry: str, cfg: InceptionConfig, tag: str) -> str:
+    """Place one Inception module after ``entry``; returns the Concat node."""
+    br1 = b.add(Conv2d(cfg.c1, kernel=1), name=f"{tag}.b1.conv", inputs=entry)
+    br1 = b.add(ReLU(), name=f"{tag}.b1.relu", inputs=br1)
+
+    br2 = b.add(Conv2d(cfg.c3_reduce, kernel=1), name=f"{tag}.b2.reduce", inputs=entry)
+    br2 = b.add(ReLU(), name=f"{tag}.b2.relu1", inputs=br2)
+    br2 = b.add(Conv2d(cfg.c3, kernel=3, padding=1), name=f"{tag}.b2.conv", inputs=br2)
+    br2 = b.add(ReLU(), name=f"{tag}.b2.relu2", inputs=br2)
+
+    br3 = b.add(Conv2d(cfg.c5_reduce, kernel=1), name=f"{tag}.b3.reduce", inputs=entry)
+    br3 = b.add(ReLU(), name=f"{tag}.b3.relu1", inputs=br3)
+    br3 = b.add(Conv2d(cfg.c5, kernel=5, padding=2), name=f"{tag}.b3.conv", inputs=br3)
+    br3 = b.add(ReLU(), name=f"{tag}.b3.relu2", inputs=br3)
+
+    br4 = b.add(MaxPool2d(kernel=3, stride=1, padding=1), name=f"{tag}.b4.pool", inputs=entry)
+    br4 = b.add(Conv2d(cfg.pool_proj, kernel=1), name=f"{tag}.b4.proj", inputs=br4)
+    br4 = b.add(ReLU(), name=f"{tag}.b4.relu", inputs=br4)
+
+    return b.add(Concat(), name=f"{tag}.concat", inputs=(br1, br2, br3, br4))
+
+
+def googlenet(name: str = "googlenet", num_classes: int = 1000) -> Network:
+    """GoogLeNet for 3x224x224 inputs; a general (series-parallel) DAG."""
+    b = NetworkBuilder(name, input_shape=(3, 224, 224))
+    b.add(Conv2d(64, kernel=7, stride=2, padding=3), name="stem.conv1")
+    b.add(ReLU(), name="stem.relu1")
+    b.add(MaxPool2d(kernel=3, stride=2, padding=1), name="stem.pool1")
+    b.add(LRN(), name="stem.lrn1")
+    b.add(Conv2d(64, kernel=1), name="stem.conv2")
+    b.add(ReLU(), name="stem.relu2")
+    b.add(Conv2d(192, kernel=3, padding=1), name="stem.conv3")
+    b.add(ReLU(), name="stem.relu3")
+    b.add(LRN(), name="stem.lrn2")
+    cursor = b.add(MaxPool2d(kernel=3, stride=2, padding=1), name="stem.pool2")
+
+    cursor = inception_module(b, cursor, INCEPTION_CONFIGS["3a"], "3a")
+    cursor = inception_module(b, cursor, INCEPTION_CONFIGS["3b"], "3b")
+    cursor = b.add(MaxPool2d(kernel=3, stride=2, padding=1), name="pool3", inputs=cursor)
+    for tag in ("4a", "4b", "4c", "4d", "4e"):
+        cursor = inception_module(b, cursor, INCEPTION_CONFIGS[tag], tag)
+    cursor = b.add(MaxPool2d(kernel=3, stride=2, padding=1), name="pool4", inputs=cursor)
+    for tag in ("5a", "5b"):
+        cursor = inception_module(b, cursor, INCEPTION_CONFIGS[tag], tag)
+
+    b.add(GlobalAvgPool(), name="head.pool", inputs=cursor)
+    b.add(Dropout(rate=0.4), name="head.dropout")
+    b.add(Linear(num_classes), name="head.fc")
+    b.add(Softmax(), name="head.softmax")
+    return b.build()

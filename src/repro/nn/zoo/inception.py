@@ -1,0 +1,160 @@
+"""Inception-v4 (Szegedy et al., 2017) — the paper's Fig. 3(a) network.
+
+The most structurally demanding model in the zoo: a branching stem,
+three Inception module families with asymmetric (1x7 / 7x1, 1x3 / 3x1)
+factorized convolutions, two Reduction modules, and — in Inception-C —
+*nested* branching (a branch that itself splits before the module's
+Filter Concat, exactly as drawn in the paper's figure). Exercises the
+rectangular-kernel layers and the frontier-cut enumerator on blocks
+whose branches share prefixes.
+
+Batch norm and auxiliary heads are omitted (inference graph); each conv
+is followed by a ReLU as in the original.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import (
+    AvgPool2d,
+    Concat,
+    Conv2d,
+    Dropout,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Softmax,
+)
+from repro.nn.network import Network, NetworkBuilder
+
+__all__ = ["inception_v4"]
+
+
+def _conv(b: NetworkBuilder, entry: str, channels: int, kernel, stride=1,
+          padding=0, tag: str = "") -> str:
+    node = b.add(
+        Conv2d(channels, kernel=kernel, stride=stride, padding=padding),
+        name=f"{tag}.conv",
+        inputs=entry,
+    )
+    return b.add(ReLU(), name=f"{tag}.relu", inputs=node)
+
+
+def _stem(b: NetworkBuilder) -> str:
+    cursor = _conv(b, "input", 32, 3, stride=2, tag="stem.1")       # 149x149
+    cursor = _conv(b, cursor, 32, 3, tag="stem.2")                  # 147x147
+    cursor = _conv(b, cursor, 64, 3, padding=1, tag="stem.3")       # 147x147
+
+    pool = b.add(MaxPool2d(kernel=3, stride=2), name="stem.4a.pool", inputs=cursor)
+    conv = _conv(b, cursor, 96, 3, stride=2, tag="stem.4b")
+    cursor = b.add(Concat(), name="stem.concat1", inputs=(pool, conv))  # 160x73x73
+
+    left = _conv(b, cursor, 64, 1, tag="stem.5a.1")
+    left = _conv(b, left, 96, 3, tag="stem.5a.2")
+    right = _conv(b, cursor, 64, 1, tag="stem.5b.1")
+    right = _conv(b, right, 64, (7, 1), padding=(3, 0), tag="stem.5b.2")
+    right = _conv(b, right, 64, (1, 7), padding=(0, 3), tag="stem.5b.3")
+    right = _conv(b, right, 96, 3, tag="stem.5b.4")
+    cursor = b.add(Concat(), name="stem.concat2", inputs=(left, right))  # 192x71x71
+
+    conv = _conv(b, cursor, 192, 3, stride=2, tag="stem.6a")
+    pool = b.add(MaxPool2d(kernel=3, stride=2), name="stem.6b.pool", inputs=cursor)
+    return b.add(Concat(), name="stem.concat3", inputs=(conv, pool))  # 384x35x35
+
+
+def _inception_a(b: NetworkBuilder, entry: str, tag: str) -> str:
+    b1 = b.add(AvgPool2d(kernel=3, stride=1, padding=1), name=f"{tag}.b1.pool",
+               inputs=entry)
+    b1 = _conv(b, b1, 96, 1, tag=f"{tag}.b1")
+    b2 = _conv(b, entry, 96, 1, tag=f"{tag}.b2")
+    b3 = _conv(b, entry, 64, 1, tag=f"{tag}.b3.1")
+    b3 = _conv(b, b3, 96, 3, padding=1, tag=f"{tag}.b3.2")
+    b4 = _conv(b, entry, 64, 1, tag=f"{tag}.b4.1")
+    b4 = _conv(b, b4, 96, 3, padding=1, tag=f"{tag}.b4.2")
+    b4 = _conv(b, b4, 96, 3, padding=1, tag=f"{tag}.b4.3")
+    return b.add(Concat(), name=f"{tag}.concat", inputs=(b1, b2, b3, b4))  # 384
+
+
+def _reduction_a(b: NetworkBuilder, entry: str, tag: str = "redA") -> str:
+    b1 = b.add(MaxPool2d(kernel=3, stride=2), name=f"{tag}.b1.pool", inputs=entry)
+    b2 = _conv(b, entry, 384, 3, stride=2, tag=f"{tag}.b2")
+    b3 = _conv(b, entry, 192, 1, tag=f"{tag}.b3.1")
+    b3 = _conv(b, b3, 224, 3, padding=1, tag=f"{tag}.b3.2")
+    b3 = _conv(b, b3, 256, 3, stride=2, tag=f"{tag}.b3.3")
+    return b.add(Concat(), name=f"{tag}.concat", inputs=(b1, b2, b3))  # 1024x17x17
+
+
+def _inception_b(b: NetworkBuilder, entry: str, tag: str) -> str:
+    b1 = b.add(AvgPool2d(kernel=3, stride=1, padding=1), name=f"{tag}.b1.pool",
+               inputs=entry)
+    b1 = _conv(b, b1, 128, 1, tag=f"{tag}.b1")
+    b2 = _conv(b, entry, 384, 1, tag=f"{tag}.b2")
+    b3 = _conv(b, entry, 192, 1, tag=f"{tag}.b3.1")
+    b3 = _conv(b, b3, 224, (1, 7), padding=(0, 3), tag=f"{tag}.b3.2")
+    b3 = _conv(b, b3, 256, (7, 1), padding=(3, 0), tag=f"{tag}.b3.3")
+    b4 = _conv(b, entry, 192, 1, tag=f"{tag}.b4.1")
+    b4 = _conv(b, b4, 192, (1, 7), padding=(0, 3), tag=f"{tag}.b4.2")
+    b4 = _conv(b, b4, 224, (7, 1), padding=(3, 0), tag=f"{tag}.b4.3")
+    b4 = _conv(b, b4, 224, (1, 7), padding=(0, 3), tag=f"{tag}.b4.4")
+    b4 = _conv(b, b4, 256, (7, 1), padding=(3, 0), tag=f"{tag}.b4.5")
+    return b.add(Concat(), name=f"{tag}.concat", inputs=(b1, b2, b3, b4))  # 1024
+
+
+def _reduction_b(b: NetworkBuilder, entry: str, tag: str = "redB") -> str:
+    b1 = b.add(MaxPool2d(kernel=3, stride=2), name=f"{tag}.b1.pool", inputs=entry)
+    b2 = _conv(b, entry, 192, 1, tag=f"{tag}.b2.1")
+    b2 = _conv(b, b2, 192, 3, stride=2, tag=f"{tag}.b2.2")
+    b3 = _conv(b, entry, 256, 1, tag=f"{tag}.b3.1")
+    b3 = _conv(b, b3, 256, (1, 7), padding=(0, 3), tag=f"{tag}.b3.2")
+    b3 = _conv(b, b3, 320, (7, 1), padding=(3, 0), tag=f"{tag}.b3.3")
+    b3 = _conv(b, b3, 320, 3, stride=2, tag=f"{tag}.b3.4")
+    return b.add(Concat(), name=f"{tag}.concat", inputs=(b1, b2, b3))  # 1536x8x8
+
+
+def _inception_c(b: NetworkBuilder, entry: str, tag: str) -> str:
+    b1 = b.add(AvgPool2d(kernel=3, stride=1, padding=1), name=f"{tag}.b1.pool",
+               inputs=entry)
+    b1 = _conv(b, b1, 256, 1, tag=f"{tag}.b1")
+    b2 = _conv(b, entry, 256, 1, tag=f"{tag}.b2")
+    # branch 3 splits after its 1x1 — the nested branching of Fig. 3(a)
+    b3 = _conv(b, entry, 384, 1, tag=f"{tag}.b3.1")
+    b3a = _conv(b, b3, 256, (1, 3), padding=(0, 1), tag=f"{tag}.b3.2a")
+    b3b = _conv(b, b3, 256, (3, 1), padding=(1, 0), tag=f"{tag}.b3.2b")
+    # branch 4: two stacked asymmetric convs, then a split
+    b4 = _conv(b, entry, 384, 1, tag=f"{tag}.b4.1")
+    b4 = _conv(b, b4, 448, (1, 3), padding=(0, 1), tag=f"{tag}.b4.2")
+    b4 = _conv(b, b4, 512, (3, 1), padding=(1, 0), tag=f"{tag}.b4.3")
+    b4a = _conv(b, b4, 256, (3, 1), padding=(1, 0), tag=f"{tag}.b4.4a")
+    b4b = _conv(b, b4, 256, (1, 3), padding=(0, 1), tag=f"{tag}.b4.4b")
+    return b.add(
+        Concat(), name=f"{tag}.concat", inputs=(b1, b2, b3a, b3b, b4a, b4b)
+    )  # 1536
+
+
+def inception_v4(
+    name: str = "inception-v4",
+    num_classes: int = 1000,
+    a_modules: int = 4,
+    b_modules: int = 7,
+    c_modules: int = 3,
+) -> Network:
+    """Inception-v4 for 3x299x299 inputs (module counts configurable so
+    tests can build tractable reduced variants)."""
+    for label, count in (("a", a_modules), ("b", b_modules), ("c", c_modules)):
+        if count < 1:
+            raise ValueError(f"{label}_modules must be >= 1, got {count}")
+    b = NetworkBuilder(name, input_shape=(3, 299, 299))
+    cursor = _stem(b)
+    for index in range(a_modules):
+        cursor = _inception_a(b, cursor, f"A{index}")
+    cursor = _reduction_a(b, cursor)
+    for index in range(b_modules):
+        cursor = _inception_b(b, cursor, f"B{index}")
+    cursor = _reduction_b(b, cursor)
+    for index in range(c_modules):
+        cursor = _inception_c(b, cursor, f"C{index}")
+    b.add(GlobalAvgPool(), name="head.pool", inputs=cursor)
+    b.add(Dropout(rate=0.2), name="head.dropout")
+    b.add(Linear(num_classes), name="head.fc")
+    b.add(Softmax(), name="head.softmax")
+    return b.build()

@@ -1,0 +1,84 @@
+"""MobileNet-v2 (Sandler et al., 2018).
+
+The inverted-residual bottleneck (paper Fig. 10) is the reason this
+network is *not* a line structure as built: blocks with stride 1 and
+matching channel counts carry a bypass edge into an Add node. Because
+the expanded 1x1/depthwise tensors inside a block are never smaller
+than the block's input, §3.2's virtual-block clustering
+(:func:`repro.dag.transform.collapse_clusterable_blocks`) collapses
+every bottleneck, and the result is the line-structure DAG the paper
+schedules.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import (
+    Add,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    GlobalAvgPool,
+    Linear,
+    ReLU,
+    Softmax,
+)
+from repro.nn.network import Network, NetworkBuilder
+
+__all__ = ["mobilenet_v2"]
+
+#: (expansion t, out channels c, repeats n, first stride s) — Table 2 of the paper.
+_MBV2_CONFIG = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def _bottleneck(
+    b: NetworkBuilder, entry: str, in_channels: int, t: int, c: int, stride: int, tag: str
+) -> tuple[str, int]:
+    """One inverted-residual block; returns (exit node, out channels)."""
+    hidden = in_channels * t
+    cursor = entry
+    if t != 1:  # the first block skips the expansion conv
+        cursor = b.add(Conv2d(hidden, kernel=1, bias=False), name=f"{tag}.expand", inputs=cursor)
+        cursor = b.add(BatchNorm2d(), name=f"{tag}.expand.bn", inputs=cursor)
+        cursor = b.add(ReLU(max_value=6.0), name=f"{tag}.expand.relu6", inputs=cursor)
+    cursor = b.add(
+        DepthwiseConv2d(kernel=3, stride=stride, padding="same", bias=False),
+        name=f"{tag}.dwise",
+        inputs=cursor,
+    )
+    cursor = b.add(BatchNorm2d(), name=f"{tag}.dwise.bn", inputs=cursor)
+    cursor = b.add(ReLU(max_value=6.0), name=f"{tag}.dwise.relu6", inputs=cursor)
+    cursor = b.add(Conv2d(c, kernel=1, bias=False), name=f"{tag}.project", inputs=cursor)
+    cursor = b.add(BatchNorm2d(), name=f"{tag}.project.bn", inputs=cursor)
+    if stride == 1 and in_channels == c:
+        cursor = b.add(Add(), name=f"{tag}.add", inputs=(cursor, entry))
+    return cursor, c
+
+
+def mobilenet_v2(name: str = "mobilenet-v2", num_classes: int = 1000) -> Network:
+    """MobileNet-v2 for 3x224x224 inputs (general DAG with bypass links)."""
+    b = NetworkBuilder(name, input_shape=(3, 224, 224))
+    b.add(Conv2d(32, kernel=3, stride=2, padding=1, bias=False), name="stem.conv")
+    b.add(BatchNorm2d(), name="stem.bn")
+    cursor = b.add(ReLU(max_value=6.0), name="stem.relu6")
+    channels = 32
+    for stage, (t, c, n, s) in enumerate(_MBV2_CONFIG):
+        for repeat in range(n):
+            stride = s if repeat == 0 else 1
+            cursor, channels = _bottleneck(
+                b, cursor, channels, t, c, stride, tag=f"b{stage}.{repeat}"
+            )
+    b.add(Conv2d(1280, kernel=1, bias=False), name="head.conv", inputs=cursor)
+    b.add(BatchNorm2d(), name="head.bn")
+    b.add(ReLU(max_value=6.0), name="head.relu6")
+    b.add(GlobalAvgPool(), name="head.pool")
+    b.add(Linear(num_classes), name="head.fc")
+    b.add(Softmax(), name="head.softmax")
+    return b.build()

@@ -1,0 +1,65 @@
+"""A multi-task (tree-structure) network: shared backbone, two heads.
+
+Related work ([3] in the paper) studies tree-structure DNNs — one
+backbone feeding several task heads, the shape of perception stacks
+that classify *and* detect per frame. The heads end at an
+:class:`~repro.nn.layers.OutputCollector` (zero-cost, zero-volume
+edges), so the single-sink machinery — separators, frontier cuts, JPS —
+applies unchanged, and the cut space includes splitting the heads
+across mobile and cloud (the backbone tensor is uploaded once even
+though both heads consume it — distinct-tail counting).
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import (
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2d,
+    OutputCollector,
+    ReLU,
+    Softmax,
+)
+from repro.nn.network import Network, NetworkBuilder
+
+__all__ = ["multitask_perception"]
+
+
+def multitask_perception(
+    name: str = "multitask-perception",
+    num_classes: int = 100,
+    num_anchors: int = 5,
+) -> Network:
+    """Backbone + classification head + detection head for 3x128x128 input."""
+    b = NetworkBuilder(name, input_shape=(3, 128, 128))
+    # shared backbone: four conv/pool stages
+    cursor = "input"
+    channels = 32
+    for stage in range(4):
+        cursor = b.add(
+            Conv2d(channels, kernel=3, padding=1), name=f"bb{stage}.conv", inputs=cursor
+        )
+        cursor = b.add(ReLU(), name=f"bb{stage}.relu", inputs=cursor)
+        cursor = b.add(
+            MaxPool2d(kernel=2, stride=2), name=f"bb{stage}.pool", inputs=cursor
+        )
+        channels = min(channels * 2, 256)
+    backbone = cursor  # 256 x 8 x 8
+
+    # classification head
+    cls = b.add(GlobalAvgPool(), name="cls.pool", inputs=backbone)
+    cls = b.add(Linear(num_classes), name="cls.fc", inputs=cls)
+    cls = b.add(Softmax(), name="cls.softmax", inputs=cls)
+
+    # detection head (YOLO-style grid)
+    det = b.add(Conv2d(256, kernel=3, padding=1), name="det.conv1", inputs=backbone)
+    det = b.add(ReLU(), name="det.relu", inputs=det)
+    det = b.add(
+        Conv2d(num_anchors * (num_classes + 5), kernel=1), name="det.conv2", inputs=det
+    )
+    det = b.add(Flatten(), name="det.flatten", inputs=det)
+
+    b.add(OutputCollector(), name="outputs", inputs=(cls, det))
+    return b.build()

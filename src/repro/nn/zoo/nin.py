@@ -1,0 +1,45 @@
+"""Network-in-Network (Lin et al., 2013), CIFAR-10 configuration.
+
+Cited by the paper (§3.1) as a line-structure DNN. The mlpconv blocks
+are ordinary 1x1 convolutions here, which is exactly how they execute.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    GlobalAvgPool,
+    MaxPool2d,
+    ReLU,
+    Softmax,
+)
+from repro.nn.network import Network, NetworkBuilder
+
+__all__ = ["nin"]
+
+
+def nin(name: str = "nin", num_classes: int = 10) -> Network:
+    """NiN for 3x32x32 inputs (CIFAR-10)."""
+    b = NetworkBuilder(name, input_shape=(3, 32, 32))
+    b.sequence(
+        [
+            Conv2d(192, kernel=5, padding=2), ReLU(),
+            Conv2d(160, kernel=1), ReLU(),
+            Conv2d(96, kernel=1), ReLU(),
+            MaxPool2d(kernel=3, stride=2, padding=1),
+            Dropout(),
+            Conv2d(192, kernel=5, padding=2), ReLU(),
+            Conv2d(192, kernel=1), ReLU(),
+            Conv2d(192, kernel=1), ReLU(),
+            AvgPool2d(kernel=3, stride=2, padding=1),
+            Dropout(),
+            Conv2d(192, kernel=3, padding=1), ReLU(),
+            Conv2d(192, kernel=1), ReLU(),
+            Conv2d(num_classes, kernel=1), ReLU(),
+            GlobalAvgPool(),
+            Softmax(),
+        ]
+    )
+    return b.build()

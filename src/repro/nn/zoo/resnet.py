@@ -1,0 +1,72 @@
+"""ResNet-18 (He et al., 2016).
+
+Basic blocks carry identity (or 1x1-conv downsample) shortcuts, so the
+raw graph is general; every residual block satisfies the clustering
+criterion (the bypass forces interior cuts to re-upload the entry
+tensor), and the clustered network is the line structure the paper's
+experiments partition.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import (
+    Add,
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Softmax,
+)
+from repro.nn.network import Network, NetworkBuilder
+
+__all__ = ["resnet18"]
+
+#: (out channels, first stride) for the four ResNet-18 stages (2 blocks each).
+_RESNET18_STAGES = [(64, 1), (128, 2), (256, 2), (512, 2)]
+
+
+def _basic_block(
+    b: NetworkBuilder, entry: str, in_channels: int, channels: int, stride: int, tag: str
+) -> str:
+    main = b.add(
+        Conv2d(channels, kernel=3, stride=stride, padding=1, bias=False),
+        name=f"{tag}.conv1",
+        inputs=entry,
+    )
+    main = b.add(BatchNorm2d(), name=f"{tag}.bn1", inputs=main)
+    main = b.add(ReLU(), name=f"{tag}.relu1", inputs=main)
+    main = b.add(Conv2d(channels, kernel=3, padding=1, bias=False), name=f"{tag}.conv2", inputs=main)
+    main = b.add(BatchNorm2d(), name=f"{tag}.bn2", inputs=main)
+    shortcut = entry
+    if stride != 1 or in_channels != channels:
+        shortcut = b.add(
+            Conv2d(channels, kernel=1, stride=stride, bias=False),
+            name=f"{tag}.down.conv",
+            inputs=entry,
+        )
+        shortcut = b.add(BatchNorm2d(), name=f"{tag}.down.bn", inputs=shortcut)
+    merged = b.add(Add(), name=f"{tag}.add", inputs=(main, shortcut))
+    return b.add(ReLU(), name=f"{tag}.relu2", inputs=merged)
+
+
+def resnet18(name: str = "resnet18", num_classes: int = 1000) -> Network:
+    """ResNet-18 for 3x224x224 inputs."""
+    b = NetworkBuilder(name, input_shape=(3, 224, 224))
+    b.add(Conv2d(64, kernel=7, stride=2, padding=3, bias=False), name="stem.conv")
+    b.add(BatchNorm2d(), name="stem.bn")
+    b.add(ReLU(), name="stem.relu")
+    cursor = b.add(MaxPool2d(kernel=3, stride=2, padding=1), name="stem.pool")
+    channels = 64
+    for stage, (out_channels, first_stride) in enumerate(_RESNET18_STAGES):
+        for block in range(2):
+            stride = first_stride if block == 0 else 1
+            cursor = _basic_block(
+                b, cursor, channels, out_channels, stride, tag=f"s{stage}.{block}"
+            )
+            channels = out_channels
+    b.add(GlobalAvgPool(), name="head.pool", inputs=cursor)
+    b.add(Linear(num_classes), name="head.fc")
+    b.add(Softmax(), name="head.softmax")
+    return b.build()

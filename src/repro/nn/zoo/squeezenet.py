@@ -1,0 +1,69 @@
+"""SqueezeNet v1.1 (Iandola et al., 2016).
+
+A third general-structure family for the partition machinery: *fire
+modules* (a 1x1 squeeze conv feeding parallel 1x1 and 3x3 expand convs,
+channel-concatenated). Unlike Inception modules, the squeeze layer
+shrinks the tensor *before* the branches, so interior cuts right after
+the squeeze are strong offloading points — a different cut-space shape
+than either GoogLeNet or MobileNet.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import (
+    Concat,
+    Conv2d,
+    Dropout,
+    GlobalAvgPool,
+    MaxPool2d,
+    ReLU,
+    Softmax,
+)
+from repro.nn.network import Network, NetworkBuilder
+
+__all__ = ["squeezenet"]
+
+#: (squeeze, expand1x1, expand3x3) per fire module, v1.1 configuration.
+_FIRE_CONFIG = [
+    (16, 64, 64),    # fire2
+    (16, 64, 64),    # fire3
+    (32, 128, 128),  # fire4
+    (32, 128, 128),  # fire5
+    (48, 192, 192),  # fire6
+    (48, 192, 192),  # fire7
+    (64, 256, 256),  # fire8
+    (64, 256, 256),  # fire9
+]
+
+#: indices (into the fire list) after which v1.1 places a max-pool.
+_POOL_AFTER = {1, 3}
+
+
+def _fire(b: NetworkBuilder, entry: str, squeeze: int, e1: int, e3: int, tag: str) -> str:
+    s = b.add(Conv2d(squeeze, kernel=1), name=f"{tag}.squeeze", inputs=entry)
+    s = b.add(ReLU(), name=f"{tag}.squeeze.relu", inputs=s)
+    left = b.add(Conv2d(e1, kernel=1), name=f"{tag}.e1", inputs=s)
+    left = b.add(ReLU(), name=f"{tag}.e1.relu", inputs=left)
+    right = b.add(Conv2d(e3, kernel=3, padding=1), name=f"{tag}.e3", inputs=s)
+    right = b.add(ReLU(), name=f"{tag}.e3.relu", inputs=right)
+    return b.add(Concat(), name=f"{tag}.concat", inputs=(left, right))
+
+
+def squeezenet(name: str = "squeezenet", num_classes: int = 1000) -> Network:
+    """SqueezeNet v1.1 for 3x224x224 inputs (~1.2 M parameters)."""
+    b = NetworkBuilder(name, input_shape=(3, 224, 224))
+    b.add(Conv2d(64, kernel=3, stride=2), name="stem.conv")
+    b.add(ReLU(), name="stem.relu")
+    cursor = b.add(MaxPool2d(kernel=3, stride=2), name="stem.pool")
+    for index, (squeeze, e1, e3) in enumerate(_FIRE_CONFIG):
+        cursor = _fire(b, cursor, squeeze, e1, e3, tag=f"fire{index + 2}")
+        if index in _POOL_AFTER:
+            cursor = b.add(
+                MaxPool2d(kernel=3, stride=2), name=f"pool{index + 2}", inputs=cursor
+            )
+    b.add(Dropout(), name="head.dropout", inputs=cursor)
+    b.add(Conv2d(num_classes, kernel=1), name="head.conv")
+    b.add(ReLU(), name="head.relu")
+    b.add(GlobalAvgPool(), name="head.pool")
+    b.add(Softmax(), name="head.softmax")
+    return b.build()

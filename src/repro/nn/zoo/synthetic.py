@@ -1,0 +1,155 @@
+"""Synthetic networks for tests, property-based checks, and small demos.
+
+These are not real architectures: they exist to exercise the partition
+and scheduling machinery on graphs whose structure (depth, volume decay,
+branching) is directly controllable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Add, Concat, Conv2d, Linear, Flatten, MaxPool2d, ReLU
+from repro.nn.network import Network, NetworkBuilder
+from repro.utils.rng import make_rng
+
+__all__ = ["line_dnn", "branchy_dnn", "mini_inception"]
+
+
+def line_dnn(
+    depth: int = 8,
+    base_channels: int = 16,
+    input_size: int = 64,
+    name: str = "line-dnn",
+) -> Network:
+    """A conv/pool chain whose tensor volume halves every stage.
+
+    The resulting ``g`` is decreasing and roughly geometric and ``f`` is
+    roughly linear — the exact regime §3.2 observes on real DNNs, which
+    makes this the canonical fixture for Theorem 5.2/5.3 tests.
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    b = NetworkBuilder(name, input_shape=(3, input_size, input_size))
+    size = input_size
+    channels = base_channels
+    for stage in range(depth):
+        b.add(Conv2d(channels, kernel=3, padding=1), name=f"conv{stage}")
+        b.add(ReLU(), name=f"relu{stage}")
+        if size >= 4:
+            b.add(MaxPool2d(kernel=2, stride=2), name=f"pool{stage}")
+            size //= 2
+        channels = min(channels * 2, 256)
+    b.add(Flatten(), name="flatten")
+    b.add(Linear(10), name="fc")
+    return b.build()
+
+
+def branchy_dnn(name: str = "branchy-dnn") -> Network:
+    """A small series-parallel DAG: residual block then a 3-way split.
+
+    Mirrors the Fig. 9 example scale — few enough paths for exhaustive
+    checks of the conversion and of exact-vs-heuristic partitioning.
+    """
+    b = NetworkBuilder(name, input_shape=(8, 32, 32))
+    trunk = b.add(Conv2d(16, kernel=3, padding=1), name="trunk")
+    # residual block
+    main = b.add(Conv2d(16, kernel=3, padding=1), name="res.conv", inputs=trunk)
+    merged = b.add(Add(), name="res.add", inputs=(main, trunk))
+    # 3-way split
+    br1 = b.add(Conv2d(8, kernel=1), name="split.b1", inputs=merged)
+    br2 = b.add(Conv2d(8, kernel=3, padding=1), name="split.b2a", inputs=merged)
+    br2 = b.add(Conv2d(8, kernel=3, padding=1), name="split.b2b", inputs=br2)
+    br3 = b.add(MaxPool2d(kernel=3, stride=1, padding=1), name="split.b3", inputs=merged)
+    br3 = b.add(Conv2d(8, kernel=1), name="split.b3proj", inputs=br3)
+    joined = b.add(Concat(), name="split.concat", inputs=(br1, br2, br3))
+    b.add(Conv2d(4, kernel=1), name="tail", inputs=joined)
+    b.add(Flatten(), name="flatten")
+    b.add(Linear(10), name="fc")
+    return b.build()
+
+
+def mini_inception(modules: int = 2, name: str = "mini-inception") -> Network:
+    """A stem plus a few Inception modules — tractable path enumeration.
+
+    With ``modules`` Inception blocks the Fig.-9 conversion yields
+    ``4**modules`` independent paths, so exact comparisons between
+    Alg. 3 and the frontier enumerator stay cheap up to ~5 modules.
+    """
+    from repro.nn.zoo.googlenet import InceptionConfig, inception_module
+
+    if modules < 1:
+        raise ValueError(f"modules must be >= 1, got {modules}")
+    b = NetworkBuilder(name, input_shape=(3, 64, 64))
+    b.add(Conv2d(64, kernel=5, stride=2, padding=2), name="stem.conv")
+    b.add(ReLU(), name="stem.relu")
+    cursor = b.add(MaxPool2d(kernel=3, stride=2, padding=1), name="stem.pool")
+    cfg = InceptionConfig(32, 48, 64, 8, 16, 16)
+    for index in range(modules):
+        cursor = inception_module(b, cursor, cfg, f"m{index}")
+    b.add(Flatten(), name="flatten", inputs=cursor)
+    b.add(Linear(10), name="fc")
+    return b.build()
+
+
+def random_series_parallel_network(
+    seed: int | np.random.Generator | None = None,
+    blocks: int = 3,
+    max_branches: int = 3,
+    max_branch_depth: int = 2,
+    name: str = "random-sp",
+) -> Network:
+    """A random series-parallel conv network for property-based tests.
+
+    Alternates separator convs with parallel blocks of 1..max_branches
+    branches (each a short conv chain, merged by channel Concat). Every
+    graph this produces is a valid single-source/sink series-parallel
+    DAG, so it can drive exhaustive cut-space oracles.
+    """
+    rng = make_rng(seed)
+    b = NetworkBuilder(name, input_shape=(4, 16, 16))
+    cursor = b.add(Conv2d(8, kernel=3, padding=1), name="stem")
+    for block in range(blocks):
+        n_branches = int(rng.integers(1, max_branches + 1))
+        if n_branches == 1:
+            cursor = b.add(
+                Conv2d(8, kernel=3, padding=1), name=f"b{block}.solo", inputs=cursor
+            )
+            continue
+        ends = []
+        for branch in range(n_branches):
+            node = cursor
+            depth = int(rng.integers(1, max_branch_depth + 1))
+            for layer in range(depth):
+                channels = int(rng.integers(2, 9))
+                node = b.add(
+                    Conv2d(channels, kernel=1),
+                    name=f"b{block}.br{branch}.c{layer}",
+                    inputs=node,
+                )
+            ends.append(node)
+        cursor = b.add(Concat(), name=f"b{block}.concat", inputs=tuple(ends))
+    b.add(Flatten(), name="flatten", inputs=cursor)
+    b.add(Linear(4), name="fc")
+    return b.build()
+
+
+def random_cost_profile(
+    depth: int,
+    seed: int | np.random.Generator | None = None,
+    compute_scale: float = 0.01,
+    comm_scale: float = 0.5,
+    decay: float = 0.6,
+) -> tuple[list[float], list[float]]:
+    """Random per-layer (compute, upload-volume) profiles for property tests.
+
+    Returns ``(layer_times, cut_volumes)`` with ``layer_times`` positive
+    and ``cut_volumes`` a noisy geometric decay — arbitrary enough to
+    stress algorithms, structured enough to resemble real DNNs.
+    """
+    rng = make_rng(seed)
+    times = (compute_scale * (0.2 + rng.random(depth))).tolist()
+    volumes = [
+        float(comm_scale * decay**i * (0.5 + rng.random())) for i in range(depth)
+    ]
+    return times, volumes

@@ -1,0 +1,61 @@
+"""The VGG family (Simonyan & Zisserman, 2014) — the paper's canonical
+example of widely used pure line-structure DNNs (§3.1)."""
+
+from __future__ import annotations
+
+from repro.nn.layers import Conv2d, Dropout, Flatten, Linear, MaxPool2d, ReLU, Softmax
+from repro.nn.network import Network, NetworkBuilder
+
+__all__ = ["vgg11", "vgg13", "vgg16", "vgg19"]
+
+#: (out_channels, convs_in_block) per stage for each configuration
+#: (columns A, B, D, E of the VGG paper's Table 1).
+_VGG_CONFIGS: dict[str, list[tuple[int, int]]] = {
+    "vgg11": [(64, 1), (128, 1), (256, 2), (512, 2), (512, 2)],
+    "vgg13": [(64, 2), (128, 2), (256, 2), (512, 2), (512, 2)],
+    "vgg16": [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)],
+    "vgg19": [(64, 2), (128, 2), (256, 4), (512, 4), (512, 4)],
+}
+
+
+def _vgg(config: str, name: str | None, num_classes: int) -> Network:
+    b = NetworkBuilder(name or config, input_shape=(3, 224, 224))
+    for channels, repeats in _VGG_CONFIGS[config]:
+        for _ in range(repeats):
+            b.add(Conv2d(channels, kernel=3, padding=1))
+            b.add(ReLU())
+        b.add(MaxPool2d(kernel=2, stride=2))
+    b.sequence(
+        [
+            Flatten(),
+            Linear(4096),
+            ReLU(),
+            Dropout(),
+            Linear(4096),
+            ReLU(),
+            Dropout(),
+            Linear(num_classes),
+            Softmax(),
+        ]
+    )
+    return b.build()
+
+
+def vgg11(name: str = "vgg11", num_classes: int = 1000) -> Network:
+    """VGG-11 (configuration A) for 3x224x224 inputs."""
+    return _vgg("vgg11", name, num_classes)
+
+
+def vgg13(name: str = "vgg13", num_classes: int = 1000) -> Network:
+    """VGG-13 (configuration B) for 3x224x224 inputs."""
+    return _vgg("vgg13", name, num_classes)
+
+
+def vgg16(name: str = "vgg16", num_classes: int = 1000) -> Network:
+    """VGG-16 (configuration D) for 3x224x224 inputs."""
+    return _vgg("vgg16", name, num_classes)
+
+
+def vgg19(name: str = "vgg19", num_classes: int = 1000) -> Network:
+    """VGG-19 (configuration E) for 3x224x224 inputs."""
+    return _vgg("vgg19", name, num_classes)

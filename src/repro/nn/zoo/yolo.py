@@ -1,0 +1,35 @@
+"""Tiny YOLOv2 (Redmon & Farhadi, 2016), VOC configuration.
+
+Cited by the paper (§3.1) as a line-structure detector. Leaky ReLU is
+modeled as :class:`repro.nn.layers.ReLU` — identical element count, and
+the cost models only see per-element ops.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import BatchNorm2d, Conv2d, MaxPool2d, ReLU
+from repro.nn.network import Network, NetworkBuilder
+
+__all__ = ["tiny_yolov2"]
+
+
+def _conv_bn_leaky(b: NetworkBuilder, channels: int, kernel: int = 3) -> None:
+    b.add(Conv2d(channels, kernel=kernel, padding="same" if kernel > 1 else 0, bias=False))
+    b.add(BatchNorm2d())
+    b.add(ReLU())
+
+
+def tiny_yolov2(name: str = "tiny-yolov2", num_anchors: int = 5, num_classes: int = 20) -> Network:
+    """Tiny YOLOv2 for 3x416x416 inputs (VOC: 125 output channels)."""
+    b = NetworkBuilder(name, input_shape=(3, 416, 416))
+    for channels in (16, 32, 64, 128, 256):
+        _conv_bn_leaky(b, channels)
+        b.add(MaxPool2d(kernel=2, stride=2))
+    _conv_bn_leaky(b, 512)
+    # Darknet's 6th pool is kernel-2/stride-1 with asymmetric padding to keep
+    # 13x13; with symmetric padding the equivalent shape-preserving pool is 3/1/1.
+    b.add(MaxPool2d(kernel=3, stride=1, padding=1))
+    _conv_bn_leaky(b, 1024)
+    _conv_bn_leaky(b, 1024)
+    b.add(Conv2d(num_anchors * (num_classes + 5), kernel=1))
+    return b.build()

@@ -1,0 +1,108 @@
+"""Mobile energy model: the battery cost of a partition decision.
+
+The paper optimizes makespan only, but on a phone or AR headset the
+same partition choice also decides battery draw: local computation
+burns CPU power for ``f`` seconds, offloading burns radio power for
+``g`` seconds (plus a tail-state cost after each transfer — the
+well-known cellular "tail energy"). This module prices JobPlans and
+Schedules under a device power profile so energy-aware trade-offs can
+be studied next to the latency results.
+
+Default constants follow published Raspberry-Pi-4 / smartphone
+measurements: ~4 W CPU load above a ~2 W idle floor, ~1.2 W Wi-Fi
+transmit, ~2.5 W cellular transmit with a 1.5 J tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plans import JobPlan, Schedule
+from repro.profiling.latency import CostTable
+from repro.utils.validation import require_non_negative
+
+__all__ = ["PowerProfile", "WIFI_POWER", "CELLULAR_POWER", "job_energy",
+           "schedule_energy", "energy_latency_frontier"]
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Average power draw (watts) of the mobile device's states."""
+
+    name: str
+    compute_watts: float = 4.0        # CPU at inference load (above idle)
+    radio_watts: float = 1.2          # active transmit
+    idle_watts: float = 0.0           # baseline during the makespan (0 = ignore)
+    tail_joules: float = 0.0          # per-transfer radio tail-state energy
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.compute_watts, "compute_watts")
+        require_non_negative(self.radio_watts, "radio_watts")
+        require_non_negative(self.idle_watts, "idle_watts")
+        require_non_negative(self.tail_joules, "tail_joules")
+
+
+WIFI_POWER = PowerProfile(name="wifi", compute_watts=4.0, radio_watts=1.2,
+                          tail_joules=0.1)
+CELLULAR_POWER = PowerProfile(name="cellular", compute_watts=4.0, radio_watts=2.5,
+                              tail_joules=1.5)
+
+
+def job_energy(plan: JobPlan, power: PowerProfile) -> float:
+    """Joules drawn from the mobile battery by one job."""
+    energy = power.compute_watts * plan.compute_time
+    if plan.comm_time > 0:
+        energy += power.radio_watts * plan.comm_time + power.tail_joules
+    return energy
+
+
+def schedule_energy(schedule: Schedule, power: PowerProfile) -> float:
+    """Total battery energy of a schedule (idle floor over the makespan
+    included when the profile defines one)."""
+    total = sum(job_energy(plan, power) for plan in schedule.jobs)
+    return total + power.idle_watts * schedule.makespan
+
+
+@dataclass(frozen=True)
+class EnergyLatencyPoint:
+    """One homogeneous-cut operating point."""
+
+    position: int
+    label: str
+    per_job_latency: float     # f + g (single-job view)
+    per_job_energy: float
+
+
+def energy_latency_frontier(
+    table: CostTable, power: PowerProfile
+) -> list[EnergyLatencyPoint]:
+    """Pareto frontier of (latency, energy) over homogeneous cuts.
+
+    Deep cuts buy latency with CPU joules; shallow cuts buy battery
+    with radio time. The surviving points are the rational operating
+    range for an energy-aware policy; the latency-optimal JPS cut is
+    always among the candidates but not necessarily on the knee.
+    """
+    points = []
+    for position in range(table.k):
+        f, g = table.stage_lengths(position)
+        plan = JobPlan(
+            job_id=0, model=table.model_name, cut_position=position,
+            compute_time=f, comm_time=g,
+        )
+        points.append(
+            EnergyLatencyPoint(
+                position=position,
+                label=table.positions[position],
+                per_job_latency=f + g,
+                per_job_energy=job_energy(plan, power),
+            )
+        )
+    points.sort(key=lambda p: (p.per_job_latency, p.per_job_energy))
+    frontier: list[EnergyLatencyPoint] = []
+    best_energy = float("inf")
+    for point in points:
+        if point.per_job_energy < best_energy:
+            frontier.append(point)
+            best_energy = point.per_job_energy
+    return frontier

@@ -1,0 +1,78 @@
+"""The computation-time lookup table of §6.1.
+
+The paper treats local computation time as stable and pre-builds a
+lookup table of per-layer times (the set of commonly used DNNs is small)
+so the scheduler never profiles at decision time — a key ingredient of
+the negligible JPS overhead in Fig. 12(d). Communication, which varies
+with bandwidth, goes through :class:`~repro.profiling.regression.CommLatencyModel`
+instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.network import LayerNode, Network
+from repro.profiling.device import DeviceModel
+from repro.profiling.profiler import profile_network
+
+__all__ = ["LookupTable", "build_lookup_table"]
+
+
+@dataclass
+class LookupTable:
+    """Per-(model, layer) measured mean times for one device."""
+
+    device: str
+    times: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def add(self, model: str, node_id: str, time: float) -> None:
+        if time < 0:
+            raise ValueError(f"time must be >= 0, got {time}")
+        self.times[(model, node_id)] = time
+
+    def time(self, model: str, node_id: str) -> float:
+        try:
+            return self.times[(model, node_id)]
+        except KeyError:
+            raise KeyError(
+                f"no lookup entry for layer {node_id!r} of model {model!r} "
+                f"on device {self.device!r}"
+            ) from None
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self.times
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def covers(self, network: Network) -> bool:
+        """True if every layer of ``network`` has an entry."""
+        return all((network.name, v) in self.times for v in network.graph.node_ids)
+
+    def predictor_for(self, model: str):
+        """A ``LayerPredictor`` closure for :mod:`repro.profiling.latency`."""
+
+        def predict(node: LayerNode) -> float:
+            return self.time(model, node.name)
+
+        return predict
+
+
+def build_lookup_table(
+    networks: list[Network],
+    device: DeviceModel,
+    seed: int | np.random.Generator | None = None,
+    noise: float = 0.05,
+    repeats: int = 5,
+) -> LookupTable:
+    """Profile every layer of every network once and tabulate the means."""
+    table = LookupTable(device=device.name)
+    for network in networks:
+        for record in profile_network(
+            network, device, seed=seed, noise=noise, repeats=repeats
+        ):
+            table.add(record.model, record.node_id, record.mean_time)
+    return table

@@ -1,0 +1,121 @@
+"""Synthetic profiler: the offline stand-in for PyTorch Profiler runs.
+
+A "measurement" is the device model's ground-truth layer time perturbed
+by multiplicative log-normal noise — the shape of real repeated latency
+measurements (strictly positive, right-skewed, ~5% spread on a quiet
+device). The regression and lookup-table estimators are fit on these
+noisy samples, so every scheduler downstream plans with realistic
+estimation error while the simulator executes ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.channel import Channel
+from repro.nn.network import Network
+from repro.profiling.device import DeviceModel
+from repro.utils.rng import make_rng
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["ProfileRecord", "CommSample", "profile_network", "measure_communication"]
+
+
+@dataclass(frozen=True)
+class ProfileRecord:
+    """One repeated-measurement summary of a layer on a device."""
+
+    model: str
+    node_id: str
+    kind: str
+    flops: float
+    input_bytes: float
+    output_bytes: float
+    device: str
+    mean_time: float
+    samples: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class CommSample:
+    """One measured transfer: payload size, link rate, elapsed time."""
+
+    payload_bytes: float
+    bandwidth_bps: float
+    time: float
+
+
+def _noisy(value: float, rng: np.random.Generator, noise: float, repeats: int) -> np.ndarray:
+    if value == 0.0:
+        return np.zeros(repeats)
+    return value * rng.lognormal(mean=0.0, sigma=noise, size=repeats)
+
+
+def profile_network(
+    network: Network,
+    device: DeviceModel,
+    seed: int | np.random.Generator | None = None,
+    noise: float = 0.05,
+    repeats: int = 5,
+) -> list[ProfileRecord]:
+    """Measure every layer of ``network`` on ``device``.
+
+    Returns one record per layer with ``repeats`` noisy samples and
+    their mean — the raw material for the lookup table (§6.1) and the
+    latency regression.
+    """
+    require_non_negative(noise, "noise")
+    require_positive(repeats, "repeats")
+    rng = make_rng(seed)
+    records: list[ProfileRecord] = []
+    for node in network.nodes():
+        truth = device.layer_time(node)
+        samples = _noisy(truth, rng, noise, repeats)
+        records.append(
+            ProfileRecord(
+                model=network.name,
+                node_id=node.name,
+                kind=node.kind,
+                flops=node.flops,
+                input_bytes=4.0 * sum(int(np.prod(s)) for s in node.input_shapes),
+                output_bytes=node.output_bytes,
+                device=device.name,
+                mean_time=float(samples.mean()) if len(samples) else 0.0,
+                samples=tuple(float(s) for s in samples),
+            )
+        )
+    return records
+
+
+def measure_communication(
+    channel: Channel,
+    payload_sizes: list[float],
+    seed: int | np.random.Generator | None = None,
+    noise: float = 0.05,
+    repeats: int = 5,
+) -> list[CommSample]:
+    """Measure uplink transfers of the given payload sizes.
+
+    Mirrors the testbed procedure: the client times a request/reply
+    round and subtracts the server-reported compute time; here the
+    channel model provides the true transfer time, perturbed by the same
+    log-normal measurement noise.
+    """
+    require_non_negative(noise, "noise")
+    require_positive(repeats, "repeats")
+    rng = make_rng(seed)
+    samples: list[CommSample] = []
+    for size in payload_sizes:
+        require_non_negative(size, "payload size")
+        truth = channel.uplink_time(size)
+        for value in _noisy(truth, rng, noise, repeats):
+            samples.append(
+                CommSample(
+                    payload_bytes=size,
+                    bandwidth_bps=channel.uplink_bps,
+                    time=float(value),
+                )
+            )
+    return samples

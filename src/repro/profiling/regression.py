@@ -1,0 +1,135 @@
+"""Latency estimators fit by least squares (the Neurosurgeon approach).
+
+Two models, exactly as §6.1 describes:
+
+* :class:`LayerLatencyModel` — per layer-*kind* linear regression
+  ``time ~ b0 + b1 * flops + b2 * bytes_moved``. The paper (after [10])
+  predicts layer times from layer type and shape; FLOPs and tensor bytes
+  are the canonical shape features.
+* :class:`CommLatencyModel` — ``t = w0 + w1 * r`` with ``r = s / b``
+  (message bytes over link bits/s). ``w0`` captures channel setup cost.
+
+Both are plain ``numpy.linalg.lstsq`` fits: tiny design matrices, no
+iterative optimization, negligible scheduler overhead (Fig. 12(d)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.layers import numel
+from repro.nn.network import LayerNode
+from repro.profiling.profiler import CommSample, ProfileRecord
+from repro.utils.units import FLOAT32_BYTES
+
+__all__ = ["LayerLatencyModel", "CommLatencyModel"]
+
+
+def _features(flops: float, bytes_moved: float) -> np.ndarray:
+    return np.array([1.0, flops, bytes_moved])
+
+
+@dataclass
+class LayerLatencyModel:
+    """Per-kind linear latency predictor fit from profile records."""
+
+    coefficients: dict[str, np.ndarray] = field(default_factory=dict)
+    fallback: np.ndarray | None = None
+
+    @classmethod
+    def fit(cls, records: list[ProfileRecord]) -> "LayerLatencyModel":
+        """Least-squares fit, one model per layer kind plus a global fallback.
+
+        Kinds with fewer samples than features keep no dedicated model
+        and fall through to the global fit.
+        """
+        if not records:
+            raise ValueError("cannot fit a latency model on zero records")
+        by_kind: dict[str, list[ProfileRecord]] = {}
+        for record in records:
+            by_kind.setdefault(record.kind, []).append(record)
+
+        model = cls()
+        rows, times = [], []
+        for record in records:
+            rows.append(_features(record.flops, record.input_bytes + record.output_bytes))
+            times.append(record.mean_time)
+        model.fallback, *_ = np.linalg.lstsq(np.array(rows), np.array(times), rcond=None)
+
+        for kind, group in by_kind.items():
+            if len(group) < 3:
+                continue
+            design = np.array(
+                [_features(r.flops, r.input_bytes + r.output_bytes) for r in group]
+            )
+            target = np.array([r.mean_time for r in group])
+            coeffs, *_ = np.linalg.lstsq(design, target, rcond=None)
+            model.coefficients[kind] = coeffs
+        return model
+
+    def predict(self, node: LayerNode) -> float:
+        """Predicted time for a placed layer; clamped at zero.
+
+        The Input pseudo-layer is free by definition (no computation).
+        """
+        if node.kind == "input":
+            return 0.0
+        if self.fallback is None:
+            raise RuntimeError("model is not fitted")
+        coeffs = self.coefficients.get(node.kind, self.fallback)
+        bytes_moved = node.output_bytes + FLOAT32_BYTES * sum(
+            numel(s) for s in node.input_shapes
+        )
+        value = float(coeffs @ _features(node.flops, bytes_moved))
+        return max(value, 0.0)
+
+    def max_relative_error(self, records: list[ProfileRecord]) -> float:
+        """Worst relative prediction error against measured means (diagnostics)."""
+        worst = 0.0
+        for record in records:
+            if record.mean_time <= 0:
+                continue
+            coeffs = self.coefficients.get(record.kind, self.fallback)
+            predicted = float(
+                coeffs @ _features(record.flops, record.input_bytes + record.output_bytes)
+            )
+            worst = max(worst, abs(predicted - record.mean_time) / record.mean_time)
+        return worst
+
+
+@dataclass
+class CommLatencyModel:
+    """The paper's ``t = w0 + w1 * r`` communication regression."""
+
+    w0: float = 0.0
+    w1: float = 0.0
+    fitted: bool = False
+
+    @classmethod
+    def fit(cls, samples: list[CommSample]) -> "CommLatencyModel":
+        """Fit setup latency and per-ratio slope from transfer samples."""
+        if len(samples) < 2:
+            raise ValueError("need at least two communication samples to fit")
+        ratios = np.array([s.payload_bytes / s.bandwidth_bps for s in samples])
+        times = np.array([s.time for s in samples])
+        design = np.column_stack([np.ones_like(ratios), ratios])
+        (w0, w1), *_ = np.linalg.lstsq(design, times, rcond=None)
+        return cls(w0=float(w0), w1=float(w1), fitted=True)
+
+    def predict(self, payload_bytes: float, bandwidth_bps: float) -> float:
+        """Predicted upload time; zero payloads never touch the network."""
+        if not self.fitted:
+            raise RuntimeError("model is not fitted")
+        if payload_bytes == 0:
+            return 0.0
+        return max(self.w0 + self.w1 * payload_bytes / bandwidth_bps, 0.0)
+
+    @property
+    def effective_bits_per_byte(self) -> float:
+        """w1 expressed as wire bits per payload byte (ideal framing = 8)."""
+        return self.w1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CommLatencyModel(w0={self.w0:.6f}s, w1={self.w1:.3f})"

@@ -1,0 +1,34 @@
+"""System prototype: serialization, simulated RPC, client/server, scheduler."""
+
+from repro.runtime.client import JobReport, MobileClient, RuntimeResult
+from repro.runtime.messages import InferenceReply, InferenceRequest
+from repro.runtime.rpc import RpcStats, SimulatedRpc, VirtualClock
+from repro.runtime.scheduler_runtime import OnDeviceScheduler, PlanResult
+from repro.runtime.serialization import (
+    SerializationError,
+    deserialize_tensor,
+    serialize_tensor,
+    serialized_size,
+)
+from repro.runtime.server import CloudServer
+from repro.runtime.system import OffloadingSystem, SystemRun
+
+__all__ = [
+    "CloudServer",
+    "InferenceReply",
+    "InferenceRequest",
+    "JobReport",
+    "MobileClient",
+    "OffloadingSystem",
+    "OnDeviceScheduler",
+    "PlanResult",
+    "RpcStats",
+    "RuntimeResult",
+    "SerializationError",
+    "SimulatedRpc",
+    "SystemRun",
+    "VirtualClock",
+    "deserialize_tensor",
+    "serialize_tensor",
+    "serialized_size",
+]

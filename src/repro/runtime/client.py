@@ -1,0 +1,170 @@
+"""The mobile client: executes planned schedules with real message sizes.
+
+Two execution paths, mirroring how the testbed is used:
+
+* :meth:`MobileClient.run_job` — one blocking inference round trip
+  through :class:`~repro.runtime.rpc.SimulatedRpc` (load input →
+  compute the mobile half → serialize → request → reply). Used by the
+  quickstart example and for calibrating the communication regression.
+* :meth:`MobileClient.run_schedule` — pipelined execution of a whole
+  schedule on the discrete-event engine, with stage durations derived
+  from ground-truth device models and the *actual serialized* sizes of
+  the cut tensors (so planning error — the scheduler used estimates —
+  shows up as a plan-vs-execution gap in the report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.plans import JobPlan, Schedule
+from repro.dag.cuts import cut_edge_tails
+from repro.net.channel import Channel
+from repro.nn.network import Network
+from repro.profiling.device import DeviceModel
+from repro.runtime.messages import InferenceRequest
+from repro.runtime.rpc import SimulatedRpc
+from repro.runtime.serialization import serialize_tensor
+from repro.runtime.server import CloudServer
+from repro.sim.pipeline import PipelineResult, simulate_schedule
+
+__all__ = ["JobReport", "RuntimeResult", "MobileClient"]
+
+
+@dataclass(frozen=True)
+class JobReport:
+    """Planned vs executed stage lengths of one job."""
+
+    job_id: int
+    cut_label: str
+    planned_compute: float
+    actual_compute: float
+    planned_comm: float
+    actual_comm: float
+    payload_bytes: int
+
+
+@dataclass
+class RuntimeResult:
+    """Outcome of executing one schedule end to end."""
+
+    schedule: Schedule
+    pipeline: PipelineResult
+    reports: list[JobReport]
+
+    @property
+    def makespan(self) -> float:
+        return self.pipeline.makespan
+
+    @property
+    def planned_makespan(self) -> float:
+        return self.schedule.makespan
+
+    @property
+    def max_stage_error(self) -> float:
+        """Largest relative plan-vs-execution stage discrepancy."""
+        worst = 0.0
+        for r in self.reports:
+            for planned, actual in ((r.planned_compute, r.actual_compute),
+                                    (r.planned_comm, r.actual_comm)):
+                if actual > 0:
+                    worst = max(worst, abs(planned - actual) / actual)
+        return worst
+
+
+@dataclass
+class MobileClient:
+    """The Raspberry-Pi side of the prototype."""
+
+    device: DeviceModel
+    channel: Channel
+    server: CloudServer
+    networks: dict[str, Network] = field(default_factory=dict)
+
+    def register(self, network: Network) -> None:
+        self.networks[network.name] = network
+        self.server.register(network)
+
+    def _network(self, name: str) -> Network:
+        try:
+            return self.networks[name]
+        except KeyError:
+            raise KeyError(
+                f"model {name!r} not loaded on the client; loaded: {sorted(self.networks)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def _execution_facts(self, network: Network, plan: JobPlan) -> tuple[float, float, int, tuple[str, ...]]:
+        """(actual compute, actual comm, payload bytes, frontier) of a plan."""
+        if plan.mobile_nodes is None:
+            raise ValueError(
+                f"job {plan.job_id} has no mobile node set; build plans from a "
+                "graph-backed cost table to execute them"
+            )
+        graph = network.graph
+        compute = sum(
+            self.device.layer_time(network.node(v)) for v in plan.mobile_nodes
+        )
+        frontier = tuple(cut_edge_tails(graph, plan.mobile_nodes))
+        if len(plan.mobile_nodes) == len(graph):
+            payload = b""
+        else:
+            tensors = [
+                np.zeros(network.node(v).output_shape, dtype=np.float32)
+                for v in frontier
+            ]
+            payload = b"".join(serialize_tensor(t) for t in tensors)
+        comm = self.channel.uplink_time(len(payload)) if payload else 0.0
+        return compute, comm, len(payload), frontier
+
+    def run_job(self, rpc: SimulatedRpc, plan: JobPlan) -> float:
+        """One sequential round trip; returns its end-to-end latency."""
+        network = self._network(plan.model)
+        compute, _, _, frontier = self._execution_facts(network, plan)
+        start = rpc.clock.now
+        rpc.clock.advance(compute)
+        if len(plan.mobile_nodes or ()) != len(network.graph):
+            tensors = [
+                np.zeros(network.node(v).output_shape, dtype=np.float32)
+                for v in frontier
+            ]
+            request = InferenceRequest(
+                job_id=plan.job_id,
+                model=plan.model,
+                cut_frontier=frontier,
+                payload=b"".join(serialize_tensor(t) for t in tensors),
+            )
+            rpc.call(request)
+        return rpc.clock.now - start
+
+    def run_schedule(self, schedule: Schedule, include_cloud: bool = True) -> RuntimeResult:
+        """Pipelined execution of a planned schedule (ground-truth costs)."""
+        reports: list[JobReport] = []
+        executed_plans: list[JobPlan] = []
+        for plan in schedule.jobs:
+            network = self._network(plan.model)
+            compute, comm, payload_bytes, _ = self._execution_facts(network, plan)
+            reports.append(
+                JobReport(
+                    job_id=plan.job_id,
+                    cut_label=plan.cut_label,
+                    planned_compute=plan.compute_time,
+                    actual_compute=compute,
+                    planned_comm=plan.comm_time,
+                    actual_comm=comm,
+                    payload_bytes=payload_bytes,
+                )
+            )
+            executed_plans.append(
+                replace(plan, compute_time=compute, comm_time=comm)
+            )
+        executed = Schedule(
+            jobs=tuple(executed_plans),
+            makespan=schedule.makespan,  # planned value; pipeline yields actual
+            method=schedule.method,
+            metadata=dict(schedule.metadata),
+        )
+        pipeline = simulate_schedule(executed, include_cloud=include_cloud)
+        return RuntimeResult(schedule=schedule, pipeline=pipeline, reports=reports)

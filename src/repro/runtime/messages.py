@@ -1,0 +1,50 @@
+"""Request/reply records — the gRPC message analog of §6.1.
+
+The reply carries the server's computation time, which is how the
+testbed's client separates communication delay from cloud compute when
+training its regression model; the runtime prototype preserves that
+protocol detail so the same estimation pipeline works on its traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["InferenceRequest", "InferenceReply"]
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """Client → server: the serialized cut tensor plus routing info."""
+
+    job_id: int
+    model: str
+    cut_frontier: tuple[str, ...]  # layer(s) whose outputs are attached
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if not self.model:
+            raise ValueError("model name must be non-empty")
+        if not isinstance(self.payload, (bytes, bytearray)):
+            raise TypeError("payload must be bytes")
+
+    @property
+    def payload_bytes(self) -> int:
+        return len(self.payload)
+
+
+@dataclass(frozen=True)
+class InferenceReply:
+    """Server → client: the classification result and server timing."""
+
+    job_id: int
+    payload: bytes
+    server_compute_time: float
+
+    def __post_init__(self) -> None:
+        if self.server_compute_time < 0:
+            raise ValueError("server_compute_time must be >= 0")
+
+    @property
+    def payload_bytes(self) -> int:
+        return len(self.payload)

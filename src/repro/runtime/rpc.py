@@ -1,0 +1,82 @@
+"""Simulated RPC transport with a virtual clock.
+
+Bridges the client and server objects through the
+:class:`repro.net.Channel` model: a call charges the uplink for the
+*actual encoded request size*, lets the server handle the message, then
+charges the downlink for the reply. Timestamps come from a shared
+:class:`VirtualClock` rather than wall time, so experiments are fast and
+deterministic while preserving the testbed's timing protocol (the
+client-side timer spans send → reply, and subtracting the server's
+reported compute time yields the pure communication delay — exactly how
+§6.1 trains the communication regression).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.channel import Channel
+from repro.runtime.messages import InferenceReply, InferenceRequest
+from repro.runtime.server import CloudServer
+
+__all__ = ["VirtualClock", "RpcStats", "SimulatedRpc"]
+
+
+@dataclass
+class VirtualClock:
+    """A monotonically advancing simulated clock."""
+
+    now: float = 0.0
+
+    def advance(self, delta: float) -> float:
+        if delta < 0:
+            raise ValueError(f"cannot advance clock by {delta}")
+        self.now += delta
+        return self.now
+
+
+@dataclass(frozen=True)
+class RpcStats:
+    """Timing breakdown of one round trip (the client's timer view)."""
+
+    request_bytes: int
+    reply_bytes: int
+    send_time: float
+    receive_time: float
+    server_compute_time: float
+
+    @property
+    def round_trip(self) -> float:
+        return self.receive_time - self.send_time
+
+    @property
+    def communication_delay(self) -> float:
+        """``td - tc``: what the paper's regression trains on."""
+        return self.round_trip - self.server_compute_time
+
+
+@dataclass
+class SimulatedRpc:
+    """Client-side stub calling a :class:`CloudServer` over a channel."""
+
+    channel: Channel
+    server: CloudServer
+    clock: VirtualClock = field(default_factory=VirtualClock)
+    call_log: list[RpcStats] = field(default_factory=list)
+
+    def call(self, request: InferenceRequest) -> InferenceReply:
+        """One blocking round trip; advances the virtual clock."""
+        send_time = self.clock.now
+        self.clock.advance(self.channel.uplink_time(len(request.payload)))
+        reply = self.server.handle(request)
+        self.clock.advance(reply.server_compute_time)
+        self.clock.advance(self.channel.downlink_time(len(reply.payload)))
+        stats = RpcStats(
+            request_bytes=len(request.payload),
+            reply_bytes=len(reply.payload),
+            send_time=send_time,
+            receive_time=self.clock.now,
+            server_compute_time=reply.server_compute_time,
+        )
+        self.call_log.append(stats)
+        return reply

@@ -1,0 +1,80 @@
+"""Tensor serialization — the offline analog of ``torch.save`` to BytesIO.
+
+The testbed serializes intermediate tensors into an in-memory buffer
+before handing them to gRPC; the transfer time therefore depends on the
+*encoded* size (raw data + header), not the tensor's nominal element
+count. This module performs real byte-level encoding so the runtime
+prototype's message sizes — and thus its communication times — include
+the same framing overhead.
+
+Format: magic, version, dtype tag, ndim, shape (u32 little-endian each),
+then the C-contiguous raw buffer.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+__all__ = ["serialize_tensor", "deserialize_tensor", "serialized_size", "SerializationError"]
+
+_MAGIC = b"RPT1"
+_DTYPES: dict[str, int] = {"float32": 1, "float64": 2, "int32": 3, "int64": 4, "uint8": 5}
+_DTYPE_NAMES = {v: k for k, v in _DTYPES.items()}
+_HEADER = struct.Struct("<4sBBH")  # magic, version, dtype tag, ndim
+
+
+class SerializationError(ValueError):
+    """Raised on malformed payloads or unsupported dtypes."""
+
+
+def serialize_tensor(array: np.ndarray) -> bytes:
+    """Encode ``array`` into the wire format."""
+    dtype_name = array.dtype.name
+    if dtype_name not in _DTYPES:
+        raise SerializationError(f"unsupported dtype {dtype_name!r}")
+    if array.ndim > 0xFFFF:
+        raise SerializationError("too many dimensions")
+    data = np.ascontiguousarray(array)
+    header = _HEADER.pack(_MAGIC, 1, _DTYPES[dtype_name], array.ndim)
+    dims = struct.pack(f"<{array.ndim}I", *array.shape)
+    return header + dims + data.tobytes()
+
+
+def deserialize_tensor(payload: bytes) -> np.ndarray:
+    """Decode a payload produced by :func:`serialize_tensor`."""
+    if len(payload) < _HEADER.size:
+        raise SerializationError("payload shorter than header")
+    magic, version, dtype_tag, ndim = _HEADER.unpack_from(payload, 0)
+    if magic != _MAGIC:
+        raise SerializationError(f"bad magic {magic!r}")
+    if version != 1:
+        raise SerializationError(f"unsupported version {version}")
+    if dtype_tag not in _DTYPE_NAMES:
+        raise SerializationError(f"unknown dtype tag {dtype_tag}")
+    offset = _HEADER.size
+    try:
+        shape = struct.unpack_from(f"<{ndim}I", payload, offset)
+    except struct.error as exc:
+        raise SerializationError("truncated shape header") from exc
+    offset += 4 * ndim
+    dtype = np.dtype(_DTYPE_NAMES[dtype_tag])
+    expected = int(np.prod(shape)) * dtype.itemsize if ndim else dtype.itemsize
+    body = payload[offset:]
+    if len(body) != expected:
+        raise SerializationError(
+            f"body length {len(body)} does not match shape {shape} ({expected} bytes)"
+        )
+    return np.frombuffer(body, dtype=dtype).reshape(shape).copy()
+
+
+def serialized_size(shape: tuple[int, ...], dtype: str = "float32") -> int:
+    """Wire size of a tensor without materializing it (planning use)."""
+    if dtype not in _DTYPES:
+        raise SerializationError(f"unsupported dtype {dtype!r}")
+    itemsize = np.dtype(dtype).itemsize
+    count = 1
+    for d in shape:
+        count *= d
+    return _HEADER.size + 4 * len(shape) + count * itemsize

@@ -1,0 +1,76 @@
+"""The cloud server: receives cut tensors, runs the remaining layers.
+
+The offline analog of the PC-side gRPC service. "Running" a layer means
+advancing the server's accounted compute time by the device model's
+prediction and propagating tensor shapes — the data content is not
+needed by any downstream consumer, but shapes, byte counts and the
+mobile/cloud hand-off protocol are all exercised for real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.network import Network
+from repro.profiling.device import DeviceModel
+from repro.runtime.messages import InferenceReply, InferenceRequest
+from repro.runtime.serialization import deserialize_tensor, serialize_tensor
+
+__all__ = ["CloudServer"]
+
+
+@dataclass
+class CloudServer:
+    """Holds the pre-cut server-side model halves (§6.1: models are
+    "pre-cut at all possible partition points and initialized")."""
+
+    device: DeviceModel
+    networks: dict[str, Network] = field(default_factory=dict)
+    requests_served: int = 0
+    total_compute_time: float = 0.0
+
+    def register(self, network: Network) -> None:
+        """Make a model available for server-side completion."""
+        self.networks[network.name] = network
+
+    def handle(self, request: InferenceRequest) -> InferenceReply:
+        """Execute the layers downstream of the request's cut frontier."""
+        try:
+            network = self.networks[request.model]
+        except KeyError:
+            raise KeyError(
+                f"model {request.model!r} not initialized on the server; "
+                f"registered: {sorted(self.networks)}"
+            ) from None
+
+        tensor = deserialize_tensor(request.payload)  # validates the wire format
+
+        graph = network.graph
+        frontier = set(request.cut_frontier)
+        unknown = frontier - set(graph.node_ids)
+        if unknown:
+            raise ValueError(f"cut frontier references unknown layers {sorted(unknown)}")
+
+        # the mobile side computed the frontier and everything before it
+        mobile_side: set[str] = set(frontier)
+        for node in frontier:
+            mobile_side |= graph.ancestors(node)
+
+        compute_time = 0.0
+        for node_id in graph.topological_order():
+            if node_id in mobile_side:
+                continue
+            compute_time += self.device.layer_time(network.node(node_id))
+
+        self.requests_served += 1
+        self.total_compute_time += compute_time
+
+        result = np.zeros(network.output_shape, dtype=np.float32)
+        del tensor  # consumed; only its shape/bytes mattered
+        return InferenceReply(
+            job_id=request.job_id,
+            payload=serialize_tensor(result),
+            server_compute_time=compute_time,
+        )

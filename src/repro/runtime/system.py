@@ -1,0 +1,99 @@
+"""End-to-end facade wiring the whole prototype together.
+
+:class:`OffloadingSystem` is the single object the examples use: it
+builds the device models, the shaped channel, the cloud server, the
+mobile client, and the calibrated on-device scheduler, and exposes
+``run(model, n, scheme)`` → plan on estimates, execute on ground truth,
+report both. This is the offline twin of the paper's Raspberry-Pi + PC
+deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.bandwidth import BandwidthPreset, TrafficShaper
+from repro.net.channel import Channel
+from repro.nn.network import Network
+from repro.profiling.device import DeviceModel, gtx1080_server, raspberry_pi_4
+from repro.runtime.client import MobileClient, RuntimeResult
+from repro.runtime.scheduler_runtime import OnDeviceScheduler
+from repro.runtime.server import CloudServer
+from repro.utils.validation import require_positive
+
+__all__ = ["SystemRun", "OffloadingSystem"]
+
+
+@dataclass(frozen=True)
+class SystemRun:
+    """One experiment: what was planned and what actually happened."""
+
+    model: str
+    scheme: str
+    n: int
+    planned_makespan: float
+    executed_makespan: float
+    scheduler_overhead_s: float
+    result: RuntimeResult
+
+    @property
+    def average_completion(self) -> float:
+        return self.executed_makespan / self.n
+
+    @property
+    def plan_error(self) -> float:
+        """Relative planning error against the executed makespan."""
+        if self.executed_makespan == 0:
+            return 0.0
+        return abs(self.planned_makespan - self.executed_makespan) / self.executed_makespan
+
+
+@dataclass
+class OffloadingSystem:
+    """Mobile device + channel + cloud server + calibrated scheduler."""
+
+    channel: Channel
+    mobile: DeviceModel = field(default_factory=raspberry_pi_4)
+    cloud: DeviceModel = field(default_factory=gtx1080_server)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.server = CloudServer(device=self.cloud)
+        self.client = MobileClient(
+            device=self.mobile, channel=self.channel, server=self.server
+        )
+        self.scheduler = OnDeviceScheduler(mobile=self.mobile, cloud=self.cloud)
+        self._networks: list[Network] = []
+
+    @classmethod
+    def at_preset(cls, preset: BandwidthPreset, **kwargs) -> "OffloadingSystem":
+        return cls(channel=Channel(shaper=TrafficShaper.from_preset(preset)), **kwargs)
+
+    def deploy(self, *networks: Network) -> None:
+        """Install models on client and server and calibrate estimators."""
+        for network in networks:
+            self.client.register(network)
+            self._networks.append(network)
+        self.scheduler.calibrate(self._networks, self.channel, seed=self.seed)
+
+    def set_uplink_mbps(self, value: float) -> None:
+        """Reshape the link (the wondershaper step between trials)."""
+        self.channel.shaper.set_uplink_mbps(value)
+
+    def run(self, model: str, n: int, scheme: str = "JPS") -> SystemRun:
+        """Plan on estimates, execute with ground-truth costs, report."""
+        require_positive(n, "n")
+        network = self.client._network(model)
+        planned = self.scheduler.plan(
+            network, n, bandwidth_bps=self.channel.uplink_bps, scheme=scheme
+        )
+        executed = self.client.run_schedule(planned.schedule)
+        return SystemRun(
+            model=model,
+            scheme=scheme,
+            n=n,
+            planned_makespan=planned.schedule.makespan,
+            executed_makespan=executed.makespan,
+            scheduler_overhead_s=planned.overhead_s,
+            result=executed,
+        )

@@ -1,0 +1,139 @@
+"""Failure injection: executing a plan under conditions it wasn't planned for.
+
+The scheduler plans with estimated costs; reality then misbehaves — the
+link degrades mid-burst, a layer stalls, measurement noise was larger
+than calibrated. This module perturbs *executed* stage lengths (never
+the plan) so robustness can be measured:
+
+* :func:`perturbed_schedule` — multiplicative faults on compute/comm
+  stages (log-normal jitter plus a bandwidth scale factor).
+* :func:`straggler_schedule` — one job's computation stage is inflated
+  (a stalled kernel / thermal throttle).
+* :func:`two_phase_makespan` — the uplink rate changes after a given
+  number of jobs; compares an *oblivious* device (keeps the stale cuts)
+  against an *adaptive* one (replans the remaining jobs on the new cost
+  table, as the AR example's re-planning loop does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.joint import jps_line
+from repro.core.plans import JobPlan, Schedule
+from repro.core.scheduling import flow_shop_makespan, schedule_jobs
+from repro.profiling.latency import CostTable
+from repro.utils.rng import make_rng
+from repro.utils.validation import require_in_range, require_non_negative, require_positive
+
+__all__ = [
+    "perturbed_schedule",
+    "straggler_schedule",
+    "executed_makespan",
+    "two_phase_makespan",
+]
+
+
+def perturbed_schedule(
+    schedule: Schedule,
+    seed: int | np.random.Generator | None = None,
+    compute_jitter: float = 0.0,
+    comm_jitter: float = 0.0,
+    bandwidth_scale: float = 1.0,
+) -> Schedule:
+    """A copy of ``schedule`` with perturbed *execution* stage lengths.
+
+    ``*_jitter`` are log-normal sigmas (0 = exact); ``bandwidth_scale``
+    multiplies every communication stage (0.5 = the link halved). The
+    job order is preserved — the device already committed to it.
+    """
+    require_non_negative(compute_jitter, "compute_jitter")
+    require_non_negative(comm_jitter, "comm_jitter")
+    require_positive(bandwidth_scale, "bandwidth_scale")
+    rng = make_rng(seed)
+    jobs = []
+    for plan in schedule.jobs:
+        compute = plan.compute_time * (
+            rng.lognormal(0.0, compute_jitter) if compute_jitter else 1.0
+        )
+        comm = plan.comm_time / bandwidth_scale * (
+            rng.lognormal(0.0, comm_jitter) if comm_jitter else 1.0
+        )
+        jobs.append(replace(plan, compute_time=compute, comm_time=comm))
+    return Schedule(
+        jobs=tuple(jobs),
+        makespan=flow_shop_makespan([j.stages for j in jobs]),
+        method=f"{schedule.method}/perturbed",
+        metadata={**schedule.metadata, "bandwidth_scale": bandwidth_scale},
+    )
+
+
+def straggler_schedule(
+    schedule: Schedule, job_index: int, slowdown: float
+) -> Schedule:
+    """Inflate one job's computation stage by ``slowdown``x."""
+    require_positive(slowdown, "slowdown")
+    if not 0 <= job_index < len(schedule.jobs):
+        raise IndexError(f"job_index {job_index} out of range")
+    jobs = list(schedule.jobs)
+    victim = jobs[job_index]
+    jobs[job_index] = replace(victim, compute_time=victim.compute_time * slowdown)
+    return Schedule(
+        jobs=tuple(jobs),
+        makespan=flow_shop_makespan([j.stages for j in jobs]),
+        method=f"{schedule.method}/straggler",
+        metadata={**schedule.metadata, "straggler": job_index, "slowdown": slowdown},
+    )
+
+
+def executed_makespan(schedule: Schedule) -> float:
+    """Exact makespan of executing the schedule's jobs in their order."""
+    return flow_shop_makespan([j.stages for j in schedule.jobs])
+
+
+def _stages_under(table: CostTable, plan: JobPlan) -> tuple[float, float]:
+    """Re-price a plan's cut position on a different cost table."""
+    return table.stage_lengths(plan.cut_position)
+
+
+def two_phase_makespan(
+    table_before: CostTable,
+    table_after: CostTable,
+    n: int,
+    switch_after: int,
+) -> tuple[float, float]:
+    """(oblivious, adaptive) makespans for a mid-burst bandwidth change.
+
+    Plans ``n`` jobs on ``table_before``. The first ``switch_after``
+    jobs execute as planned; then the link changes so the remaining jobs
+    pay ``table_after`` prices. Oblivious: keep the stale cuts. Adaptive:
+    replan the remaining jobs with JPS on the new table (keeping the
+    committed prefix). Both makespans are exact flow-shop values.
+    """
+    require_positive(n, "n")
+    require_in_range(switch_after, 0, n, "switch_after")
+    if table_before.k != table_after.k:
+        raise ValueError("cost tables must describe the same cut positions")
+
+    planned = jps_line(table_before, n)
+    prefix = list(planned.jobs[:switch_after])
+    stale_suffix = [
+        replace(plan, compute_time=_stages_under(table_after, plan)[0],
+                comm_time=_stages_under(table_after, plan)[1])
+        for plan in planned.jobs[switch_after:]
+    ]
+    oblivious = flow_shop_makespan(
+        [p.stages for p in prefix] + [p.stages for p in stale_suffix]
+    )
+
+    remaining = n - switch_after
+    if remaining == 0:
+        return oblivious, oblivious
+    replanned = jps_line(table_after, remaining)
+    adaptive_suffix = schedule_jobs(replanned.jobs).jobs
+    adaptive = flow_shop_makespan(
+        [p.stages for p in prefix] + [p.stages for p in adaptive_suffix]
+    )
+    return oblivious, adaptive

@@ -1,0 +1,66 @@
+"""Trace utilities: validation against the analytic model, ASCII Gantt.
+
+The simulator and the closed-form flow-shop recurrence are developed
+independently; ``validate_against_recurrence`` cross-checks them, and
+the test-suite runs it on every scheme so a bug in either side surfaces
+as a disagreement.
+"""
+
+from __future__ import annotations
+
+from repro.core.plans import Schedule
+from repro.core.scheduling import flow_shop_completion_times
+from repro.sim.pipeline import PipelineResult
+
+__all__ = ["validate_against_recurrence", "render_gantt"]
+
+
+def validate_against_recurrence(
+    result: PipelineResult, schedule: Schedule, tolerance: float = 1e-9
+) -> None:
+    """Assert the DES timeline matches the 2-stage flow-shop recurrence.
+
+    Only meaningful for ``include_cloud=False`` runs; raises
+    :class:`AssertionError` with the first disagreeing job otherwise.
+    """
+    if result.metadata.get("include_cloud"):
+        raise ValueError("recurrence validation applies to 2-stage simulations only")
+    expected = flow_shop_completion_times([p.stages for p in schedule.jobs])
+    for trace, plan, (c1, c2) in zip(result.traces, schedule.jobs, expected):
+        sim_c1 = trace.compute.end if trace.compute else 0.0
+        sim_c2 = trace.comm.end if trace.comm else sim_c1
+        if abs(sim_c1 - c1) > tolerance:
+            raise AssertionError(
+                f"job {plan.job_id}: compute completion {sim_c1} != analytic {c1}"
+            )
+        if abs(sim_c2 - c2) > tolerance:
+            raise AssertionError(
+                f"job {plan.job_id}: pipeline completion {sim_c2} != analytic {c2}"
+            )
+    analytic_makespan = expected[-1][1] if expected else 0.0
+    if abs(result.makespan - analytic_makespan) > tolerance:
+        raise AssertionError(
+            f"makespan {result.makespan} != analytic {analytic_makespan}"
+        )
+
+
+def render_gantt(result: PipelineResult, width: int = 72) -> str:
+    """ASCII Gantt chart of the mobile / uplink / cloud busy intervals.
+
+    One row per resource; ``#`` marks busy time. Intended for examples
+    and debugging output, mirroring the paper's Fig. 1/Fig. 6 timelines.
+    """
+    if result.makespan <= 0:
+        return "(empty timeline)"
+    scale = width / result.makespan
+    lines = []
+    for resource in (result.mobile, result.uplink, result.cloud):
+        row = [" "] * width
+        for busy in resource.busy_log:
+            lo = min(int(busy.start * scale), width - 1)
+            hi = max(min(int(busy.end * scale), width), lo + 1)
+            for i in range(lo, hi):
+                row[i] = "#"
+        lines.append(f"{resource.name:>10s} |{''.join(row)}|")
+    lines.append(f"{'':>10s}  0{'':{width - 10}s}{result.makespan * 1e3:8.1f} ms")
+    return "\n".join(lines)

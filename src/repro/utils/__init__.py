@@ -1,0 +1,6 @@
+"""Shared utilities: units, validation, deterministic RNG."""
+
+from repro.utils import units, validation
+from repro.utils.rng import DEFAULT_SEED, make_rng, spawn
+
+__all__ = ["units", "validation", "DEFAULT_SEED", "make_rng", "spawn"]

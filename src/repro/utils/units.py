@@ -1,0 +1,88 @@
+"""Unit helpers and constants.
+
+The whole library uses a single set of base units so that quantities can
+be combined without conversion mistakes:
+
+* time        — seconds (``float``)
+* data size   — bytes (``int`` or ``float``)
+* bandwidth   — bits per second
+* computation — floating point operations (FLOPs; multiply-accumulate
+  counted as 2 FLOPs)
+
+The helpers below convert common paper units (Mbps, MB, ms, GFLOPS) into
+base units. They are plain functions instead of a unit-object system: the
+hot loops of the simulator and schedulers operate on raw floats and NumPy
+arrays, and wrapping every scalar would dominate the runtime.
+"""
+
+from __future__ import annotations
+
+#: Bits per byte; used when converting byte counts to transfer times.
+BITS_PER_BYTE = 8
+
+#: Bytes occupied by one float32 tensor element.
+FLOAT32_BYTES = 4
+
+
+def mbps(value: float) -> float:
+    """Convert megabits/second to bits/second."""
+    return value * 1e6
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits/second to bits/second."""
+    return value * 1e3
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits/second to bits/second."""
+    return value * 1e9
+
+
+def mb(value: float) -> float:
+    """Convert megabytes to bytes."""
+    return value * 1e6
+
+
+def kb(value: float) -> float:
+    """Convert kilobytes to bytes."""
+    return value * 1e3
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * 1e-3
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * 1e-6
+
+
+def seconds_to_ms(value: float) -> float:
+    """Convert seconds to milliseconds (for paper-style reporting)."""
+    return value * 1e3
+
+
+def gflops(value: float) -> float:
+    """Convert GFLOP/s to FLOP/s."""
+    return value * 1e9
+
+
+def mflops(value: float) -> float:
+    """Convert MFLOP/s to FLOP/s."""
+    return value * 1e6
+
+
+def transfer_time(num_bytes: float, bandwidth_bps: float) -> float:
+    """Time in seconds to move ``num_bytes`` over a ``bandwidth_bps`` link.
+
+    This is the raw serialization delay with no setup latency; see
+    :class:`repro.net.channel.Channel` for the full model
+    ``t = w0 + w1 * s / b`` used by the paper.
+    """
+    if bandwidth_bps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    return num_bytes * BITS_PER_BYTE / bandwidth_bps

@@ -1,0 +1,89 @@
+"""Shared fixtures: devices, channels, networks, cost tables.
+
+Expensive artifacts (zoo networks, GoogLeNet's frontier table) are
+session-scoped; everything is deterministic (fixed seeds, fixed device
+constants) so failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ExperimentEnv
+from repro.net.bandwidth import FOUR_G, TrafficShaper
+from repro.net.channel import Channel
+from repro.nn import zoo
+from repro.profiling.device import gtx1080_server, raspberry_pi_4
+from repro.profiling.latency import CostTable, line_cost_table
+from repro.utils.units import mbps
+from tests.helpers import make_table
+
+
+@pytest.fixture(scope="session")
+def mobile():
+    return raspberry_pi_4()
+
+
+@pytest.fixture(scope="session")
+def cloud():
+    return gtx1080_server()
+
+
+@pytest.fixture()
+def channel_4g():
+    return Channel.from_preset(FOUR_G)
+
+
+@pytest.fixture()
+def channel_10mbps():
+    return Channel(shaper=TrafficShaper(uplink_bps=mbps(10), downlink_bps=mbps(20)))
+
+
+@pytest.fixture(scope="session")
+def alexnet():
+    return zoo.alexnet()
+
+
+@pytest.fixture(scope="session")
+def mobilenet():
+    return zoo.mobilenet_v2()
+
+
+@pytest.fixture(scope="session")
+def resnet():
+    return zoo.resnet18()
+
+
+@pytest.fixture(scope="session")
+def googlenet():
+    return zoo.googlenet()
+
+
+@pytest.fixture(scope="session")
+def branchy():
+    return zoo.branchy_dnn()
+
+
+@pytest.fixture(scope="session")
+def mini_inception():
+    return zoo.mini_inception(2)
+
+
+@pytest.fixture()
+def alexnet_table(alexnet, mobile, cloud, channel_10mbps) -> CostTable:
+    return line_cost_table(alexnet, mobile, cloud, channel_10mbps)
+
+
+@pytest.fixture(scope="session")
+def env() -> ExperimentEnv:
+    return ExperimentEnv()
+
+
+@pytest.fixture()
+def simple_table() -> CostTable:
+    """A well-behaved 8-position table: f linear, g geometric decay."""
+    f = np.linspace(0.0, 0.7, 8)
+    g = np.array([0.8 * 0.5**i for i in range(8)])
+    g[-1] = 0.0
+    return make_table(f, g)

@@ -1,0 +1,22 @@
+"""Test helpers shared across modules (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.profiling.latency import CostTable
+
+
+def make_table(f, g, cloud=None, name="synthetic") -> CostTable:
+    """Construct a CostTable straight from arrays (test convenience)."""
+    f = np.asarray(f, dtype=float)
+    g = np.asarray(g, dtype=float)
+    if cloud is None:
+        cloud = np.linspace(0.0, 1e-3, len(f))
+    return CostTable(
+        model_name=name,
+        positions=tuple(f"l{i}" for i in range(len(f))),
+        f=f,
+        g=g,
+        cloud=np.asarray(cloud, dtype=float),
+    )

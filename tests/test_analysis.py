@@ -1,0 +1,83 @@
+"""Lower bounds, utilization, speedup reports."""
+
+import pytest
+
+from repro.core.analysis import (
+    best_single_cut_rate,
+    fractional_lower_bound,
+    speedup_report,
+    utilization_report,
+)
+from repro.core.baselines import brute_force, cloud_only, local_only, partition_only
+from repro.core.joint import jps_line
+from repro.sim.pipeline import simulate_schedule
+from tests.helpers import make_table
+
+
+def test_lower_bound_below_every_scheme(alexnet_table):
+    n = 20
+    bound = fractional_lower_bound(alexnet_table, n)
+    for scheme in (local_only, cloud_only, partition_only):
+        assert bound <= scheme(alexnet_table, n).makespan + 1e-9
+    assert bound <= jps_line(alexnet_table, n).makespan + 1e-9
+    assert bound <= brute_force(alexnet_table, 4).makespan * 5 + 1e-9
+
+
+def test_lower_bound_is_tight_for_jps(alexnet_table):
+    """JPS approaches the fractional bound as n grows (end effects amortize)."""
+    n = 200
+    bound = fractional_lower_bound(alexnet_table, n)
+    jps = jps_line(alexnet_table, n).makespan
+    assert jps >= bound
+    assert jps <= bound * 1.10
+
+
+def test_lower_bound_degenerate_single_position():
+    table = make_table(f=[2.0], g=[0.0])
+    assert fractional_lower_bound(table, 5) == pytest.approx(10.0)
+
+
+def test_lower_bound_mixture_beats_single_cut():
+    # two positions: (1, 3) and (3, 1); best single cut rate = 3,
+    # the 50/50 mixture achieves rate 2
+    table = make_table(f=[1.0, 3.0], g=[3.0, 1.0])
+    _, single = best_single_cut_rate(table)
+    assert single == pytest.approx(3.0)
+    assert fractional_lower_bound(table, 10) == pytest.approx(20.0)
+
+
+def test_best_single_cut_rate(alexnet_table):
+    position, rate = best_single_cut_rate(alexnet_table)
+    assert rate == pytest.approx(
+        max(alexnet_table.f[position], alexnet_table.g[position])
+    )
+    for i in range(alexnet_table.k):
+        assert rate <= max(alexnet_table.f[i], alexnet_table.g[i]) + 1e-12
+
+
+def test_lower_bound_validation(alexnet_table):
+    with pytest.raises(ValueError):
+        fractional_lower_bound(alexnet_table, 0)
+
+
+def test_utilization_report(alexnet_table):
+    schedule = jps_line(alexnet_table, 10)
+    report = utilization_report(simulate_schedule(schedule))
+    assert report.makespan == pytest.approx(schedule.makespan)
+    assert 0 < report.mobile_utilization <= 1
+    assert 0 < report.uplink_utilization <= 1
+    assert report.cloud_utilization == 0.0  # 2-stage run
+    assert report.bottleneck in ("mobile", "uplink")
+
+
+def test_speedup_report(alexnet_table):
+    schedules = {
+        "LO": local_only(alexnet_table, 10),
+        "PO": partition_only(alexnet_table, 10),
+        "JPS": jps_line(alexnet_table, 10),
+    }
+    reductions = speedup_report(schedules)
+    assert set(reductions) == {"PO", "JPS"}
+    assert reductions["JPS"] >= reductions["PO"]
+    with pytest.raises(KeyError):
+        speedup_report(schedules, baseline="CO")

@@ -1,0 +1,70 @@
+"""ASCII plot renderer."""
+
+import pytest
+
+from repro.experiments.ascii_plot import line_plot
+
+
+def test_basic_plot_shape():
+    art = line_plot([1, 2, 3], {"a": [1.0, 2.0, 3.0]}, width=20, height=6, title="T")
+    lines = art.splitlines()
+    assert lines[0] == "T"
+    assert len(lines) == 1 + 6 + 3  # title + grid + axis + labels + legend
+    assert "o=a" in lines[-1]
+
+
+def test_plot_positions_extremes():
+    art = line_plot([0, 10], {"s": [0.0, 100.0]}, width=11, height=5)
+    lines = art.splitlines()
+    # min value at bottom-left, max at top-right
+    assert lines[0].rstrip().endswith("o|")
+    assert "o" in lines[4]
+
+
+def test_multiple_series_get_distinct_glyphs():
+    art = line_plot([1, 2], {"a": [1, 2], "b": [2, 1]}, width=10, height=4)
+    assert "o=a" in art and "x=b" in art
+
+
+def test_log_scale():
+    art = line_plot([1, 2, 3], {"a": [1, 10, 100]}, log_y=True, width=10, height=7)
+    assert "(log y)" in art
+    # log spacing: the three decades land on three distinct grid rows
+    grid_rows = [line for line in art.splitlines() if "|" in line]
+    rows_with_glyph = [i for i, line in enumerate(grid_rows) if "o" in line]
+    assert len(rows_with_glyph) == 3
+
+
+def test_log_scale_rejects_non_positive():
+    with pytest.raises(ValueError, match="non-positive"):
+        line_plot([1, 2], {"a": [0.0, 1.0]}, log_y=True)
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError, match="length"):
+        line_plot([1, 2], {"a": [1.0]})
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        line_plot([], {})
+
+
+def test_constant_series_renders():
+    art = line_plot([1, 2, 3], {"flat": [5.0, 5.0, 5.0]}, width=12, height=4)
+    assert "o" in art
+
+
+def test_fig13_style_usage(env):
+    """Render an actual Fig. 13 sweep without blowing up."""
+    from repro.experiments import fig13
+
+    curves = fig13.run(env, models=["alexnet"], bandwidths_mbps=[1, 10, 40], n=10)
+    curve = curves[0]
+    art = line_plot(
+        curve.bandwidths_mbps,
+        {s: [v * 1e3 for v in vs] for s, vs in curve.latency_s.items()},
+        log_y=True,
+        title="Fig 13 (ascii)",
+    )
+    assert "LO" in art and "JPS" in art

@@ -1,0 +1,121 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv: str) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+def test_models_command(capsys):
+    out = run_cli(capsys, "models")
+    assert "alexnet" in out and "googlenet" in out
+    assert "general" in out and "line" in out
+
+
+def test_summary_command(capsys):
+    out = run_cli(capsys, "summary", "nin")
+    assert "nin" in out and "GFLOPs" in out
+
+
+def test_table_command(capsys):
+    out = run_cli(capsys, "table", "alexnet", "--mbps", "10")
+    assert "cut positions" in out
+    assert "f (ms)" in out
+
+
+def test_plan_command(capsys):
+    out = run_cli(capsys, "plan", "alexnet", "-n", "10", "--mbps", "10")
+    assert "JPS" in out and "makespan" in out and "l*" in out
+
+
+def test_plan_with_gantt(capsys):
+    out = run_cli(capsys, "plan", "alexnet", "-n", "6", "--mbps", "10", "--gantt")
+    assert "mobile-cpu" in out and "uplink" in out
+
+
+def test_plan_baseline_scheme(capsys):
+    out = run_cli(capsys, "plan", "alexnet", "-n", "5", "--scheme", "LO")
+    assert "LO" in out
+
+
+def test_compare_command(capsys):
+    out = run_cli(capsys, "compare", "alexnet", "-n", "20", "--mbps", "10")
+    assert "LP-LB" in out
+    assert "reduction vs LO" in out
+    # JPS row present and the bound row is last numeric row
+    assert "JPS" in out
+
+
+def test_experiment_fig4(capsys):
+    out = run_cli(capsys, "experiment", "fig4")
+    assert "Fig. 4" in out
+
+
+def test_experiment_table1(capsys):
+    out = run_cli(capsys, "experiment", "table1")
+    assert "Table 1" in out
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(SystemExit):
+        main(["summary", "alexnet-9000"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_parser_help_lists_commands():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in ("models", "summary", "table", "plan", "compare", "experiment"):
+        assert command in text
+
+
+def test_dot_command(capsys):
+    out = run_cli(capsys, "dot", "alexnet", "--mbps", "10")
+    assert out.startswith("digraph")
+    assert "fillcolor" in out          # the JPS cut is highlighted
+    assert "penwidth=2.5" in out       # crossing edges marked
+
+
+def test_dot_command_general_model(capsys):
+    out = run_cli(capsys, "dot", "mini-inception", "--mbps", "10")
+    assert out.startswith("digraph")
+
+
+def test_energy_command(capsys):
+    out = run_cli(capsys, "energy", "alexnet", "--radio", "cellular")
+    assert "Pareto points" in out
+    assert "J" in out
+
+
+def test_campaign_command_roundtrip(capsys, tmp_path):
+    out = run_cli(capsys, "campaign", str(tmp_path / "a.json"), "--quick")
+    assert "campaign saved" in out
+    out = run_cli(
+        capsys, "campaign", str(tmp_path / "b.json"), "--quick",
+        "--compare", str(tmp_path / "a.json"),
+    )
+    assert "no regressions" in out
+
+
+def test_campaign_command_detects_regression(capsys, tmp_path, monkeypatch):
+    import json
+
+    run_cli(capsys, "campaign", str(tmp_path / "a.json"), "--quick")
+    doc = json.loads((tmp_path / "a.json").read_text())
+    doc["fig11"][0]["jps_s"] *= 3.0
+    (tmp_path / "a.json").write_text(json.dumps(doc))
+    from repro.cli import main as cli_main
+
+    code = cli_main(
+        ["campaign", str(tmp_path / "b.json"), "--quick",
+         "--compare", str(tmp_path / "a.json")]
+    )
+    assert code == 1

@@ -1,0 +1,139 @@
+"""Theorem 5.2 machinery: convex models, crossing point, LSE, KKT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.continuous import (
+    ContinuousProblem,
+    ExponentialCommModel,
+    LinearComputeModel,
+    average_makespan,
+    crossing_point,
+    fit_continuous,
+    kkt_stationarity_residual,
+    lse_max,
+)
+
+
+def problem(slope=1.0, scale=10.0, decay=0.5, depth=10.0) -> ContinuousProblem:
+    return ContinuousProblem(
+        f=LinearComputeModel(slope=slope),
+        g=ExponentialCommModel(scale=scale, decay=decay),
+        depth=depth,
+    )
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        LinearComputeModel(slope=0)
+    with pytest.raises(ValueError):
+        ExponentialCommModel(scale=0, decay=1)
+    with pytest.raises(ValueError):
+        ExponentialCommModel(scale=1, decay=-1)
+    with pytest.raises(ValueError):
+        ContinuousProblem(f=LinearComputeModel(1), g=ExponentialCommModel(1, 1), depth=0)
+
+
+def test_model_shapes():
+    p = problem()
+    xs = np.linspace(0, 10, 50)
+    f = np.asarray(p.f(xs))
+    g = np.asarray(p.g(xs))
+    assert np.all(np.diff(f) > 0)      # increasing
+    assert np.all(np.diff(g) < 0)      # decreasing
+    assert np.all(np.diff(np.diff(g)) > -1e-12)  # convex
+
+
+def test_crossing_point_solves_equality():
+    p = problem()
+    x_star = crossing_point(p)
+    assert 0 < x_star < p.depth
+    assert p.f(x_star) == pytest.approx(p.g(x_star), rel=1e-9)
+
+
+def test_crossing_point_clamps():
+    # f rises steeply: the crossing collapses toward the input layer
+    fast = problem(slope=100.0, scale=1.0)
+    assert crossing_point(fast) < 0.05
+    # g dominates everywhere on the domain: clamp to fully local
+    slow = problem(slope=1e-6, scale=100.0, decay=0.01, depth=5.0)
+    assert crossing_point(slow) == 5.0
+
+
+def test_lse_max_converges_from_above():
+    values = np.array([1.0, 3.0, 2.0])
+    for alpha in (1.0, 10.0, 100.0):
+        assert lse_max(values, alpha) >= 3.0
+    assert lse_max(values, 500.0) == pytest.approx(3.0, abs=1e-2)
+    with pytest.raises(ValueError):
+        lse_max(values, 0)
+
+
+def test_average_makespan_domain_check():
+    p = problem()
+    with pytest.raises(ValueError):
+        average_makespan(p, np.array([-1.0]))
+    with pytest.raises(ValueError):
+        average_makespan(p, np.array([99.0]))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    slope=st.floats(0.1, 5.0),
+    scale=st.floats(1.0, 50.0),
+    decay=st.floats(0.1, 1.0),
+    perturbations=st.lists(st.floats(-2.0, 2.0), min_size=1, max_size=8),
+)
+def test_theorem_5_2_symmetric_point_is_optimal(slope, scale, decay, perturbations):
+    """No perturbed assignment beats cutting every job at x*."""
+    p = problem(slope=slope, scale=scale, decay=decay, depth=20.0)
+    x_star = crossing_point(p)
+    n = len(perturbations)
+    best = average_makespan(p, np.full(n, x_star))
+    xs = np.clip(np.full(n, x_star) + np.array(perturbations), 0.0, p.depth)
+    assert average_makespan(p, xs) >= best - 1e-9
+
+
+def test_theorem_5_2_averaging_does_not_help():
+    """Fig. 8(a): pairing x' and x'' around x* still loses (convexity of g)."""
+    p = problem()
+    x_star = crossing_point(p)
+    for delta in (0.5, 1.0, 2.0):
+        xs = np.array([x_star - delta, x_star + delta])
+        assert average_makespan(p, xs) > average_makespan(p, np.array([x_star] * 2))
+
+
+def test_kkt_residual_vanishes_at_crossing():
+    p = problem()
+    x_star = crossing_point(p)
+    at_opt = kkt_stationarity_residual(p, np.full(4, x_star), alpha=500.0)
+    off_opt = kkt_stationarity_residual(p, np.full(4, x_star + 2.0), alpha=500.0)
+    assert at_opt < off_opt
+    assert at_opt < 0.2  # near-stationary at the crossing
+
+
+def test_fit_continuous_recovers_synthetic_table():
+    from tests.helpers import make_table
+
+    idx = np.arange(12, dtype=float)
+    f = 0.05 * idx
+    g = 2.0 * np.exp(-0.4 * idx)
+    g[-1] = 0.0
+    table = make_table(f, g)
+    p = fit_continuous(table)
+    assert p.f.slope == pytest.approx(0.05, rel=0.05)
+    assert p.g.decay == pytest.approx(0.4, rel=0.05)
+    assert p.g.scale == pytest.approx(2.0, rel=0.1)
+
+
+def test_fit_continuous_on_real_model(alexnet_table):
+    p = fit_continuous(alexnet_table)
+    x_star = crossing_point(p)
+    assert 0 <= x_star <= p.depth
+    # discrete crossing and continuous crossing land in the same region
+    from repro.core.partition import binary_search_cut
+
+    l_star = binary_search_cut(alexnet_table)
+    assert abs(x_star - l_star) <= 2.0

@@ -1,0 +1,78 @@
+"""Graph metrics, critical path, DOT export."""
+
+import pytest
+
+from repro.dag.graph import Dag
+from repro.dag.metrics import critical_path, graph_metrics, to_dot
+
+
+def diamond() -> Dag:
+    g = Dag(name="diamond")
+    for v in "abcd":
+        g.add_node(v)
+    g.add_edge("a", "b", 10)
+    g.add_edge("a", "c", 20)
+    g.add_edge("b", "d", 5)
+    g.add_edge("c", "d", 7)
+    return g
+
+
+def test_graph_metrics_diamond():
+    m = graph_metrics(diamond())
+    assert m.nodes == 4 and m.edges == 4
+    assert m.depth == 3
+    assert m.max_width == 2
+    assert m.branch_nodes == 1 and m.merge_nodes == 1
+    assert m.total_edge_bytes == 42
+
+
+def test_graph_metrics_on_zoo(googlenet, alexnet):
+    g = graph_metrics(googlenet.graph)
+    a = graph_metrics(alexnet.graph)
+    assert g.branch_nodes == 9          # one split per Inception module
+    assert g.merge_nodes == 9
+    assert a.branch_nodes == a.merge_nodes == 0
+    assert a.depth == a.nodes           # a line is as deep as it is long
+
+
+def test_critical_path_unit_costs():
+    path, length = critical_path(diamond(), cost=lambda v: 1.0)
+    assert path[0] == "a" and path[-1] == "d"
+    assert length == 3.0
+
+
+def test_critical_path_weighted():
+    costs = {"a": 1.0, "b": 10.0, "c": 1.0, "d": 1.0}
+    path, length = critical_path(diamond(), cost=lambda v: costs[v])
+    assert path == ["a", "b", "d"]
+    assert length == 12.0
+
+
+def test_critical_path_vs_total_on_branchy(branchy, mobile):
+    from repro.profiling.latency import node_mobile_time
+
+    cost = {v: node_mobile_time(branchy.graph.payload(v), mobile)
+            for v in branchy.graph.node_ids}
+    _, critical = critical_path(branchy.graph, cost=lambda v: cost[v])
+    total = sum(cost.values())
+    assert critical < total  # branches expose intra-job parallelism
+
+
+def test_to_dot_plain():
+    dot = to_dot(diamond())
+    assert dot.startswith('digraph "diamond"')
+    assert '"a" -> "b";' in dot
+    assert dot.rstrip().endswith("}")
+
+
+def test_to_dot_highlights_cut():
+    dot = to_dot(diamond(), mobile_nodes={"a", "b"})
+    assert 'fillcolor="#cfe8ff"' in dot
+    # crossing edges a->c and b->d are bold and labelled
+    assert dot.count("penwidth=2.5") == 2
+    assert "KB" in dot
+
+
+def test_to_dot_rejects_unknown_nodes():
+    with pytest.raises(KeyError):
+        to_dot(diamond(), mobile_nodes={"zzz"})

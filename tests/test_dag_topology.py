@@ -1,0 +1,142 @@
+"""Path counting, separators, parallel blocks."""
+
+import networkx as nx
+import pytest
+
+from repro.dag.graph import Dag
+from repro.dag.topology import (
+    PathExplosionError,
+    count_paths,
+    enumerate_paths,
+    is_series_parallel,
+    iter_paths,
+    parallel_blocks,
+    separators,
+)
+
+
+def fig9_dag() -> Dag:
+    """The paper's Fig. 9(a): v0..v7 with two merge/split nodes."""
+    g = Dag(name="fig9")
+    for v in ("v0", "v1", "v2", "v3", "v4", "v5", "v6", "v7"):
+        g.add_node(v)
+    g.add_edge("v0", "v1")
+    g.add_edge("v1", "v2")
+    g.add_edge("v1", "v3")
+    g.add_edge("v2", "v4")
+    g.add_edge("v3", "v4")
+    g.add_edge("v4", "v7")
+    g.add_edge("v0", "v5")
+    g.add_edge("v5", "v6")
+    g.add_edge("v6", "v7")
+    return g
+
+
+def chain(k: int) -> Dag:
+    g = Dag(name=f"chain{k}")
+    for i in range(k):
+        g.add_node(f"n{i}")
+    for i in range(k - 1):
+        g.add_edge(f"n{i}", f"n{i+1}")
+    return g
+
+
+def test_count_paths_fig9():
+    assert count_paths(fig9_dag()) == 3
+
+
+def test_count_paths_matches_networkx():
+    g = fig9_dag()
+    nxg = nx.DiGraph((e.tail, e.head) for e in g.edges())
+    expected = len(list(nx.all_simple_paths(nxg, "v0", "v7")))
+    assert count_paths(g) == expected
+
+
+def test_count_paths_chain_is_one():
+    assert count_paths(chain(5)) == 1
+
+
+def test_enumerate_paths_fig9():
+    paths = enumerate_paths(fig9_dag())
+    assert sorted(paths) == sorted(
+        [
+            ["v0", "v1", "v2", "v4", "v7"],
+            ["v0", "v1", "v3", "v4", "v7"],
+            ["v0", "v5", "v6", "v7"],
+        ]
+    )
+
+
+def test_enumerate_paths_cap_checked_before_walk():
+    with pytest.raises(PathExplosionError):
+        enumerate_paths(fig9_dag(), max_paths=2)
+
+
+def test_iter_paths_lazy_matches_enumerate():
+    g = fig9_dag()
+    assert list(iter_paths(g)) == enumerate_paths(g)
+
+
+def test_requires_single_source_sink():
+    g = Dag()
+    g.add_node("a")
+    g.add_node("b")
+    with pytest.raises(ValueError, match="exactly one source"):
+        count_paths(g)
+
+
+def test_separators_chain_every_node():
+    g = chain(4)
+    assert separators(g) == [f"n{i}" for i in range(4)]
+
+
+def test_separators_fig9():
+    assert separators(fig9_dag()) == ["v0", "v7"]
+
+
+def test_separators_diamond_with_stem():
+    g = Dag()
+    for v in "sabct":
+        g.add_node(v)
+    g.add_edge("s", "a")
+    g.add_edge("a", "b")
+    g.add_edge("a", "c")
+    g.add_edge("b", "t")
+    g.add_edge("c", "t")
+    assert separators(g) == ["s", "a", "t"]
+
+
+def test_parallel_blocks_exclude_endpoints():
+    g = fig9_dag()
+    blocks = parallel_blocks(g)
+    assert len(blocks) == 1
+    block = blocks[0]
+    assert block.entry == "v0" and block.exit == "v7"
+    assert sorted(len(b) for b in block.branches) == [2, 3, 3]
+    assert block.interior_nodes() == {"v1", "v2", "v3", "v4", "v5", "v6"}
+
+
+def test_parallel_blocks_trivial_edges():
+    blocks = parallel_blocks(chain(3))
+    assert len(blocks) == 2
+    assert all(b.is_trivial for b in blocks)
+
+
+def test_fig9_not_series_parallel_branches_share_v4():
+    # branches v1->v2->v4 and v1->v3->v4 share v1 and v4 inside one block
+    assert not is_series_parallel(fig9_dag())
+
+
+def test_chain_and_zoo_are_series_parallel(mobilenet, googlenet):
+    assert is_series_parallel(chain(5))
+    assert is_series_parallel(mobilenet.graph)
+    assert is_series_parallel(googlenet.graph)
+
+
+def test_separator_count_on_zoo(resnet):
+    seps = separators(resnet.graph)
+    # stem (5 nodes incl. input) + per-block joints + head: strictly fewer
+    # separators than nodes, and both endpoints present
+    order = resnet.graph.topological_order()
+    assert seps[0] == order[0] and seps[-1] == order[-1]
+    assert 2 < len(seps) < len(order)

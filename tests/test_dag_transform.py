@@ -1,0 +1,164 @@
+"""Virtual-block clustering and the Fig.-9 path conversion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.graph import Dag
+from repro.dag.topology import PathExplosionError, count_paths, parallel_blocks
+from repro.dag.transform import (
+    VirtualBlock,
+    cluster_line_cut_points,
+    collapse_clusterable_blocks,
+    expand_members,
+    linearize,
+    should_cluster_block,
+    to_independent_paths,
+)
+from repro.nn.zoo import branchy_dnn
+
+
+# ----------------------------------------------------------------------
+# cluster_line_cut_points
+# ----------------------------------------------------------------------
+
+def test_cluster_keeps_strict_running_minima():
+    volumes = [10, 12, 8, 8, 5, 9, 0]
+    assert cluster_line_cut_points(volumes) == [0, 2, 4, 6]
+
+
+def test_cluster_always_keeps_last_position():
+    assert cluster_line_cut_points([5, 6, 7]) == [0, 2]
+    assert cluster_line_cut_points([3]) == [0]
+
+
+def test_cluster_empty_and_negative():
+    assert cluster_line_cut_points([]) == []
+    with pytest.raises(ValueError):
+        cluster_line_cut_points([1, -2])
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(0, 100), min_size=1, max_size=40))
+def test_cluster_property_kept_volumes_strictly_decreasing(volumes):
+    keep = cluster_line_cut_points(volumes)
+    kept = [volumes[i] for i in keep]
+    interior = kept[:-1] if keep[-1] == len(volumes) - 1 and (
+        len(kept) > 1 and kept[-1] >= kept[-2]
+    ) else kept
+    # all kept positions except a forced last are strict running minima
+    for a, b in zip(interior, interior[1:]):
+        assert b < a
+    assert keep[-1] == len(volumes) - 1  # last always present
+    assert keep == sorted(set(keep))
+
+
+# ----------------------------------------------------------------------
+# block clustering
+# ----------------------------------------------------------------------
+
+def residual_block_dag(interior_volume: float) -> Dag:
+    g = Dag(name="res")
+    for v in ("in", "entry", "conv", "add", "out"):
+        g.add_node(v)
+    g.add_edge("in", "entry", 100)
+    g.add_edge("entry", "conv", 100)
+    g.add_edge("entry", "add", 100)   # bypass: entry tensor again
+    g.add_edge("conv", "add", interior_volume)
+    g.add_edge("add", "out", 100)
+    return g
+
+
+def test_residual_block_clusters():
+    g = residual_block_dag(interior_volume=50)
+    block = next(b for b in parallel_blocks(g) if not b.is_trivial)
+    # interior cut = bypass (100) + conv tensor (50) = 150 >= entry (100)
+    assert should_cluster_block(g, block)
+
+
+def test_reducing_branch_block_does_not_cluster():
+    """Two branches whose tensors shrink below the entry volume (Inception-like)."""
+    g = Dag(name="inception-ish")
+    for v in ("in", "entry", "b1", "b2", "concat", "out"):
+        g.add_node(v)
+    g.add_edge("in", "entry", 100)
+    g.add_edge("entry", "b1", 100)
+    g.add_edge("entry", "b2", 100)
+    g.add_edge("b1", "concat", 30)
+    g.add_edge("b2", "concat", 40)
+    g.add_edge("concat", "out", 70)
+    block = next(b for b in parallel_blocks(g) if not b.is_trivial)
+    # best interior cut = 30 + 40 = 70 < entry 100
+    assert not should_cluster_block(g, block)
+
+
+def test_collapse_replaces_block_with_virtual_node():
+    g = residual_block_dag(50)
+    collapsed = collapse_clusterable_blocks(g)
+    assert collapsed.is_line()
+    virtual = [v for v in collapsed.node_ids if isinstance(collapsed.payload(v), VirtualBlock)]
+    assert len(virtual) == 1
+    assert set(expand_members(collapsed, virtual[0])) == {"conv", "add"}
+
+
+def test_linearize_produces_line_with_decreasing_volumes(mobilenet):
+    line = linearize(mobilenet.graph)
+    assert line.is_line()
+    order = line.line_order()
+    volumes = [line.volume(a, b) for a, b in zip(order, order[1:])]
+    assert all(b < a for a, b in zip(volumes, volumes[1:]))
+
+
+def test_linearize_preserves_all_members(resnet):
+    line = linearize(resnet.graph)
+    members: list[str] = []
+    for v in line.node_ids:
+        members.extend(expand_members(line, v))
+    assert sorted(members) == sorted(resnet.graph.node_ids)
+
+
+def test_googlenet_keeps_general_structure_after_clustering(googlenet):
+    collapsed = collapse_clusterable_blocks(googlenet.graph)
+    assert not collapsed.is_line()  # deep Inception modules must survive
+
+
+# ----------------------------------------------------------------------
+# Fig.-9 conversion
+# ----------------------------------------------------------------------
+
+def test_to_independent_paths_branchy():
+    net = branchy_dnn()
+    converted = to_independent_paths(net.graph)
+    assert converted.num_paths == count_paths(net.graph) == 6
+    # duplicated graph: one chain per path, disjoint nodes
+    dup = converted.duplicated
+    assert len(dup.sources()) == 6
+    assert len(dup.sinks()) == 6
+    for path in converted.paths:
+        assert path[0] == net.graph.topological_order()[0]
+
+
+def test_duplicated_graph_preserves_edge_volumes():
+    net = branchy_dnn()
+    converted = to_independent_paths(net.graph)
+    dup = converted.duplicated
+    for index, path in enumerate(converted.paths):
+        for tail, head in zip(path, path[1:]):
+            assert dup.volume(f"p{index}:{tail}", f"p{index}:{head}") == net.graph.volume(
+                tail, head
+            )
+
+
+def test_multiplicity_counts_duplication():
+    net = branchy_dnn()
+    converted = to_independent_paths(net.graph)
+    source = net.graph.topological_order()[0]
+    assert converted.multiplicity(source) == converted.num_paths
+    # every node appears in at least one path
+    covered = {v for p in converted.paths for v in p}
+    assert covered == set(net.graph.node_ids)
+
+
+def test_path_explosion_raises(googlenet):
+    with pytest.raises(PathExplosionError, match="262144"):
+        to_independent_paths(googlenet.graph, max_paths=1000)

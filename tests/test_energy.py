@@ -1,0 +1,87 @@
+"""Energy model: job/schedule pricing and the energy-latency frontier."""
+
+import pytest
+
+from repro.core.baselines import cloud_only, local_only
+from repro.core.joint import jps_line
+from repro.core.plans import JobPlan
+from repro.profiling.energy import (
+    CELLULAR_POWER,
+    WIFI_POWER,
+    PowerProfile,
+    energy_latency_frontier,
+    job_energy,
+    schedule_energy,
+)
+
+
+def test_power_profile_validation():
+    with pytest.raises(ValueError):
+        PowerProfile(name="bad", compute_watts=-1)
+    with pytest.raises(ValueError):
+        PowerProfile(name="bad", tail_joules=-0.1)
+
+
+def test_job_energy_hand_computed():
+    plan = JobPlan(job_id=0, model="m", cut_position=0, compute_time=2.0, comm_time=1.0)
+    power = PowerProfile(name="p", compute_watts=4.0, radio_watts=1.0, tail_joules=0.5)
+    assert job_energy(plan, power) == pytest.approx(4.0 * 2 + 1.0 * 1 + 0.5)
+
+
+def test_local_job_pays_no_radio():
+    plan = JobPlan(job_id=0, model="m", cut_position=0, compute_time=2.0, comm_time=0.0)
+    assert job_energy(plan, CELLULAR_POWER) == pytest.approx(
+        CELLULAR_POWER.compute_watts * 2.0
+    )
+
+
+def test_schedule_energy_sums_jobs(alexnet_table):
+    schedule = jps_line(alexnet_table, 10)
+    total = schedule_energy(schedule, WIFI_POWER)
+    assert total == pytest.approx(
+        sum(job_energy(p, WIFI_POWER) for p in schedule.jobs)
+    )
+
+
+def test_idle_floor_charged_over_makespan(alexnet_table):
+    schedule = jps_line(alexnet_table, 10)
+    floor = PowerProfile(name="floor", compute_watts=0, radio_watts=0, idle_watts=2.0)
+    assert schedule_energy(schedule, floor) == pytest.approx(2.0 * schedule.makespan)
+
+
+def test_offloading_saves_energy_at_wifi(alexnet_table):
+    """At Wi-Fi rates, uploading early costs fewer joules than computing."""
+    n = 10
+    lo = local_only(alexnet_table, n)
+    co = cloud_only(alexnet_table, n)
+    assert schedule_energy(co, WIFI_POWER) < schedule_energy(lo, WIFI_POWER)
+
+
+def test_cellular_tail_penalizes_offloading(alexnet_table):
+    jps = jps_line(alexnet_table, 10)
+    assert schedule_energy(jps, CELLULAR_POWER) > schedule_energy(jps, WIFI_POWER)
+
+
+def test_frontier_is_pareto(alexnet_table):
+    frontier = energy_latency_frontier(alexnet_table, WIFI_POWER)
+    assert frontier
+    latencies = [p.per_job_latency for p in frontier]
+    energies = [p.per_job_energy for p in frontier]
+    assert latencies == sorted(latencies)
+    assert all(b < a for a, b in zip(energies, energies[1:]))
+    # frontier points are actual cut positions of the table
+    for point in frontier:
+        assert 0 <= point.position < alexnet_table.k
+        assert point.label == alexnet_table.positions[point.position]
+
+
+def test_frontier_contains_extremes(alexnet_table):
+    """The latency-optimal and the energy-optimal cuts both survive."""
+    frontier = energy_latency_frontier(alexnet_table, WIFI_POWER)
+    all_points = {p.position for p in frontier}
+    # lowest f+g point is on the frontier by construction
+    best_latency = min(
+        range(alexnet_table.k),
+        key=lambda i: alexnet_table.f[i] + alexnet_table.g[i],
+    )
+    assert best_latency in all_points

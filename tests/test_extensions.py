@@ -1,0 +1,157 @@
+"""3-stage flow shop, heterogeneous jobs, end-effect refinement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import brute_force
+from repro.core.joint import jps_line
+from repro.core.plans import JobPlan
+from repro.core.scheduling import flow_shop_makespan
+from repro.extensions.flowshop3 import (
+    flow_shop3_completion_times,
+    flow_shop3_makespan,
+    johnson3_order,
+    johnson_dominance_holds,
+    schedule_jobs_3stage,
+    two_stage_approximation_gap,
+)
+from repro.extensions.heterogeneous import ModelJobs, jps_heterogeneous
+from repro.extensions.refine import refine_end_jobs
+
+
+# ----------------------------------------------------------------------
+# 3-stage flow shop
+# ----------------------------------------------------------------------
+
+def test_flow_shop3_hand_computed():
+    stages = [(1.0, 2.0, 1.0), (2.0, 1.0, 2.0)]
+    completions = flow_shop3_completion_times(stages)
+    assert completions == [(1.0, 3.0, 4.0), (3.0, 4.0, 6.0)]
+    assert flow_shop3_makespan(stages) == 6.0
+    assert flow_shop3_makespan([]) == 0.0
+    with pytest.raises(ValueError):
+        flow_shop3_makespan([(1.0, -1.0, 0.0)])
+
+
+def test_zero_cloud_reduces_to_two_stage():
+    stages3 = [(1.0, 2.0, 0.0), (3.0, 1.0, 0.0), (2.0, 2.0, 0.0)]
+    stages2 = [(f, g) for f, g, _ in stages3]
+    assert flow_shop3_makespan(stages3) == pytest.approx(flow_shop_makespan(stages2))
+
+
+def test_dominance_condition():
+    assert johnson_dominance_holds([(5.0, 1.0, 5.0), (6.0, 2.0, 7.0)])  # min f >= max g
+    assert not johnson_dominance_holds([(1.0, 5.0, 1.0), (2.0, 4.0, 2.0)])
+    assert johnson_dominance_holds([])
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(0.5, 5.0), st.floats(0.0, 0.4), st.floats(0.5, 5.0)),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_johnson3_optimal_under_dominance(stages):
+    """When machine 2 is dominated, the surrogate Johnson order is optimal."""
+    from itertools import permutations
+
+    assert johnson_dominance_holds(stages)  # f >= 0.5 > 0.4 >= g
+    order = johnson3_order(stages)
+    achieved = flow_shop3_makespan([stages[i] for i in order])
+    best = min(
+        flow_shop3_makespan(list(p)) for p in permutations(stages)
+    )
+    assert achieved == pytest.approx(best, rel=1e-9, abs=1e-9)
+
+
+def test_two_stage_gap_bounded_by_cloud_times(env):
+    """On real cost tables the 2-stage reduction loses < one full cloud pass."""
+    table = env.cost_table("alexnet", 5.85)
+    schedule = jps_line(table, 20)
+    stages = [(p.compute_time, p.comm_time, p.cloud_time) for p in schedule.jobs]
+    gap = two_stage_approximation_gap(stages)
+    assert 0 <= gap <= max(c for _, _, c in stages) + 1e-9
+    # and it is tiny relative to the makespan (the §3.1 assumption quantified)
+    assert gap < 0.02 * schedule.makespan
+
+
+def test_schedule_jobs_3stage_wraps():
+    plans = [
+        JobPlan(job_id=0, model="m", cut_position=0, compute_time=1, comm_time=3, cloud_time=0.1),
+        JobPlan(job_id=1, model="m", cut_position=1, compute_time=4, comm_time=1, cloud_time=0.1),
+    ]
+    schedule = schedule_jobs_3stage(plans)
+    assert schedule.method == "johnson3"
+    assert schedule.makespan == flow_shop3_makespan(
+        [(p.compute_time, p.comm_time, p.cloud_time) for p in schedule.jobs]
+    )
+
+
+# ----------------------------------------------------------------------
+# heterogeneous job sets
+# ----------------------------------------------------------------------
+
+def test_heterogeneous_requires_groups():
+    with pytest.raises(ValueError):
+        jps_heterogeneous([])
+
+
+def test_heterogeneous_two_models(env):
+    a = ModelJobs(table=env.cost_table("alexnet", 5.85), count=10)
+    b = ModelJobs(table=env.cost_table("mobilenet-v2", 5.85), count=10)
+    mixed = jps_heterogeneous([a, b])
+    assert mixed.num_jobs == 20
+    models = {p.model for p in mixed.jobs}
+    assert len(models) == 2
+    # pooling never loses to scheduling the groups back-to-back
+    solo_a = jps_line(a.table, a.count).makespan
+    solo_b = jps_line(b.table, b.count).makespan
+    assert mixed.makespan <= solo_a + solo_b + 1e-9
+
+
+def test_heterogeneous_rebalance_never_hurts(env):
+    a = ModelJobs(table=env.cost_table("alexnet", 5.85), count=8)
+    b = ModelJobs(table=env.cost_table("resnet18", 5.85), count=8)
+    greedy = jps_heterogeneous([a, b], rebalance=False)
+    balanced = jps_heterogeneous([a, b], rebalance=True)
+    assert balanced.makespan <= greedy.makespan + 1e-12
+
+
+def test_heterogeneous_single_group_matches_jps(env):
+    table = env.cost_table("alexnet", 5.85)
+    hetero = jps_heterogeneous([ModelJobs(table=table, count=12)])
+    homo = jps_line(table, 12)
+    assert hetero.makespan == pytest.approx(homo.makespan, rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# end-effect refinement
+# ----------------------------------------------------------------------
+
+def test_refine_never_hurts(alexnet_table):
+    for n in (2, 4, 8):
+        base = jps_line(alexnet_table, n)
+        refined = refine_end_jobs(alexnet_table, base)
+        assert refined.makespan <= base.makespan + 1e-12
+        if refined is not base:
+            assert refined.method.endswith("+refine")
+            assert refined.num_jobs == n
+
+
+def test_refine_closes_most_of_the_bf_gap(alexnet_table):
+    n = 8
+    base = jps_line(alexnet_table, n)
+    refined = refine_end_jobs(alexnet_table, base)
+    bf = brute_force(alexnet_table, n)
+    gap_base = base.makespan - bf.makespan
+    gap_refined = refined.makespan - bf.makespan
+    assert gap_refined <= gap_base
+    assert gap_refined <= 0.5 * gap_base + 1e-9
+
+
+def test_refine_single_job_noop(alexnet_table):
+    base = jps_line(alexnet_table, 1)
+    assert refine_end_jobs(alexnet_table, base) is base

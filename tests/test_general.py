@@ -1,0 +1,110 @@
+"""Alg. 3: path decomposition, dedup scheduling, consistency repair."""
+
+import pytest
+
+from repro.core.general import (
+    alg3_consistent_plans,
+    alg3_partition,
+    alg3_schedule,
+    clustered_view,
+    representative_paths,
+)
+from repro.dag.cuts import is_downward_closed
+from repro.dag.topology import enumerate_paths
+from tests.helpers import make_table
+
+
+def test_clustered_view_filters_non_monotone_g():
+    table = make_table(f=[0.0, 1.0, 2.0, 3.0], g=[5.0, 7.0, 4.0, 0.0])
+    view, kept = clustered_view(table)
+    assert kept == [0, 2, 3]
+    assert view.is_g_non_increasing()
+    assert list(view.f) == [0.0, 2.0, 3.0]
+
+
+def test_clustered_view_keeps_last_position():
+    table = make_table(f=[0.0, 1.0], g=[1.0, 1.0])
+    view, kept = clustered_view(table)
+    assert kept[-1] == 1
+
+
+def test_alg3_partition_one_cut_per_path(branchy, mobile, cloud, channel_10mbps):
+    plans, info = alg3_partition(branchy, mobile, cloud, channel_10mbps)
+    assert info["conversion"] == "faithful"
+    assert info["num_paths"] == 6
+    for plan in plans:
+        assert plan.path[: plan.cut_index + 1] == plan.mobile_prefix
+        assert plan.nominal_compute >= 0
+        assert plan.comm_time >= 0
+
+
+def test_alg3_schedule_dedup_counts_layers_once(branchy, mobile, cloud, channel_10mbps):
+    n = 3
+    schedule = alg3_schedule(branchy, mobile, cloud, channel_10mbps, n)
+    assert schedule.method == "JPS-paths"
+    assert schedule.metadata["units"] == n * 6
+    # total deduplicated compute <= n * full-graph mobile time
+    from repro.profiling.latency import node_mobile_time
+
+    full = sum(
+        node_mobile_time(branchy.graph.payload(v), mobile)
+        for v in branchy.graph.node_ids
+    )
+    total_compute = sum(p.compute_time for p in schedule.jobs)
+    assert total_compute <= n * full + 1e-9
+    # per job, each node charged at most once: group sums by job id
+    per_job: dict[int, float] = {}
+    for plan in schedule.jobs:
+        per_job[plan.job_id] = per_job.get(plan.job_id, 0.0) + plan.compute_time
+    for value in per_job.values():
+        assert value <= full + 1e-9
+
+
+def test_alg3_schedule_makespan_positive_and_bounded(mini_inception, mobile, cloud, channel_10mbps):
+    schedule = alg3_schedule(mini_inception, mobile, cloud, channel_10mbps, 4)
+    assert schedule.makespan > 0
+    # sanity upper bound: everything serial (compute all + upload all cuts)
+    serial = sum(p.compute_time for p in schedule.jobs) + sum(
+        p.comm_time for p in schedule.jobs
+    )
+    assert schedule.makespan <= serial + 1e-9
+
+
+def test_representative_paths_cover_all_nodes(googlenet):
+    paths = representative_paths(googlenet.graph)
+    covered = {v for p in paths for v in p}
+    assert covered == set(googlenet.graph.node_ids)
+    # sigma growth: one default + one variant per extra branch
+    assert len(paths) < 40
+
+
+def test_representative_paths_are_real_paths(mini_inception):
+    graph = mini_inception.graph
+    paths = representative_paths(graph)
+    real = {tuple(p) for p in enumerate_paths(graph)}
+    for path in paths:
+        assert path in real
+
+
+def test_alg3_falls_back_to_representative_paths(googlenet, mobile, cloud, channel_10mbps):
+    plans, info = alg3_partition(googlenet, mobile, cloud, channel_10mbps, max_paths=100)
+    assert info["conversion"] == "representative"
+    assert 0 < info["num_paths"] < 40
+    assert len(plans) == info["num_paths"]
+
+
+def test_alg3_consistent_plan_is_executable(mini_inception, mobile, cloud, channel_10mbps):
+    plan = alg3_consistent_plans(mini_inception, mobile, cloud, channel_10mbps)
+    assert plan.mobile_nodes is not None
+    assert is_downward_closed(mini_inception.graph, plan.mobile_nodes)
+    assert plan.compute_time >= 0 and plan.comm_time >= 0
+
+
+def test_alg3_consistent_on_googlenet(googlenet, mobile, cloud, channel_10mbps):
+    plan = alg3_consistent_plans(googlenet, mobile, cloud, channel_10mbps, max_paths=100)
+    assert is_downward_closed(googlenet.graph, plan.mobile_nodes)
+
+
+def test_alg3_requires_positive_n(branchy, mobile, cloud, channel_10mbps):
+    with pytest.raises(ValueError):
+        alg3_schedule(branchy, mobile, cloud, channel_10mbps, 0)

@@ -1,0 +1,124 @@
+"""Cross-cutting invariants over the whole model zoo and scheme space.
+
+These tests sweep every (model, bandwidth) cell and check the global
+contracts the rest of the library is built on — the kind of systematic
+sanity net that catches a regression in one substrate through the eyes
+of another.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import fractional_lower_bound
+from repro.core.joint import jps_line
+from repro.core.scheduling import flow_shop_makespan
+from repro.experiments.runner import SCHEMES, ExperimentEnv
+from repro.sim.pipeline import simulate_schedule
+from repro.sim.trace import validate_against_recurrence
+
+MODELS = ["alexnet", "vgg16", "nin", "tiny-yolov2", "mobilenet-v2",
+          "resnet18", "googlenet"]
+BANDWIDTHS = [1.1, 5.85, 18.88, 50.0]
+
+
+@pytest.fixture(scope="module")
+def sweep_env():
+    return ExperimentEnv()
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_cost_table_invariants_everywhere(sweep_env, model):
+    for bandwidth in BANDWIDTHS:
+        table = sweep_env.cost_table(model, bandwidth)
+        assert table.f[0] == 0.0                       # input is free
+        assert table.g[-1] == 0.0                      # fully local is silent
+        assert np.all(np.diff(table.f) >= 0)
+        assert table.is_g_non_increasing()
+        assert table.cloud[-1] < 0.05 * max(table.local_only_time, 1e-9)
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_scheme_dominance_everywhere(sweep_env, model):
+    n = 25
+    for bandwidth in BANDWIDTHS:
+        makespans = {
+            scheme: sweep_env.run_scheme(model, bandwidth, n, scheme).makespan
+            for scheme in SCHEMES
+        }
+        assert makespans["JPS"] <= makespans["LO"] + 1e-9
+        assert makespans["JPS"] <= makespans["CO"] + 1e-9
+        assert makespans["JPS"] <= makespans["PO"] + 1e-9
+        assert makespans["PO"] <= min(makespans["LO"], makespans["CO"]) + 1e-9
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_jps_within_lp_bound_factor(sweep_env, model):
+    n = 50
+    for bandwidth in BANDWIDTHS:
+        table = sweep_env.cost_table(model, bandwidth)
+        bound = fractional_lower_bound(table, n)
+        jps = jps_line(table, n).makespan
+        assert jps >= bound - 1e-9
+        # the adjacent-pair JPS can drift on drastic tables (VGG-16's first
+        # block holds most of the compute); the all-pairs split stays tight
+        pair = jps_line(table, n, split="pair").makespan
+        assert bound - 1e-9 <= pair <= jps + 1e-9
+        assert pair <= bound * 1.25
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_des_matches_recurrence_everywhere(sweep_env, model):
+    schedule = sweep_env.run_scheme(model, 5.85, 10, "JPS")
+    result = simulate_schedule(schedule)
+    validate_against_recurrence(result, schedule)
+
+
+def test_jps_makespan_monotone_in_bandwidth(sweep_env):
+    """More bandwidth never hurts JPS (it can always ignore it)."""
+    n = 30
+    for model in ("alexnet", "resnet18", "googlenet"):
+        values = [
+            sweep_env.run_scheme(model, bw, n, "JPS").makespan
+            for bw in (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+        ]
+        for a, b in zip(values, values[1:]):
+            assert b <= a + 1e-9
+
+
+def test_jps_makespan_superadditive_in_n(sweep_env):
+    """Makespan grows with n, and per-job latency never grows."""
+    table = sweep_env.cost_table("alexnet", 10.0)
+    previous_makespan = 0.0
+    previous_rate = float("inf")
+    for n in (1, 2, 5, 10, 25, 50, 100):
+        schedule = jps_line(table, n)
+        assert schedule.makespan >= previous_makespan - 1e-12
+        rate = schedule.makespan / n
+        assert rate <= previous_rate + 1e-9
+        previous_makespan, previous_rate = schedule.makespan, rate
+
+
+def test_resource_busy_intervals_never_overlap(sweep_env):
+    schedule = sweep_env.run_scheme("alexnet", 10.0, 15, "JPS")
+    result = simulate_schedule(schedule)
+    for resource in (result.mobile, result.uplink):
+        intervals = sorted((b.start, b.end) for b in resource.busy_log)
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2 + 1e-12
+    # conservation: total busy time equals the stage sums
+    assert result.mobile.total_busy_time == pytest.approx(
+        sum(p.compute_time for p in schedule.jobs)
+    )
+    assert result.uplink.total_busy_time == pytest.approx(
+        sum(p.comm_time for p in schedule.jobs)
+    )
+
+
+def test_schedule_job_ids_are_a_permutation(sweep_env):
+    for scheme in SCHEMES:
+        schedule = sweep_env.run_scheme("mobilenet-v2", 5.85, 12, scheme)
+        ids = sorted(p.job_id for p in schedule.jobs)
+        assert ids == list(range(12))
+        assert schedule.makespan == pytest.approx(
+            flow_shop_makespan([p.stages for p in schedule.jobs])
+        )

@@ -1,0 +1,135 @@
+"""Memory-constrained partitioning and shared-uplink multi-device runs."""
+
+import pytest
+
+from repro.core.joint import jps_line
+from repro.extensions.memory import (
+    feasible_positions,
+    jps_memory_constrained,
+    mobile_memory_bytes,
+    restrict_table,
+)
+from repro.extensions.multidevice import (
+    fair_share_tables,
+    plan_contention_aware,
+    simulate_shared_uplink,
+)
+from repro.utils.units import mb
+
+
+# ----------------------------------------------------------------------
+# memory budget
+# ----------------------------------------------------------------------
+
+def test_memory_footprint_monotone(alexnet_table):
+    footprints = [
+        mobile_memory_bytes(alexnet_table, i) for i in range(alexnet_table.k)
+    ]
+    # weights accumulate; peak activation is bounded by the early conv maps
+    for a, b in zip(footprints, footprints[1:]):
+        assert b >= a - 1e-6
+    # position 0 holds just the input frame
+    assert footprints[0] == pytest.approx(3 * 224 * 224 * 4)
+    # the full network carries ~61 M float32 params (~244 MB)
+    assert footprints[-1] > mb(240)
+
+
+def test_feasible_positions_prefix(alexnet_table):
+    # 16 MB: enough for the conv stages, not for the FC blocks
+    feasible = feasible_positions(alexnet_table, mb(16))
+    assert feasible == list(range(len(feasible)))
+    assert 0 < len(feasible) < alexnet_table.k
+    with pytest.raises(ValueError):
+        feasible_positions(alexnet_table, 0)
+
+
+def test_restrict_table_keeps_monotonicity(alexnet_table):
+    restricted = restrict_table(alexnet_table, [0, 1, 2])
+    assert restricted.k == 3
+    assert restricted.is_g_non_increasing()
+    assert restricted.g[-1] > 0  # the g=0 endpoint was cut off
+    with pytest.raises(ValueError):
+        restrict_table(alexnet_table, [])
+
+
+def test_memory_constrained_jps(alexnet_table):
+    unconstrained = jps_line(alexnet_table, 20, split="pair")
+    constrained = jps_memory_constrained(alexnet_table, 20, mb(16))
+    assert constrained.method == "JPS-mem"
+    assert constrained.metadata["feasible_positions"] < alexnet_table.k
+    # the budget can only hurt the makespan (same split policy both sides)
+    assert constrained.makespan >= unconstrained.makespan - 1e-9
+    # all chosen cuts fit the budget
+    used = {p.cut_label for p in constrained.jobs}
+    feasible_labels = {
+        alexnet_table.positions[i]
+        for i in feasible_positions(alexnet_table, mb(16))
+    }
+    assert used <= feasible_labels
+
+
+def test_memory_constrained_generous_budget_matches_pair_jps(alexnet_table):
+    generous = jps_memory_constrained(alexnet_table, 20, mb(4000))
+    pair = jps_line(alexnet_table, 20, split="pair")
+    assert generous.makespan == pytest.approx(pair.makespan)
+
+
+def test_memory_requires_graph_backed_table(alexnet_table):
+    restricted = restrict_table(alexnet_table, [0, 1])
+    with pytest.raises(ValueError, match="graph-backed"):
+        mobile_memory_bytes(restricted, 0)
+
+
+# ----------------------------------------------------------------------
+# shared uplink
+# ----------------------------------------------------------------------
+
+def test_single_device_matches_flow_shop(alexnet_table):
+    schedule = jps_line(alexnet_table, 8)
+    result = simulate_shared_uplink([schedule])
+    assert result.makespan == pytest.approx(schedule.makespan)
+    assert result.num_devices == 1
+
+
+def test_two_devices_contend(alexnet_table):
+    schedule = jps_line(alexnet_table, 8)
+    solo = simulate_shared_uplink([schedule]).makespan
+    duo = simulate_shared_uplink([schedule, schedule])
+    # sharing can only slow each device down ...
+    assert duo.makespan >= solo - 1e-9
+    # ... but beats running the devices one after another
+    assert duo.makespan <= 2 * solo + 1e-9
+    assert 0 < duo.uplink_utilization <= 1
+
+
+def test_empty_device_list_rejected():
+    with pytest.raises(ValueError):
+        simulate_shared_uplink([])
+
+
+def test_fair_share_scales_g(alexnet_table):
+    shared = fair_share_tables(alexnet_table, 3)
+    assert shared.g[0] == pytest.approx(3 * alexnet_table.g[0])
+    assert shared.f[0] == alexnet_table.f[0]
+    with pytest.raises(ValueError):
+        fair_share_tables(alexnet_table, 0)
+
+
+def test_contention_aware_planning_helps(env):
+    """Fair-share planning beats full-rate planning under contention."""
+    table = env.cost_table("alexnet", 18.88)
+    devices, n = 3, 10
+    naive = [jps_line(table, n) for _ in range(devices)]
+    aware = plan_contention_aware(table, devices, n)
+    naive_result = simulate_shared_uplink(naive)
+    aware_result = simulate_shared_uplink(aware)
+    assert aware_result.makespan <= naive_result.makespan + 1e-9
+
+
+def test_contention_aware_plans_carry_full_rate_comm(env):
+    table = env.cost_table("alexnet", 18.88)
+    plans = plan_contention_aware(table, 2, 6)
+    for schedule in plans:
+        for job in schedule.jobs:
+            position = job.cut_position
+            assert job.comm_time == pytest.approx(float(table.g[position]))

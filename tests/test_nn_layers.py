@@ -1,0 +1,163 @@
+"""Layer shape/FLOP/parameter arithmetic against hand-computed values."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.layers import (
+    Add,
+    AvgPool2d,
+    BatchNorm2d,
+    Concat,
+    Conv2d,
+    DepthwiseConv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    Input,
+    Linear,
+    LRN,
+    MaxPool2d,
+    ReLU,
+    ShapeError,
+    Softmax,
+    numel,
+)
+
+
+def test_input_layer():
+    layer = Input(shape=(3, 224, 224))
+    assert layer.output_shape() == (3, 224, 224)
+    assert layer.flops() == 0.0
+    assert layer.arity == 0
+    with pytest.raises(ShapeError):
+        Input(shape=(0, 2))
+    with pytest.raises(ShapeError):
+        layer.output_shape((1,))
+
+
+def test_conv2d_alexnet_first_layer():
+    conv = Conv2d(64, kernel=11, stride=4, padding=2)
+    out = conv.output_shape((3, 224, 224))
+    assert out == (64, 55, 55)
+    # 2 * 64*55*55 * 3*11*11 + bias adds
+    assert conv.flops((3, 224, 224)) == pytest.approx(2 * 64 * 55 * 55 * 363 + 64 * 55 * 55)
+    assert conv.param_count((3, 224, 224)) == 64 * 3 * 11 * 11 + 64
+
+
+def test_conv2d_same_padding():
+    conv = Conv2d(8, kernel=3, padding="same")
+    assert conv.output_shape((4, 17, 17)) == (8, 17, 17)
+    with pytest.raises(ShapeError, match="odd kernel"):
+        Conv2d(8, kernel=4, padding="same").output_shape((4, 8, 8))
+
+
+def test_conv2d_rejects_collapsed_output():
+    with pytest.raises(ShapeError):
+        Conv2d(8, kernel=7).output_shape((3, 4, 4))
+
+
+def test_conv2d_no_bias():
+    with_bias = Conv2d(8, kernel=3).flops((4, 10, 10))
+    without = Conv2d(8, kernel=3, bias=False).flops((4, 10, 10))
+    assert with_bias - without == numel((8, 8, 8))
+
+
+def test_conv_config_validation():
+    with pytest.raises(ShapeError):
+        Conv2d(0, kernel=3)
+    with pytest.raises(ShapeError):
+        Conv2d(8, kernel=3, padding="full")
+
+
+def test_depthwise_conv():
+    dw = DepthwiseConv2d(kernel=3, stride=2, padding="same")
+    assert dw.output_shape((32, 112, 112)) == (32, 56, 56)
+    assert dw.flops((32, 112, 112)) == pytest.approx(2 * 32 * 56 * 56 * 9 + 32 * 56 * 56)
+    assert dw.param_count((32, 112, 112)) == 32 * 9 + 32
+
+
+def test_pools():
+    assert MaxPool2d(kernel=3, stride=2).output_shape((64, 55, 55)) == (64, 27, 27)
+    assert AvgPool2d(kernel=2).output_shape((8, 8, 8)) == (8, 4, 4)  # stride defaults to kernel
+    assert MaxPool2d(kernel=3, stride=2, padding=1).output_shape((64, 112, 112)) == (64, 56, 56)
+    assert GlobalAvgPool().output_shape((1024, 7, 7)) == (1024,)
+    assert GlobalAvgPool().flops((1024, 7, 7)) == 1024 * 49
+
+
+def test_linear():
+    fc = Linear(4096)
+    assert fc.output_shape((9216,)) == (4096,)
+    assert fc.flops((9216,)) == 2 * 9216 * 4096 + 4096
+    assert fc.param_count((9216,)) == 9216 * 4096 + 4096
+    with pytest.raises(ShapeError):
+        fc.output_shape((3, 4, 5))
+    with pytest.raises(ShapeError):
+        Linear(0)
+
+
+def test_elementwise_layers():
+    shape = (16, 8, 8)
+    assert ReLU().output_shape(shape) == shape
+    assert ReLU().flops(shape) == numel(shape)
+    assert BatchNorm2d().flops(shape) == 2 * numel(shape)
+    assert BatchNorm2d().param_count(shape) == 64
+    assert LRN(local_size=5).flops(shape) == 9 * numel(shape)
+    assert Dropout().flops(shape) == 0.0
+    assert Softmax().flops((1000,)) == 5000
+
+
+def test_flatten():
+    assert Flatten().output_shape((256, 6, 6)) == (9216,)
+    assert Flatten().flops((256, 6, 6)) == 0.0
+
+
+def test_concat():
+    cat = Concat()
+    out = cat.output_shape((64, 28, 28), (128, 28, 28), (32, 28, 28))
+    assert out == (224, 28, 28)
+    assert cat.flops((64, 28, 28), (128, 28, 28)) == 0.0
+    with pytest.raises(ShapeError, match="spatial"):
+        cat.output_shape((64, 28, 28), (64, 14, 14))
+    with pytest.raises(ShapeError):
+        cat.output_shape((64, 28, 28))
+
+
+def test_add():
+    add = Add()
+    assert add.output_shape((24, 56, 56), (24, 56, 56)) == (24, 56, 56)
+    assert add.flops((24, 56, 56), (24, 56, 56)) == numel((24, 56, 56))
+    with pytest.raises(ShapeError, match="share a shape"):
+        add.output_shape((24, 56, 56), (12, 56, 56))
+
+
+def test_unary_layers_reject_multiple_inputs():
+    with pytest.raises(ShapeError):
+        ReLU().output_shape((3, 4, 4), (3, 4, 4))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    c=st.integers(1, 16),
+    size=st.integers(8, 64),
+    out_c=st.integers(1, 32),
+    kernel=st.sampled_from([1, 3, 5]),
+    stride=st.integers(1, 3),
+)
+def test_conv_output_shape_formula(c, size, out_c, kernel, stride):
+    pad = (kernel - 1) // 2
+    conv = Conv2d(out_c, kernel=kernel, stride=stride, padding=pad)
+    oc, oh, ow = conv.output_shape((c, size, size))
+    assert oc == out_c
+    assert oh == (size + 2 * pad - kernel) // stride + 1
+    assert oh == ow
+    assert conv.flops((c, size, size)) > 0
+    assert conv.param_count((c, size, size)) > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(c=st.integers(1, 8), h=st.integers(2, 32), w=st.integers(2, 32))
+def test_pool_never_increases_volume(c, h, w):
+    out = MaxPool2d(kernel=2, stride=2).output_shape((c, h, w)) if h >= 2 and w >= 2 else None
+    if out is not None:
+        assert numel(out) <= numel((c, h, w))

@@ -1,0 +1,113 @@
+"""NetworkBuilder wiring and Network accessors."""
+
+import pytest
+
+from repro.nn.layers import Add, Concat, Conv2d, Flatten, Linear, ReLU, ShapeError
+from repro.nn.network import NetworkBuilder
+from repro.utils.units import FLOAT32_BYTES
+
+
+def test_sequential_build_is_line():
+    b = NetworkBuilder("toy", input_shape=(3, 8, 8))
+    b.add(Conv2d(4, kernel=3, padding=1))
+    b.add(ReLU())
+    b.add(Flatten())
+    b.add(Linear(10))
+    net = b.build()
+    assert net.is_line()
+    assert net.num_layers == 5  # input + 4
+    assert net.input_shape == (3, 8, 8)
+    assert net.output_shape == (10,)
+
+
+def test_edge_volumes_are_tail_output_bytes():
+    b = NetworkBuilder("toy", input_shape=(3, 8, 8))
+    conv = b.add(Conv2d(4, kernel=3, padding=1))
+    net_builder_last = b.add(ReLU())
+    net = b.build()
+    assert net.graph.volume(conv, net_builder_last) == 4 * 8 * 8 * FLOAT32_BYTES
+
+
+def test_shape_error_names_offending_layer():
+    b = NetworkBuilder("toy", input_shape=(3, 8, 8))
+    with pytest.raises(ShapeError, match="linear_1"):
+        b.add(Linear(10), name="linear_1")
+
+
+def test_branching_and_merge():
+    b = NetworkBuilder("branch", input_shape=(4, 8, 8))
+    trunk = b.add(Conv2d(8, kernel=1), name="trunk")
+    left = b.add(Conv2d(8, kernel=3, padding=1), name="left", inputs=trunk)
+    merged = b.add(Add(), name="merge", inputs=(left, trunk))
+    b.add(Flatten(), inputs=merged)
+    b.add(Linear(2))
+    net = b.build()
+    assert not net.is_line()
+    assert net.graph.in_degree("merge") == 2
+    assert net.node("merge").output_shape == (8, 8, 8)
+
+
+def test_merge_arity_enforced():
+    b = NetworkBuilder("branch", input_shape=(4, 8, 8))
+    trunk = b.add(Conv2d(8, kernel=1))
+    with pytest.raises(ShapeError, match="merges"):
+        b.add(Concat(), inputs=(trunk,))
+
+
+def test_unary_arity_enforced():
+    b = NetworkBuilder("t", input_shape=(4, 8, 8))
+    a = b.add(Conv2d(4, kernel=1))
+    c = b.add(Conv2d(4, kernel=1), inputs="input_1" if False else a)
+    with pytest.raises(ShapeError, match="exactly one"):
+        b.add(ReLU(), inputs=(a, c))
+
+
+def test_sequence_helper():
+    b = NetworkBuilder("seq", input_shape=(3, 8, 8))
+    last = b.sequence([Conv2d(4, kernel=1), ReLU(), Flatten(), Linear(5)])
+    assert b.last == last
+    net = b.build()
+    assert net.output_shape == (5,)
+
+
+def test_build_requires_single_output():
+    b = NetworkBuilder("dangling", input_shape=(3, 8, 8))
+    trunk = b.add(Conv2d(4, kernel=1))
+    b.add(Conv2d(4, kernel=1), inputs=trunk)
+    b.add(Conv2d(4, kernel=1), inputs=trunk)  # second dangling sink
+    with pytest.raises(ValueError, match="exactly one output"):
+        b.build()
+
+
+def test_summary_mentions_every_layer():
+    b = NetworkBuilder("toy", input_shape=(3, 8, 8))
+    b.add(Conv2d(4, kernel=3, padding=1), name="theconv")
+    b.add(Flatten())
+    b.add(Linear(10), name="thefc")
+    net = b.build()
+    text = net.summary()
+    assert "theconv" in text and "thefc" in text
+    assert "GFLOPs" in text
+
+
+def test_total_flops_and_params_sum_nodes():
+    b = NetworkBuilder("toy", input_shape=(3, 8, 8))
+    b.add(Conv2d(4, kernel=3, padding=1))
+    b.add(Flatten())
+    b.add(Linear(10))
+    net = b.build()
+    assert net.total_flops == sum(n.flops for n in net.nodes())
+    assert net.total_params == sum(n.params for n in net.nodes())
+
+
+def test_node_accessor_type_checks():
+    b = NetworkBuilder("toy", input_shape=(3, 8, 8))
+    b.add(Conv2d(4, kernel=1))
+    net = b.build()
+    with pytest.raises(KeyError):
+        net.node("missing")
+
+
+def test_dtype_bytes_validation():
+    with pytest.raises(ValueError):
+        NetworkBuilder("bad", input_shape=(1, 2, 2), dtype_bytes=0)

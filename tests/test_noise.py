@@ -1,0 +1,40 @@
+"""Prediction-noise sensitivity experiment."""
+
+import pytest
+
+from repro.experiments import noise
+
+
+@pytest.fixture(scope="module")
+def cells(env):
+    return noise.run(env, models=["alexnet"], sigmas=[0.0, 0.1], n=20, trials=3)
+
+
+def test_zero_noise_zero_regret(cells):
+    exact = [c for c in cells if c.sigma == 0.0]
+    assert exact
+    for cell in exact:
+        assert cell.mean_regret_percent == pytest.approx(0.0, abs=1e-9)
+        assert cell.worst_regret_percent == pytest.approx(0.0, abs=1e-9)
+
+
+def test_regret_non_negative(cells):
+    for cell in cells:
+        assert cell.worst_regret_percent >= cell.mean_regret_percent - 1e-9
+        assert cell.mean_regret_percent >= -1e-9
+
+
+def test_render(cells):
+    text = noise.render(cells)
+    assert "noise" in text and "regret" in text
+
+
+def test_general_models_are_skipped(env):
+    cells = noise.run(env, models=["googlenet"], sigmas=[0.0], n=5, trials=1)
+    assert cells == []  # lookup-predictor path is line-structure only
+
+
+def test_determinism(env):
+    a = noise.run(env, models=["alexnet"], sigmas=[0.1], n=10, trials=2)
+    b = noise.run(env, models=["alexnet"], sigmas=[0.1], n=10, trials=2)
+    assert [c.mean_regret_percent for c in a] == [c.mean_regret_percent for c in b]

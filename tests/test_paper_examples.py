@@ -1,0 +1,87 @@
+"""Integration tests that replay the paper's worked examples end to end."""
+
+import pytest
+
+from repro.core.baselines import brute_force
+from repro.core.joint import jps_line
+from repro.core.plans import JobPlan
+from repro.core.scheduling import schedule_jobs
+from repro.sim.pipeline import simulate_schedule
+from repro.sim.trace import validate_against_recurrence
+from tests.helpers import make_table
+
+
+def fig2_table():
+    """Fig. 2's two cut options as a cost table: (f, g) = (4, 6) and (7, 2)."""
+    return make_table(f=[4.0, 7.0], g=[6.0, 2.0])
+
+
+def test_fig2_brute_force_finds_13():
+    schedule = brute_force(fig2_table(), 2)
+    assert schedule.makespan == 13.0
+    result = simulate_schedule(schedule)
+    validate_against_recurrence(result, schedule)
+
+
+def test_fig2_jps_reproduces_the_mixed_partition():
+    schedule = jps_line(fig2_table(), 2)
+    assert schedule.makespan == 13.0
+    assert sorted(schedule.cut_histogram()) == [0, 1]
+
+
+def test_fig2_homogeneous_partitions_give_16():
+    for position in (0, 1):
+        table = fig2_table()
+        plans = [
+            JobPlan(job_id=i, model="fig2", cut_position=position,
+                    compute_time=table.f[position], comm_time=table.g[position])
+            for i in range(2)
+        ]
+        assert schedule_jobs(plans).makespan == 16.0
+
+
+def test_fig1_four_layer_example_pipeline_overlap():
+    """Fig. 1: two partitioned DNNs pipeline so comm hides behind compute."""
+    # two identical jobs, each: compute 3, upload 2
+    plans = [
+        JobPlan(job_id=i, model="fig1", cut_position=0, compute_time=3.0, comm_time=2.0)
+        for i in range(2)
+    ]
+    schedule = schedule_jobs(plans)
+    # pipeline: 3 + 3 + 2 = 8 < sequential 10
+    assert schedule.makespan == 8.0
+    result = simulate_schedule(schedule)
+    # job 1's upload overlaps job 2's computation
+    assert result.traces[1].compute.start < result.traces[0].comm.end
+
+
+def test_fig6_makespan_formula_visualized():
+    """Prop. 4.1 on a Fig. 6-style sorted set (S1 then S2)."""
+    from repro.core.scheduling import (
+        flow_shop_makespan,
+        johnson_order,
+        proposition_4_1_makespan,
+    )
+
+    stages = [(1.0, 4.0), (2.0, 3.0), (5.0, 2.0), (6.0, 1.0)]
+    order = johnson_order(stages)
+    assert order == [0, 1, 2, 3]  # already S1 (asc f) then S2 (desc g)
+    ordered = [stages[i] for i in order]
+    assert proposition_4_1_makespan(ordered) == pytest.approx(
+        flow_shop_makespan(ordered)
+    )
+
+
+def test_theorem_5_3_exact_condition():
+    """When f(l*-1)+f(l*) = g(l*-1)+g(l*) and g(l*-1) = f(l*), the half/half
+    two-type partition hides communication perfectly."""
+    # construct a table satisfying the condition: f = [2, 4], g = [4, 2]
+    table = make_table(f=[2.0, 4.0], g=[4.0, 2.0])
+    n = 10
+    schedule = jps_line(table, n)
+    # perfect pipeline: makespan = f(x1) + sum of the rest of the f's + g(xn)
+    # with both resources saturated -> average completion ~ (f_a + f_b) / 2
+    bf = brute_force(table, n)
+    assert schedule.makespan == pytest.approx(bf.makespan)
+    histogram = schedule.cut_histogram()
+    assert histogram.get(0) == n // 2 and histogram.get(1) == n // 2

@@ -1,0 +1,110 @@
+"""Failure injection: jitter, stragglers, mid-burst bandwidth changes."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import partition_only
+from repro.core.joint import jps_line
+from repro.sim.perturb import (
+    executed_makespan,
+    perturbed_schedule,
+    straggler_schedule,
+    two_phase_makespan,
+)
+
+
+def test_no_perturbation_is_identity(alexnet_table):
+    schedule = jps_line(alexnet_table, 10)
+    same = perturbed_schedule(schedule, seed=0)
+    assert same.makespan == pytest.approx(schedule.makespan)
+    for a, b in zip(schedule.jobs, same.jobs):
+        assert a.stages == b.stages
+
+
+def test_bandwidth_scale_inflates_comm(alexnet_table):
+    schedule = jps_line(alexnet_table, 10)
+    degraded = perturbed_schedule(schedule, seed=0, bandwidth_scale=0.5)
+    for a, b in zip(schedule.jobs, degraded.jobs):
+        assert b.comm_time == pytest.approx(2 * a.comm_time)
+        assert b.compute_time == a.compute_time
+    assert degraded.makespan > schedule.makespan
+
+
+def test_perturbation_is_deterministic(alexnet_table):
+    schedule = jps_line(alexnet_table, 6)
+    a = perturbed_schedule(schedule, seed=3, compute_jitter=0.2, comm_jitter=0.2)
+    b = perturbed_schedule(schedule, seed=3, compute_jitter=0.2, comm_jitter=0.2)
+    assert a.makespan == b.makespan
+
+
+def test_perturbation_validation(alexnet_table):
+    schedule = jps_line(alexnet_table, 4)
+    with pytest.raises(ValueError):
+        perturbed_schedule(schedule, compute_jitter=-1)
+    with pytest.raises(ValueError):
+        perturbed_schedule(schedule, bandwidth_scale=0)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(jitter=st.floats(0.0, 0.3), scale=st.floats(0.5, 2.0), seed=st.integers(0, 99))
+def test_perturbed_makespan_consistent(alexnet_table, jitter, scale, seed):
+    # the fixture is read-only here, so sharing it across examples is safe
+    schedule = jps_line(alexnet_table, 8)
+    shaken = perturbed_schedule(
+        schedule, seed=seed, compute_jitter=jitter, comm_jitter=jitter,
+        bandwidth_scale=scale,
+    )
+    assert shaken.makespan == pytest.approx(executed_makespan(shaken))
+    assert all(p.compute_time >= 0 and p.comm_time >= 0 for p in shaken.jobs)
+
+
+def test_straggler_inflates_makespan(alexnet_table):
+    schedule = jps_line(alexnet_table, 8)
+    slow = straggler_schedule(schedule, job_index=3, slowdown=5.0)
+    assert slow.makespan >= schedule.makespan
+    assert slow.jobs[3].compute_time == pytest.approx(
+        5.0 * schedule.jobs[3].compute_time
+    )
+    with pytest.raises(IndexError):
+        straggler_schedule(schedule, job_index=99, slowdown=2.0)
+    with pytest.raises(ValueError):
+        straggler_schedule(schedule, job_index=0, slowdown=0.0)
+
+
+def test_jps_degrades_gracefully_under_link_loss(env):
+    """With the link halved mid-flight, committed JPS still beats committed PO."""
+    table = env.cost_table("alexnet", 10.0)
+    jps = jps_line(table, 30)
+    po = partition_only(table, 30)
+    jps_degraded = perturbed_schedule(jps, seed=1, bandwidth_scale=0.5)
+    po_degraded = perturbed_schedule(po, seed=1, bandwidth_scale=0.5)
+    assert jps_degraded.makespan <= po_degraded.makespan + 1e-9
+
+
+def test_two_phase_adaptive_never_worse(env):
+    before = env.cost_table("alexnet", 18.88)
+    after = env.cost_table("alexnet", 2.0)
+    oblivious, adaptive = two_phase_makespan(before, after, n=30, switch_after=10)
+    assert adaptive <= oblivious + 1e-9
+    # the drop is severe enough that replanning visibly helps
+    assert adaptive < oblivious * 0.99
+
+
+def test_two_phase_no_remaining_jobs(env):
+    table = env.cost_table("alexnet", 10.0)
+    oblivious, adaptive = two_phase_makespan(table, table, n=5, switch_after=5)
+    assert oblivious == pytest.approx(adaptive)
+
+
+def test_two_phase_validation(env):
+    a = env.cost_table("alexnet", 10.0)
+    b = env.cost_table("resnet18", 10.0)
+    with pytest.raises(ValueError, match="same cut positions"):
+        two_phase_makespan(a, b, n=4, switch_after=2)
+    with pytest.raises(ValueError):
+        two_phase_makespan(a, a, n=4, switch_after=9)

@@ -1,0 +1,60 @@
+"""Device cost models."""
+
+import pytest
+
+from repro.nn.zoo import alexnet
+from repro.profiling.device import DEVICES, DeviceModel
+
+
+def test_registry():
+    assert set(DEVICES) == {"raspberry-pi-4", "gtx1080-server"}
+    assert DEVICES["raspberry-pi-4"]().name == "raspberry-pi-4"
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DeviceModel(name="x", default_throughput=0)
+    with pytest.raises(ValueError):
+        DeviceModel(name="x", default_throughput=1e9, memory_bandwidth=-1)
+    with pytest.raises(ValueError):
+        DeviceModel(name="x", default_throughput=1e9, layer_overhead=-1)
+    with pytest.raises(ValueError):
+        DeviceModel(name="x", default_throughput=1e9, kind_throughput={"conv2d": 0})
+
+
+def test_throughput_fallback():
+    device = DeviceModel(name="x", default_throughput=1e9, kind_throughput={"conv2d": 2e9})
+    assert device.throughput("conv2d") == 2e9
+    assert device.throughput("whatever") == 1e9
+
+
+def test_input_layer_is_free(mobile):
+    net = alexnet()
+    input_node = net.node(net.input_id)
+    assert mobile.layer_time(input_node) == 0.0
+
+
+def test_layer_time_positive_and_monotone_in_flops(mobile):
+    net = alexnet()
+    conv1 = net.node("conv2d_1")
+    conv_small = net.node("conv2d_9")
+    assert mobile.layer_time(conv1) > 0
+    # conv1 has ~3x the FLOPs of conv3; time ordering must follow
+    assert mobile.layer_time(conv1) > mobile.layer_time(conv_small) or (
+        conv1.flops < conv_small.flops
+    )
+
+
+def test_cloud_is_orders_of_magnitude_faster(mobile, cloud):
+    net = alexnet()
+    mobile_total = sum(mobile.layer_time(n) for n in net.nodes())
+    cloud_total = sum(cloud.layer_time(n) for n in net.nodes())
+    assert mobile_total / cloud_total > 50  # the §3.1 'negligible cloud' regime
+
+
+def test_overhead_dominates_tiny_layers(mobile):
+    net = alexnet()
+    softmax = net.node("softmax_24")
+    time = mobile.layer_time(softmax)
+    assert time >= mobile.layer_overhead
+    assert time < 2.5 * mobile.layer_overhead  # flops are negligible here

@@ -1,0 +1,155 @@
+"""Profiler, regression, and lookup-table estimators."""
+
+import pytest
+
+from repro.net.bandwidth import TrafficShaper
+from repro.net.channel import Channel
+from repro.nn import zoo
+from repro.profiling.lookup import LookupTable, build_lookup_table
+from repro.profiling.profiler import measure_communication, profile_network
+from repro.profiling.regression import CommLatencyModel, LayerLatencyModel
+from repro.utils.units import mbps
+
+
+@pytest.fixture(scope="module")
+def records(mobile):
+    nets = [zoo.alexnet(), zoo.vgg16()]
+    out = []
+    for net in nets:
+        out.extend(profile_network(net, mobile, seed=42, noise=0.03))
+    return out
+
+
+def test_profile_records_cover_all_layers(mobile):
+    net = zoo.alexnet()
+    records = profile_network(net, mobile, seed=0)
+    assert len(records) == net.num_layers
+    by_id = {r.node_id for r in records}
+    assert by_id == set(net.graph.node_ids)
+
+
+def test_profile_noise_is_multiplicative(mobile):
+    net = zoo.alexnet()
+    records = profile_network(net, mobile, seed=0, noise=0.05, repeats=50)
+    for record in records:
+        truth = mobile.layer_time(net.node(record.node_id))
+        if truth == 0:
+            assert record.mean_time == 0
+        else:
+            assert record.mean_time == pytest.approx(truth, rel=0.1)
+            assert all(s > 0 for s in record.samples)
+
+
+def test_profile_zero_noise_is_exact(mobile):
+    net = zoo.alexnet()
+    records = profile_network(net, mobile, seed=0, noise=0.0, repeats=3)
+    for record in records:
+        assert record.mean_time == pytest.approx(mobile.layer_time(net.node(record.node_id)))
+
+
+def test_profile_rejects_bad_args(mobile):
+    net = zoo.alexnet()
+    with pytest.raises(ValueError):
+        profile_network(net, mobile, noise=-1)
+    with pytest.raises(ValueError):
+        profile_network(net, mobile, repeats=0)
+
+
+def test_layer_regression_predicts_within_noise(records, mobile):
+    model = LayerLatencyModel.fit(records)
+    net = zoo.alexnet()
+    for node in net.nodes():
+        truth = mobile.layer_time(node)
+        if truth == 0:
+            assert model.predict(node) == 0.0
+        elif node.kind in model.coefficients:
+            # kinds with a dedicated fit track the truth closely
+            assert model.predict(node) == pytest.approx(truth, rel=0.25, abs=1e-3)
+        else:
+            # rare kinds fall back to the global fit: coarse but bounded
+            assert model.predict(node) == pytest.approx(truth, rel=4.0, abs=5e-3)
+    total_pred = sum(model.predict(n) for n in net.nodes())
+    total_true = sum(mobile.layer_time(n) for n in net.nodes())
+    assert total_pred == pytest.approx(total_true, rel=0.1)
+
+
+def test_layer_regression_generalizes_to_unseen_model(records, mobile):
+    model = LayerLatencyModel.fit(records)  # fit on AlexNet + VGG
+    net = zoo.nin()                         # predict NiN
+    total_pred = sum(model.predict(n) for n in net.nodes())
+    total_true = sum(mobile.layer_time(n) for n in net.nodes())
+    assert total_pred == pytest.approx(total_true, rel=0.5)
+
+
+def test_layer_regression_requires_records():
+    with pytest.raises(ValueError):
+        LayerLatencyModel.fit([])
+
+
+def test_layer_regression_unfitted_predict_raises(mobile):
+    net = zoo.alexnet()
+    with pytest.raises(RuntimeError):
+        LayerLatencyModel().predict(net.node("conv2d_1"))
+
+
+def test_comm_regression_recovers_channel_parameters():
+    channel = Channel(shaper=TrafficShaper(uplink_bps=mbps(10), downlink_bps=mbps(20)))
+    sizes = [1e4, 5e4, 1e5, 5e5, 1e6]
+    samples = measure_communication(channel, sizes, seed=7, noise=0.0)
+    model = CommLatencyModel.fit(samples)
+    # w0 ~ setup latency (plus the constant header term), w1 ~ 8 * overhead
+    assert model.w0 == pytest.approx(channel.setup_latency, rel=0.2)
+    assert model.w1 == pytest.approx(8 * channel.protocol_overhead, rel=0.05)
+    # predictions match the channel across the range
+    for size in (2e4, 3e5, 2e6):
+        assert model.predict(size, channel.uplink_bps) == pytest.approx(
+            channel.uplink_time(size), rel=0.05
+        )
+
+
+def test_comm_regression_extrapolates_across_bandwidth():
+    channel = Channel(shaper=TrafficShaper(uplink_bps=mbps(10), downlink_bps=mbps(20)))
+    model = CommLatencyModel.fit(
+        measure_communication(channel, [1e4, 1e5, 1e6], seed=3, noise=0.02)
+    )
+    slow = Channel(shaper=TrafficShaper(uplink_bps=mbps(1.1), downlink_bps=mbps(2)))
+    assert model.predict(5e5, slow.uplink_bps) == pytest.approx(
+        slow.uplink_time(5e5), rel=0.1
+    )
+
+
+def test_comm_regression_zero_payload_is_free():
+    channel = Channel(shaper=TrafficShaper(uplink_bps=mbps(10), downlink_bps=mbps(20)))
+    model = CommLatencyModel.fit(measure_communication(channel, [1e4, 1e5], seed=1))
+    assert model.predict(0, mbps(10)) == 0.0
+
+
+def test_comm_regression_needs_two_samples():
+    with pytest.raises(ValueError):
+        CommLatencyModel.fit([])
+    with pytest.raises(RuntimeError):
+        CommLatencyModel().predict(10, 1e6)
+
+
+def test_lookup_table_roundtrip(mobile):
+    net = zoo.alexnet()
+    table = build_lookup_table([net], mobile, seed=0, noise=0.0)
+    assert table.covers(net)
+    assert len(table) == net.num_layers
+    predictor = table.predictor_for(net.name)
+    for node in net.nodes():
+        assert predictor(node) == pytest.approx(mobile.layer_time(node))
+
+
+def test_lookup_table_misses_raise(mobile):
+    table = LookupTable(device=mobile.name)
+    with pytest.raises(KeyError, match="no lookup entry"):
+        table.time("alexnet", "conv2d_1")
+    with pytest.raises(ValueError):
+        table.add("m", "l", -1.0)
+
+
+def test_lookup_covers_is_strict(mobile):
+    net = zoo.alexnet()
+    table = build_lookup_table([net], mobile, seed=0)
+    assert not table.covers(zoo.nin())

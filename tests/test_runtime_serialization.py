@@ -1,0 +1,86 @@
+"""Tensor wire format: round trips, size accounting, corruption handling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.runtime.serialization import (
+    SerializationError,
+    deserialize_tensor,
+    serialize_tensor,
+    serialized_size,
+)
+
+
+def test_roundtrip_float32():
+    tensor = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+    again = deserialize_tensor(serialize_tensor(tensor))
+    assert again.dtype == np.float32
+    assert np.array_equal(again, tensor)
+
+
+def test_roundtrip_scalar_like():
+    tensor = np.array([3.5], dtype=np.float64)
+    assert np.array_equal(deserialize_tensor(serialize_tensor(tensor)), tensor)
+
+
+def test_serialized_size_matches_actual():
+    for shape in ((3, 224, 224), (1000,), (64, 55, 55)):
+        tensor = np.zeros(shape, dtype=np.float32)
+        assert len(serialize_tensor(tensor)) == serialized_size(shape)
+
+
+def test_serialized_size_includes_header():
+    assert serialized_size((10,)) > 10 * 4
+
+
+def test_unsupported_dtype_rejected():
+    with pytest.raises(SerializationError, match="dtype"):
+        serialize_tensor(np.zeros(3, dtype=np.complex64))
+    with pytest.raises(SerializationError):
+        serialized_size((3,), dtype="complex64")
+
+
+def test_bad_magic_rejected():
+    payload = bytearray(serialize_tensor(np.zeros(3, dtype=np.float32)))
+    payload[:4] = b"EVIL"
+    with pytest.raises(SerializationError, match="magic"):
+        deserialize_tensor(bytes(payload))
+
+
+def test_truncated_payload_rejected():
+    payload = serialize_tensor(np.zeros((4, 4), dtype=np.float32))
+    with pytest.raises(SerializationError, match="length"):
+        deserialize_tensor(payload[:-3])
+    with pytest.raises(SerializationError, match="header"):
+        deserialize_tensor(b"RP")
+
+
+def test_non_contiguous_input_handled():
+    base = np.arange(24, dtype=np.float32).reshape(4, 6)
+    view = base[:, ::2]  # non-contiguous
+    again = deserialize_tensor(serialize_tensor(view))
+    assert np.array_equal(again, view)
+
+
+def test_result_is_writable_copy():
+    tensor = np.ones(4, dtype=np.float32)
+    again = deserialize_tensor(serialize_tensor(tensor))
+    again[0] = 99  # must not raise (frombuffer alone would be read-only)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=st.sampled_from([np.float32, np.int32, np.uint8]),
+        shape=hnp.array_shapes(min_dims=1, max_dims=4, min_side=1, max_side=8),
+        elements=st.integers(0, 200),
+    )
+)
+def test_roundtrip_property(tensor):
+    again = deserialize_tensor(serialize_tensor(tensor))
+    assert again.shape == tensor.shape
+    assert again.dtype == tensor.dtype
+    assert np.array_equal(again, tensor)

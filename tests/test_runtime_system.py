@@ -1,0 +1,199 @@
+"""RPC, client/server, scheduler runtime, and the system facade."""
+
+import numpy as np
+import pytest
+
+from repro.net.bandwidth import FOUR_G, WIFI
+from repro.nn import zoo
+from repro.runtime.messages import InferenceReply, InferenceRequest
+from repro.runtime.rpc import SimulatedRpc, VirtualClock
+from repro.runtime.scheduler_runtime import OnDeviceScheduler
+from repro.runtime.serialization import serialize_tensor
+from repro.runtime.server import CloudServer
+from repro.runtime.system import OffloadingSystem
+
+
+@pytest.fixture(scope="module")
+def system():
+    sys_ = OffloadingSystem.at_preset(FOUR_G, seed=7)
+    sys_.deploy(zoo.alexnet(), zoo.mobilenet_v2())
+    return sys_
+
+
+# ----------------------------------------------------------------------
+# messages / rpc / server
+# ----------------------------------------------------------------------
+
+def test_message_validation():
+    with pytest.raises(ValueError):
+        InferenceRequest(job_id=0, model="", cut_frontier=(), payload=b"")
+    with pytest.raises(TypeError):
+        InferenceRequest(job_id=0, model="m", cut_frontier=(), payload="text")  # type: ignore
+    with pytest.raises(ValueError):
+        InferenceReply(job_id=0, payload=b"", server_compute_time=-1)
+
+
+def test_virtual_clock():
+    clock = VirtualClock()
+    assert clock.advance(1.5) == 1.5
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+
+
+def test_server_requires_registered_model(cloud):
+    server = CloudServer(device=cloud)
+    request = InferenceRequest(
+        job_id=0, model="ghost", cut_frontier=(),
+        payload=serialize_tensor(np.zeros(3, dtype=np.float32)),
+    )
+    with pytest.raises(KeyError, match="not initialized"):
+        server.handle(request)
+
+
+def test_server_completes_remaining_layers(cloud, alexnet):
+    server = CloudServer(device=cloud)
+    server.register(alexnet)
+    cut_node = "maxpool2d_4"
+    tensor = np.zeros(alexnet.node(cut_node).output_shape, dtype=np.float32)
+    request = InferenceRequest(
+        job_id=1, model=alexnet.name, cut_frontier=(cut_node,),
+        payload=serialize_tensor(tensor),
+    )
+    reply = server.handle(request)
+    assert reply.job_id == 1
+    assert reply.server_compute_time > 0
+    assert server.requests_served == 1
+    # deeper cut -> less server work
+    deeper = InferenceRequest(
+        job_id=2, model=alexnet.name, cut_frontier=("linear_21",),
+        payload=serialize_tensor(np.zeros((4096,), dtype=np.float32)),
+    )
+    assert server.handle(deeper).server_compute_time < reply.server_compute_time
+
+
+def test_server_rejects_unknown_frontier(cloud, alexnet):
+    server = CloudServer(device=cloud)
+    server.register(alexnet)
+    request = InferenceRequest(
+        job_id=0, model=alexnet.name, cut_frontier=("nonsense",),
+        payload=serialize_tensor(np.zeros(3, dtype=np.float32)),
+    )
+    with pytest.raises(ValueError, match="unknown layers"):
+        server.handle(request)
+
+
+def test_rpc_round_trip_times(cloud, alexnet, channel_4g):
+    server = CloudServer(device=cloud)
+    server.register(alexnet)
+    rpc = SimulatedRpc(channel=channel_4g, server=server)
+    payload = serialize_tensor(np.zeros((64, 27, 27), dtype=np.float32))
+    request = InferenceRequest(
+        job_id=0, model=alexnet.name, cut_frontier=("maxpool2d_4",), payload=payload
+    )
+    reply = rpc.call(request)
+    stats = rpc.call_log[-1]
+    assert stats.round_trip > 0
+    assert stats.communication_delay == pytest.approx(
+        stats.round_trip - reply.server_compute_time
+    )
+    # the client-side regression target: comm delay ~ uplink + downlink times
+    expected = channel_4g.uplink_time(len(payload)) + channel_4g.downlink_time(
+        len(reply.payload)
+    )
+    assert stats.communication_delay == pytest.approx(expected, rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# scheduler runtime
+# ----------------------------------------------------------------------
+
+def test_scheduler_requires_calibration(mobile, alexnet):
+    scheduler = OnDeviceScheduler(mobile=mobile)
+    with pytest.raises(RuntimeError, match="not calibrated"):
+        scheduler.plan(alexnet, 5, bandwidth_bps=5e6)
+
+
+def test_scheduler_requires_lookup_coverage(mobile, alexnet, channel_4g):
+    scheduler = OnDeviceScheduler(mobile=mobile)
+    scheduler.calibrate([alexnet], channel_4g, seed=0)
+    with pytest.raises(KeyError, match="lookup"):
+        scheduler.plan(zoo.nin(), 5, bandwidth_bps=5e6)
+
+
+def test_scheduler_schemes(mobile, alexnet, channel_4g):
+    scheduler = OnDeviceScheduler(mobile=mobile)
+    scheduler.calibrate([alexnet], channel_4g, seed=0, noise=0.01)
+    results = {
+        scheme: scheduler.plan(alexnet, 10, channel_4g.uplink_bps, scheme=scheme)
+        for scheme in ("JPS", "PO", "LO", "CO")
+    }
+    assert results["JPS"].schedule.makespan <= results["PO"].schedule.makespan + 1e-9
+    assert all(r.overhead_s < 0.5 for r in results.values())
+    with pytest.raises(ValueError, match="unknown scheme"):
+        scheduler.plan(alexnet, 10, channel_4g.uplink_bps, scheme="magic")
+
+
+# ----------------------------------------------------------------------
+# system facade
+# ----------------------------------------------------------------------
+
+def test_system_plan_matches_execution_closely(system):
+    run = system.run("alexnet", 15, "JPS")
+    assert run.plan_error < 0.10  # estimates within 10% of ground truth
+    assert run.executed_makespan > 0
+    assert run.result.max_stage_error < 0.25
+
+
+def test_system_scheme_ordering(system):
+    makespans = {s: system.run("alexnet", 15, s).executed_makespan for s in
+                 ("LO", "CO", "PO", "JPS")}
+    assert makespans["JPS"] <= min(makespans["LO"], makespans["PO"]) * 1.05
+
+
+def test_system_shaping_changes_execution(system):
+    before = system.run("mobilenet-v2", 10, "CO").executed_makespan
+    system.set_uplink_mbps(1.0)
+    slow = system.run("mobilenet-v2", 10, "CO").executed_makespan
+    system.set_uplink_mbps(FOUR_G.uplink_bps / 1e6)
+    assert slow > before * 3
+
+
+def test_system_requires_deployed_model(system):
+    with pytest.raises(KeyError, match="not loaded"):
+        system.run("vgg16", 3)
+
+
+def test_runtime_reports_payload_bytes(system):
+    run = system.run("alexnet", 5, "JPS")
+    offloaded = [r for r in run.result.reports if r.payload_bytes > 0]
+    assert offloaded  # JPS at 4G offloads something
+    for report in offloaded:
+        assert report.actual_comm > 0
+        assert report.planned_comm > 0
+
+
+def test_system_general_structure_model(cloud, mobile):
+    """The prototype executes frontier-cut plans on a general DAG."""
+    from repro.nn import zoo as _zoo
+    from repro.net.bandwidth import WIFI as _WIFI
+    from repro.runtime.system import OffloadingSystem as _System
+
+    sys_ = _System.at_preset(_WIFI, seed=3)
+    sys_.deploy(_zoo.mini_inception(2))
+    run = sys_.run("mini-inception", 8, "JPS")
+    assert run.executed_makespan > 0
+    assert run.plan_error < 0.2
+    # some plan offloads through a frontier cut with a multi-tensor payload
+    assert any(r.payload_bytes > 0 for r in run.result.reports)
+
+
+def test_system_squeezenet_round_trip(cloud, mobile):
+    from repro.nn import zoo as _zoo
+    from repro.net.bandwidth import FOUR_G as _FOUR_G
+    from repro.runtime.system import OffloadingSystem as _System
+
+    sys_ = _System.at_preset(_FOUR_G, seed=5)
+    sys_.deploy(_zoo.squeezenet())
+    run = sys_.run("squeezenet", 10, "JPS")
+    lo = sys_.run("squeezenet", 10, "LO")
+    assert run.executed_makespan <= lo.executed_makespan * 1.05

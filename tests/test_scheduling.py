@@ -1,0 +1,167 @@
+"""Alg. 1 (Johnson's rule), flow-shop recurrence, Prop. 4.1."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plans import JobPlan
+from repro.core.scheduling import (
+    best_order_brute_force,
+    flow_shop_completion_times,
+    flow_shop_makespan,
+    johnson_order,
+    proposition_4_1_makespan,
+    schedule_jobs,
+)
+
+stage = st.tuples(st.floats(0.0, 10.0), st.floats(0.0, 10.0))
+
+
+def johnson_makespan(stages):
+    order = johnson_order(stages)
+    return flow_shop_makespan([stages[i] for i in order])
+
+
+# ----------------------------------------------------------------------
+# the go-through example of Fig. 2
+# ----------------------------------------------------------------------
+
+def test_fig2_example_heterogeneous_cuts_win():
+    """Two 3-layer DNNs; cuts after l1 -> (4, 6), after l2 -> (7, 2).
+
+    Homogeneous partitions give makespan 16, the mixed partition 13 —
+    the paper's motivating example.
+    """
+    both_l1 = johnson_makespan([(4, 6), (4, 6)])
+    both_l2 = johnson_makespan([(7, 2), (7, 2)])
+    mixed = johnson_makespan([(4, 6), (7, 2)])
+    assert both_l1 == 16
+    assert both_l2 == 16
+    assert mixed == 13
+
+
+def test_fig2_example_flips_when_compute_changes():
+    """Shrinking the l2 compute time 7 -> 5 makes a homogeneous partition
+    optimal again (the paper's point: the best structure flips with costs)."""
+    both_l1 = johnson_makespan([(4, 6), (4, 6)])
+    both_l2 = johnson_makespan([(5, 2), (5, 2)])
+    mixed = johnson_makespan([(4, 6), (5, 2)])
+    assert both_l1 == 16
+    assert both_l2 == 12
+    assert mixed == 12
+    # a homogeneous partition now matches the best mixed one
+    assert min(both_l1, both_l2) <= mixed
+
+
+# ----------------------------------------------------------------------
+# recurrence + ordering
+# ----------------------------------------------------------------------
+
+def test_recurrence_hand_computed():
+    stages = [(1, 10), (8, 2)]
+    completions = flow_shop_completion_times(stages)
+    assert completions == [(1, 11), (9, 13)]
+    assert flow_shop_makespan(stages) == 13
+
+
+def test_recurrence_rejects_negative():
+    with pytest.raises(ValueError):
+        flow_shop_makespan([(1, -1)])
+
+
+def test_empty_schedule():
+    assert flow_shop_makespan([]) == 0.0
+    assert proposition_4_1_makespan([]) == 0.0
+
+
+def test_johnson_order_splits_and_sorts():
+    stages = [(5, 1), (1, 5), (2, 3), (4, 2)]
+    order = johnson_order(stages)
+    # S1 = {1 (f=1), 2 (f=2)} ascending f; S2 = {3 (g=2), 0 (g=1)} descending g
+    assert order == [1, 2, 3, 0]
+
+
+def test_johnson_order_deterministic_ties():
+    stages = [(1, 2), (1, 2), (1, 2)]
+    assert johnson_order(stages) == [0, 1, 2]
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(stage, min_size=1, max_size=7))
+def test_johnson_is_optimal(stages):
+    """Johnson's rule equals the best of all n! orders (2-machine flow shop)."""
+    assert johnson_makespan(stages) == pytest.approx(
+        best_order_brute_force(stages), rel=1e-12, abs=1e-12
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    f_a=st.floats(0.0, 5.0),
+    surplus_a=st.floats(0.001, 5.0),
+    g_b=st.floats(0.0, 5.0),
+    surplus_b=st.floats(0.0, 5.0),
+    n_a=st.integers(0, 12),
+    n_b=st.integers(0, 12),
+)
+def test_proposition_4_1_exact_for_two_type_sets(f_a, surplus_a, g_b, surplus_b, n_a, n_b):
+    """Prop. 4.1 equals the exact recurrence on Theorem-5.3-style job sets
+    (one communication-heavy type, one computation-heavy type)."""
+    if n_a + n_b == 0:
+        return
+    type_a = (f_a, f_a + surplus_a)       # f < g
+    type_b = (g_b + surplus_b, g_b)       # f >= g
+    stages = [type_a] * n_a + [type_b] * n_b
+    order = johnson_order(stages)
+    ordered = [stages[i] for i in order]
+    assert proposition_4_1_makespan(ordered) == pytest.approx(
+        flow_shop_makespan(ordered), rel=1e-9, abs=1e-9
+    )
+
+
+def test_proposition_4_1_not_exact_in_general():
+    """The documented three-type counterexample: the formula under-reports."""
+    ordered = [(0.1, 0.2), (1.0, 1.1), (0.9, 0.05)]
+    assert johnson_order(ordered) == [0, 1, 2]  # already Johnson-ordered
+    assert proposition_4_1_makespan(ordered) == pytest.approx(2.05)
+    assert flow_shop_makespan(ordered) == pytest.approx(2.25)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(stage, min_size=1, max_size=20))
+def test_proposition_4_1_lower_bounds_any_order(stages):
+    """For arbitrary (non-Johnson) orders the formula is a lower bound."""
+    assert proposition_4_1_makespan(stages) <= flow_shop_makespan(stages) + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(stage, min_size=1, max_size=20))
+def test_makespan_lower_bounds(stages):
+    """Makespan >= max(total f + last g, first f + total g)."""
+    order = johnson_order(stages)
+    ordered = [stages[i] for i in order]
+    makespan = flow_shop_makespan(ordered)
+    total_f = sum(s[0] for s in ordered)
+    total_g = sum(s[1] for s in ordered)
+    assert makespan >= total_f + ordered[-1][1] - 1e-9
+    assert makespan >= ordered[0][0] + total_g - 1e-9
+
+
+def test_schedule_jobs_wraps_plans():
+    plans = [
+        JobPlan(job_id=0, model="m", cut_position=1, compute_time=5, comm_time=1),
+        JobPlan(job_id=1, model="m", cut_position=0, compute_time=1, comm_time=5),
+    ]
+    schedule = schedule_jobs(plans)
+    assert schedule.num_jobs == 2
+    assert schedule.jobs[0].job_id == 1  # communication-heavy first
+    # order (1,5) then (5,1): c1 = 1, 6; c2 = 6, max(6,6)+1 = 7
+    assert schedule.makespan == 7
+    assert schedule.metadata["s1_size"] == 1
+    assert schedule.cut_histogram() == {0: 1, 1: 1}
+    assert schedule.average_completion == pytest.approx(3.5)
+
+
+def test_brute_force_order_cap():
+    with pytest.raises(ValueError, match="factorial"):
+        best_order_brute_force([(1.0, 1.0)] * 10)

@@ -1,0 +1,47 @@
+"""Local-search optimality probe."""
+
+import pytest
+
+from repro.core.baselines import brute_force
+from repro.core.joint import jps_line
+from repro.core.search import local_search
+from repro.extensions.refine import refine_end_jobs
+
+
+def test_local_search_near_brute_force_small(alexnet_table):
+    """Single-move local search can stop in a local optimum, but with the
+    refined-JPS start it stays within 1% of the exact optimum."""
+    for n in (2, 4, 6):
+        ls = local_search(alexnet_table, n, seed=0)
+        bf = brute_force(alexnet_table, n)
+        assert bf.makespan <= ls.makespan + 1e-12
+        assert ls.makespan <= bf.makespan * 1.01
+
+
+def test_local_search_never_worse_than_jps(alexnet_table):
+    for n in (5, 20, 60):
+        ls = local_search(alexnet_table, n, seed=1)
+        jps = jps_line(alexnet_table, n)
+        assert ls.makespan <= jps.makespan + 1e-12
+        assert ls.num_jobs == n
+
+
+def test_local_search_deterministic(alexnet_table):
+    a = local_search(alexnet_table, 15, seed=7)
+    b = local_search(alexnet_table, 15, seed=7)
+    assert a.makespan == b.makespan
+    assert a.metadata["counts"] == b.metadata["counts"]
+
+
+def test_jps_with_refine_is_near_local_search_at_scale(alexnet_table):
+    """The paper's scheme + our end-effect pass sit within 2% of the
+    strongest search we can run at n = 100."""
+    n = 100
+    ls = local_search(alexnet_table, n, restarts=2, seed=3)
+    refined = refine_end_jobs(alexnet_table, jps_line(alexnet_table, n))
+    assert refined.makespan <= ls.makespan * 1.02 + 1e-12
+
+
+def test_local_search_validation(alexnet_table):
+    with pytest.raises(ValueError):
+        local_search(alexnet_table, 0)

@@ -1,0 +1,196 @@
+"""Discrete-event engine and the pipeline simulator vs the analytic model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plans import JobPlan, Schedule
+from repro.core.scheduling import flow_shop_makespan
+from repro.sim.engine import Engine, Resource, SimulationError
+from repro.sim.pipeline import simulate_schedule
+from repro.sim.trace import render_gantt, validate_against_recurrence
+
+
+# ----------------------------------------------------------------------
+# engine
+# ----------------------------------------------------------------------
+
+def test_engine_orders_events():
+    engine = Engine()
+    seen = []
+    engine.schedule(2.0, lambda: seen.append("b"))
+    engine.schedule(1.0, lambda: seen.append("a"))
+    engine.schedule(3.0, lambda: seen.append("c"))
+    assert engine.run() == 3.0
+    assert seen == ["a", "b", "c"]
+
+
+def test_engine_simultaneous_events_fire_in_schedule_order():
+    engine = Engine()
+    seen = []
+    for tag in ("first", "second", "third"):
+        engine.schedule(1.0, lambda t=tag: seen.append(t))
+    engine.run()
+    assert seen == ["first", "second", "third"]
+
+
+def test_engine_rejects_negative_delay():
+    with pytest.raises(SimulationError):
+        Engine().schedule(-0.1, lambda: None)
+
+
+def test_engine_run_until():
+    engine = Engine()
+    seen = []
+    engine.schedule(1.0, lambda: seen.append(1))
+    engine.schedule(5.0, lambda: seen.append(5))
+    engine.run(until=2.0)
+    assert seen == [1]
+    assert engine.pending_events == 1
+    engine.run()
+    assert seen == [1, 5]
+
+
+def test_resource_fifo_and_busy_log():
+    engine = Engine()
+    res = Resource(engine, "cpu")
+    ends = []
+    res.acquire("a", 2.0, lambda s, e: ends.append((s, e)))
+    res.acquire("b", 1.0, lambda s, e: ends.append((s, e)))
+    engine.run()
+    assert ends == [(0.0, 2.0), (2.0, 3.0)]
+    assert res.total_busy_time == 3.0
+    assert res.utilization(3.0) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        res.utilization(0)
+
+
+def test_resource_rejects_negative_duration():
+    engine = Engine()
+    res = Resource(engine, "cpu")
+    with pytest.raises(SimulationError):
+        res.acquire("x", -1.0)
+
+
+# ----------------------------------------------------------------------
+# pipeline vs analytic recurrence
+# ----------------------------------------------------------------------
+
+def _schedule_from_stages(stages) -> Schedule:
+    jobs = tuple(
+        JobPlan(job_id=i, model="m", cut_position=0, compute_time=f, comm_time=g)
+        for i, (f, g) in enumerate(stages)
+    )
+    return Schedule(
+        jobs=jobs,
+        makespan=flow_shop_makespan(stages),
+        method="test",
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.floats(0, 5), st.floats(0, 5)), min_size=1, max_size=12))
+def test_pipeline_matches_recurrence(stages):
+    schedule = _schedule_from_stages(stages)
+    result = simulate_schedule(schedule)
+    validate_against_recurrence(result, schedule)
+    assert result.makespan == pytest.approx(flow_shop_makespan(stages))
+
+
+def test_pipeline_three_stage_adds_cloud_tail():
+    jobs = tuple(
+        JobPlan(job_id=i, model="m", cut_position=0,
+                compute_time=1.0, comm_time=1.0, cloud_time=0.25)
+        for i in range(3)
+    )
+    schedule = Schedule(jobs=jobs, makespan=0.0, method="test")
+    two = simulate_schedule(schedule, include_cloud=False)
+    three = simulate_schedule(schedule, include_cloud=True)
+    assert three.makespan > two.makespan
+    assert three.makespan == pytest.approx(two.makespan + 0.25)
+
+
+def test_pipeline_zero_compute_goes_straight_to_uplink():
+    jobs = tuple(
+        JobPlan(job_id=i, model="m", cut_position=0, compute_time=0.0, comm_time=2.0)
+        for i in range(3)
+    )
+    schedule = Schedule(jobs=jobs, makespan=6.0, method="CO")
+    result = simulate_schedule(schedule)
+    assert result.makespan == pytest.approx(6.0)
+    assert result.mobile.total_busy_time == 0.0
+    assert result.uplink.total_busy_time == pytest.approx(6.0)
+
+
+def test_pipeline_local_only_never_touches_uplink():
+    jobs = tuple(
+        JobPlan(job_id=i, model="m", cut_position=0, compute_time=1.5, comm_time=0.0)
+        for i in range(4)
+    )
+    schedule = Schedule(jobs=jobs, makespan=6.0, method="LO")
+    result = simulate_schedule(schedule)
+    assert result.uplink.total_busy_time == 0.0
+    assert result.makespan == pytest.approx(6.0)
+
+
+def test_eager_discipline_lets_zero_compute_jobs_jump_ahead():
+    # job 0: long compute then upload; job 1: nothing to compute
+    stages = [(5.0, 1.0), (0.0, 1.0)]
+    schedule = _schedule_from_stages(stages)
+    strict = simulate_schedule(schedule, discipline="permutation")
+    eager = simulate_schedule(schedule, discipline="eager")
+    # strict: job 1's upload waits behind job 0's pipeline -> makespan 7
+    assert strict.makespan == pytest.approx(7.0)
+    # eager: job 1 uploads during job 0's compute -> makespan 6
+    assert eager.makespan == pytest.approx(6.0)
+
+
+def test_unknown_discipline_rejected():
+    schedule = _schedule_from_stages([(1.0, 1.0)])
+    with pytest.raises(ValueError, match="discipline"):
+        simulate_schedule(schedule, discipline="chaotic")
+
+
+def test_validate_rejects_cloud_runs():
+    schedule = _schedule_from_stages([(1.0, 1.0)])
+    result = simulate_schedule(schedule, include_cloud=True)
+    with pytest.raises(ValueError, match="2-stage"):
+        validate_against_recurrence(result, schedule)
+
+
+def test_traces_record_stage_spans():
+    schedule = _schedule_from_stages([(1.0, 2.0), (3.0, 1.0)])
+    result = simulate_schedule(schedule)
+    first = result.traces[0]
+    assert first.compute.start == 0.0 and first.compute.end == 1.0
+    assert first.comm.start == 1.0 and first.comm.end == 3.0
+    assert first.completion == 3.0
+    assert result.traces[1].comm.start == pytest.approx(4.0)  # waits for own compute
+
+
+def test_render_gantt_shape():
+    schedule = _schedule_from_stages([(1.0, 2.0), (3.0, 1.0)])
+    result = simulate_schedule(schedule)
+    art = render_gantt(result, width=40)
+    lines = art.splitlines()
+    assert len(lines) == 4
+    assert "mobile-cpu" in lines[0] and "#" in lines[0]
+    assert "uplink" in lines[1]
+
+
+def test_render_gantt_empty():
+    schedule = _schedule_from_stages([(0.0, 0.0)])
+    result = simulate_schedule(schedule)
+    assert render_gantt(result) == "(empty timeline)"
+
+
+def test_pipeline_utilization_consistency(alexnet_table):
+    from repro.core.joint import jps_line
+
+    schedule = jps_line(alexnet_table, 12)
+    result = simulate_schedule(schedule)
+    validate_against_recurrence(result, schedule)
+    horizon = result.makespan
+    total = result.mobile.utilization(horizon) + result.uplink.utilization(horizon)
+    # a balanced JPS pipeline keeps both resources mostly busy
+    assert total > 1.0

@@ -1,0 +1,146 @@
+"""Time-varying bandwidth: closed-form transfers and trace-driven DES."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.joint import jps_line
+from repro.net.timeline import BandwidthTimeline
+from repro.sim.pipeline import simulate_schedule, simulate_schedule_on_timeline
+from repro.utils.units import mbps
+
+
+def two_step() -> BandwidthTimeline:
+    """8 Mbps for the first second, then 4 Mbps."""
+    return BandwidthTimeline(times=(0.0, 1.0), rates_bps=(8e6, 4e6))
+
+
+# ----------------------------------------------------------------------
+# the closed-form transfer solver
+# ----------------------------------------------------------------------
+
+def test_validation():
+    with pytest.raises(ValueError, match="start at 0"):
+        BandwidthTimeline(times=(1.0,), rates_bps=(1e6,))
+    with pytest.raises(ValueError, match="equal lengths"):
+        BandwidthTimeline(times=(0.0, 1.0), rates_bps=(1e6,))
+    with pytest.raises(ValueError, match="strictly increasing"):
+        BandwidthTimeline(times=(0.0, 0.0), rates_bps=(1e6, 2e6))
+    with pytest.raises(ValueError):
+        BandwidthTimeline(times=(0.0,), rates_bps=(0.0,))
+
+
+def test_rate_at():
+    tl = two_step()
+    assert tl.rate_at(0.0) == 8e6
+    assert tl.rate_at(0.999) == 8e6
+    assert tl.rate_at(1.0) == 4e6
+    assert tl.rate_at(100.0) == 4e6
+
+
+def test_constant_matches_simple_division():
+    tl = BandwidthTimeline.constant(mbps(8))
+    # 1 MB over 8 Mbps = 1 s
+    assert tl.transfer_end(0.0, 1e6) == pytest.approx(1.0)
+    assert tl.transfer_end(5.0, 1e6) == pytest.approx(6.0)
+
+
+def test_transfer_spanning_a_rate_change():
+    tl = two_step()
+    # 1.5 MB: first 1 s moves 8 Mb (1 MB), remaining 0.5 MB at 4 Mbps -> 1 s
+    assert tl.transfer_end(0.0, 1.5e6) == pytest.approx(2.0)
+    # started entirely in the slow regime
+    assert tl.transfer_end(2.0, 0.5e6) == pytest.approx(3.0)
+
+
+def test_zero_payload_free():
+    assert two_step().transfer_end(3.0, 0.0) == 3.0
+    assert two_step().uplink_time(0.0) == 0.0
+
+
+def test_overheads_applied():
+    tl = BandwidthTimeline.constant(
+        mbps(8), setup_latency=0.5, header_bytes=0, protocol_overhead=2.0
+    )
+    # 0.5 MB * 2 overhead = 1 MB -> 1 s, plus 0.5 s setup
+    assert tl.transfer_end(0.0, 0.5e6) == pytest.approx(1.5)
+
+
+def test_steps_mbps_builder():
+    tl = BandwidthTimeline.steps_mbps([(0.0, 10.0), (2.0, 1.0)])
+    assert tl.rate_at(0.5) == 10e6
+    assert tl.rate_at(2.5) == 1e6
+    with pytest.raises(ValueError):
+        BandwidthTimeline.steps_mbps([])
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    payload=st.floats(1.0, 5e6),
+    start=st.floats(0.0, 5.0),
+    drop_at=st.floats(0.1, 4.0),
+    fast=st.floats(2.0, 40.0),
+    slow=st.floats(0.5, 2.0),
+)
+def test_transfer_end_properties(payload, start, drop_at, fast, slow):
+    tl = BandwidthTimeline(times=(0.0, drop_at), rates_bps=(fast * 1e6, slow * 1e6))
+    end = tl.transfer_end(start, payload)
+    assert end > start
+    # bounded by the all-fast and all-slow extremes
+    wire_bits = payload * 8  # defaults: no header, overhead 1
+    assert start + wire_bits / (fast * 1e6) <= end + 1e-9
+    assert end <= start + wire_bits / (slow * 1e6) + 1e-9
+    # starting later never finishes earlier (rates only drop in this family)
+    later = tl.transfer_end(start + 0.1, payload)
+    assert later + 1e-9 >= end
+
+
+# ----------------------------------------------------------------------
+# trace-driven pipeline
+# ----------------------------------------------------------------------
+
+def test_constant_timeline_matches_fixed_channel(alexnet_table, channel_10mbps):
+    schedule = jps_line(alexnet_table, 8)
+    timeline = BandwidthTimeline.constant(
+        channel_10mbps.uplink_bps,
+        setup_latency=channel_10mbps.setup_latency,
+        header_bytes=channel_10mbps.header_bytes,
+        protocol_overhead=channel_10mbps.protocol_overhead,
+    )
+    fixed = simulate_schedule(schedule)
+    traced = simulate_schedule_on_timeline(
+        schedule, timeline, bytes_of=lambda p: alexnet_table.transfer_bytes_at(p.cut_position)
+    )
+    assert traced.makespan == pytest.approx(fixed.makespan, rel=1e-9)
+
+
+def test_mid_run_drop_increases_makespan(alexnet_table, channel_10mbps):
+    schedule = jps_line(alexnet_table, 10)
+    kwargs = dict(
+        setup_latency=channel_10mbps.setup_latency,
+        header_bytes=channel_10mbps.header_bytes,
+        protocol_overhead=channel_10mbps.protocol_overhead,
+    )
+    steady = BandwidthTimeline.constant(channel_10mbps.uplink_bps, **kwargs)
+    dropping = BandwidthTimeline(
+        times=(0.0, 0.5), rates_bps=(channel_10mbps.uplink_bps, mbps(1.0)), **kwargs
+    )
+    bytes_of = lambda p: alexnet_table.transfer_bytes_at(p.cut_position)
+    base = simulate_schedule_on_timeline(schedule, steady, bytes_of)
+    degraded = simulate_schedule_on_timeline(schedule, dropping, bytes_of)
+    assert degraded.makespan > base.makespan
+    assert degraded.metadata["timeline"] is True
+
+
+def test_bytes_of_validation(alexnet_table):
+    schedule = jps_line(alexnet_table, 2)
+    timeline = BandwidthTimeline.constant(mbps(10))
+    with pytest.raises(ValueError, match="bytes_of"):
+        simulate_schedule_on_timeline(schedule, timeline, bytes_of=lambda p: -1.0)
+
+
+def test_transfer_bytes_at(alexnet_table):
+    assert alexnet_table.transfer_bytes_at(alexnet_table.k - 1) == 0.0
+    assert alexnet_table.transfer_bytes_at(0) == pytest.approx(3 * 224 * 224 * 4)
+    with pytest.raises(IndexError):
+        alexnet_table.transfer_bytes_at(alexnet_table.k)

@@ -1,0 +1,44 @@
+"""Deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import DEFAULT_SEED, make_rng, spawn
+
+
+def test_default_seed_is_stable():
+    a = make_rng(None).random(4)
+    b = make_rng(DEFAULT_SEED).random(4)
+    assert np.allclose(a, b)
+
+
+def test_integer_seed_reproducible():
+    assert np.allclose(make_rng(7).random(8), make_rng(7).random(8))
+
+
+def test_generator_passthrough():
+    rng = np.random.default_rng(1)
+    assert make_rng(rng) is rng
+
+
+def test_spawn_children_are_independent():
+    children = spawn(make_rng(3), 3)
+    draws = [c.random(16) for c in children]
+    assert not np.allclose(draws[0], draws[1])
+    assert not np.allclose(draws[1], draws[2])
+
+
+def test_spawn_is_deterministic():
+    a = [c.random(4) for c in spawn(make_rng(5), 2)]
+    b = [c.random(4) for c in spawn(make_rng(5), 2)]
+    for x, y in zip(a, b):
+        assert np.allclose(x, y)
+
+
+def test_spawn_rejects_negative_count():
+    with pytest.raises(ValueError):
+        spawn(make_rng(0), -1)
+
+
+def test_spawn_zero_children():
+    assert spawn(make_rng(0), 0) == []

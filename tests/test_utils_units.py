@@ -1,0 +1,55 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.utils import units
+
+
+def test_mbps_to_bps():
+    assert units.mbps(1.1) == pytest.approx(1.1e6)
+
+
+def test_kbps_and_gbps():
+    assert units.kbps(1) == 1e3
+    assert units.gbps(2) == 2e9
+
+
+def test_byte_conversions():
+    assert units.mb(1.5) == pytest.approx(1.5e6)
+    assert units.kb(2) == 2e3
+
+
+def test_time_conversions_roundtrip():
+    assert units.seconds_to_ms(units.ms(250)) == pytest.approx(250)
+    assert units.us(1_000_000) == pytest.approx(1.0)
+
+
+def test_flops_conversions():
+    assert units.gflops(2.5) == 2.5e9
+    assert units.mflops(3) == 3e6
+
+
+def test_transfer_time_basic():
+    # 1 MB over 8 Mbps -> exactly 1 second
+    assert units.transfer_time(1e6, 8e6) == pytest.approx(1.0)
+
+
+def test_transfer_time_zero_bytes():
+    assert units.transfer_time(0, 1e6) == 0.0
+
+
+def test_transfer_time_rejects_bad_bandwidth():
+    with pytest.raises(ValueError):
+        units.transfer_time(100, 0)
+    with pytest.raises(ValueError):
+        units.transfer_time(100, -5)
+
+
+def test_transfer_time_rejects_negative_bytes():
+    with pytest.raises(ValueError):
+        units.transfer_time(-1, 1e6)
+
+
+def test_float32_bytes_constant():
+    assert units.FLOAT32_BYTES == 4
+    assert units.BITS_PER_BYTE == 8

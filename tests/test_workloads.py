@@ -1,0 +1,80 @@
+"""Workload generators."""
+
+import pytest
+
+from repro.core.scheduling import schedule_jobs
+from repro.experiments.workloads import (
+    bursty_job_counts,
+    heterogeneous_mix,
+    ratio_mix,
+    two_type_jobs,
+    uniform_jobs,
+)
+
+
+def test_uniform_jobs(alexnet_table):
+    plans = uniform_jobs(alexnet_table, 2, 5)
+    assert len(plans) == 5
+    assert len({p.cut_position for p in plans}) == 1
+    assert [p.job_id for p in plans] == list(range(5))
+    with pytest.raises(IndexError):
+        uniform_jobs(alexnet_table, alexnet_table.k, 5)
+    with pytest.raises(ValueError):
+        uniform_jobs(alexnet_table, 0, 0)
+
+
+def test_two_type_jobs(alexnet_table):
+    plans = two_type_jobs(alexnet_table, 1, 2, 3, 4)
+    assert len(plans) == 7
+    assert sum(p.cut_position == 1 for p in plans) == 3
+    assert sum(p.cut_position == 2 for p in plans) == 4
+    with pytest.raises(ValueError):
+        two_type_jobs(alexnet_table, 1, 2, 0, 0)
+
+
+def test_ratio_mix_counts(alexnet_table):
+    plans = ratio_mix(alexnet_table, ratio=3.0, n=20)
+    positions = [p.cut_position for p in plans]
+    n_comp = sum(p == max(positions) for p in positions)
+    n_comm = len(plans) - n_comp
+    assert n_comp + n_comm == 20
+    assert n_comp == round(20 * 3 / 4)
+    # both types present even at extreme ratios
+    extreme = ratio_mix(alexnet_table, ratio=100.0, n=10)
+    assert len({p.cut_position for p in extreme}) == 2
+
+
+def test_ratio_mix_schedulable(alexnet_table):
+    plans = ratio_mix(alexnet_table, ratio=2.0, n=12)
+    schedule = schedule_jobs(plans)
+    assert schedule.makespan > 0
+
+
+def test_ratio_mix_validation(alexnet_table):
+    with pytest.raises(ValueError):
+        ratio_mix(alexnet_table, ratio=0.0, n=10)
+
+
+def test_heterogeneous_mix(env):
+    a = env.cost_table("alexnet", 10.0)
+    m = env.cost_table("mobilenet-v2", 10.0)
+    plans = heterogeneous_mix([(a, 1, 3), (m, 2, 2)])
+    assert len(plans) == 5
+    assert len({p.job_id for p in plans}) == 5  # ids unique across groups
+    assert {p.model for p in plans} == {a.model_name, m.model_name}
+    with pytest.raises(ValueError):
+        heterogeneous_mix([])
+
+
+def test_bursty_job_counts_deterministic():
+    a = bursty_job_counts(10, 6.0, seed=4)
+    b = bursty_job_counts(10, 6.0, seed=4)
+    assert a == b
+    assert len(a) == 10
+    assert all(v >= 1 for v in a)
+    assert sum(a) / len(a) == pytest.approx(6.0, rel=0.5)
+
+
+def test_bursty_job_counts_minimum():
+    counts = bursty_job_counts(50, 0.2, seed=0, minimum=2)
+    assert all(v >= 2 for v in counts)
