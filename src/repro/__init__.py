@@ -3,24 +3,67 @@ Cloud Computing (Duan & Wu, ICPP 2021): a full reimplementation.
 
 Quick tour
 ----------
->>> from repro.nn import zoo
->>> from repro.profiling import line_cost_table, raspberry_pi_4, gtx1080_server
->>> from repro.net import Channel, FOUR_G
->>> from repro.core import jps, local_only
->>> net = zoo.alexnet()
->>> mob, srv, ch = raspberry_pi_4(), gtx1080_server(), Channel.from_preset(FOUR_G)
->>> schedule = jps(net, mob, srv, ch, n=100)
->>> schedule.makespan < local_only(line_cost_table(net, mob, srv, ch), 100).makespan
+The stable facade is :mod:`repro.api` (also re-exported here):
+
+>>> from repro.api import plan, compare, list_models
+>>> "alexnet" in list_models()
+True
+>>> schedule = plan("alexnet", n=100, bandwidth=10.0)   # Mbps uplink
+>>> side_by_side = compare("alexnet", n=100, bandwidth=10.0)
+>>> schedule.makespan <= side_by_side["LO"].makespan
 True
 
-Packages: ``repro.dag`` (computation graphs and cuts), ``repro.nn``
-(layers + model zoo), ``repro.profiling`` (device cost models and
-estimators), ``repro.net`` (bandwidth/channel models), ``repro.core``
-(the paper's algorithms), ``repro.sim`` (discrete-event pipeline),
-``repro.runtime`` (system prototype), ``repro.experiments`` (per-figure
-harnesses), ``repro.extensions`` (beyond-the-paper features).
+``plan()`` routes through a shared :class:`~repro.engine.PlanningEngine`
+that memoizes the expensive structure work (graph linearization,
+frontier-cut enumeration) behind content-addressed keys, so sweeping
+bandwidths or job counts over one model costs only the binary search
+and the Johnson sort per call.
+
+Packages: ``repro.api`` (stable facade), ``repro.engine`` (memoized
+planning engine), ``repro.dag`` (computation graphs and cuts),
+``repro.nn`` (layers + model zoo), ``repro.profiling`` (device cost
+models and estimators), ``repro.net`` (bandwidth/channel models),
+``repro.core`` (the paper's algorithms), ``repro.sim`` (discrete-event
+pipeline), ``repro.runtime`` (system prototype), ``repro.experiments``
+(per-figure harnesses + parallel campaign runner), ``repro.extensions``
+(beyond-the-paper features).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+#: Facade names re-exported lazily from :mod:`repro.api` (PEP 562), so
+#: ``import repro`` stays light and experiment modules that import
+#: ``repro.__version__`` during facade construction see no cycle.
+_API_EXPORTS = frozenset(
+    {
+        "plan",
+        "compare",
+        "list_models",
+        "default_engine",
+        "as_channel",
+        "PlanningEngine",
+        "CacheStats",
+        "Schedule",
+        "JobPlan",
+        "Structure",
+        "SplitMode",
+        "Channel",
+        "BandwidthPreset",
+        "TrafficShaper",
+        "THREE_G",
+        "FOUR_G",
+        "WIFI",
+        "MODELS",
+        "get_model",
+    }
+)
+
+__all__ = ["__version__", *sorted(_API_EXPORTS)]
+
+
+def __getattr__(name: str):
+    if name in _API_EXPORTS:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,135 @@
+"""Stable user-facing facade over the reproduction.
+
+One import serves the common workflow — pick a zoo model, pick a
+bandwidth, plan a job set, compare schemes — without knowing which
+internal package owns each piece:
+
+>>> from repro.api import plan, compare, list_models
+>>> schedule = plan("alexnet", n=100, bandwidth=10.0)
+>>> schedule.makespan < compare("alexnet", n=100, bandwidth=10.0)["LO"].makespan
+True
+
+``plan``/``compare`` route through a shared module-level
+:class:`~repro.engine.PlanningEngine`, so repeated calls for the same
+model hit the memoized structure caches. Construct your own engine for
+custom devices or isolated cache statistics.
+
+The old deep import paths (``repro.core.jps``, ``repro.nn.zoo``, ...)
+keep working; this module only re-exports, it does not move anything.
+"""
+
+from __future__ import annotations
+
+from repro.core.joint import SplitMode, Structure, jps
+from repro.core.plans import JobPlan, Schedule
+from repro.engine import CacheStats, PlanningEngine
+from repro.net.bandwidth import (
+    FOUR_G,
+    PRESETS,
+    THREE_G,
+    WIFI,
+    BandwidthPreset,
+    TrafficShaper,
+)
+from repro.net.channel import Channel
+from repro.nn.network import Network
+from repro.nn.zoo import MODELS, get_model
+from repro.profiling.device import DeviceModel, gtx1080_server, raspberry_pi_4
+from repro.utils.units import mbps
+
+__all__ = [
+    "plan",
+    "compare",
+    "list_models",
+    "default_engine",
+    "as_channel",
+    "PlanningEngine",
+    "CacheStats",
+    "Schedule",
+    "JobPlan",
+    "Structure",
+    "SplitMode",
+    "Channel",
+    "BandwidthPreset",
+    "TrafficShaper",
+    "THREE_G",
+    "FOUR_G",
+    "WIFI",
+    "PRESETS",
+    "Network",
+    "DeviceModel",
+    "raspberry_pi_4",
+    "gtx1080_server",
+    "MODELS",
+    "get_model",
+    "jps",
+]
+
+#: Shared engine behind the module-level ``plan``/``compare`` helpers.
+_ENGINE: PlanningEngine | None = None
+
+
+def default_engine() -> PlanningEngine:
+    """The lazily-built engine the module-level helpers plan through."""
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = PlanningEngine()
+    return _ENGINE
+
+
+def as_channel(bandwidth: Channel | BandwidthPreset | float) -> Channel:
+    """Coerce a bandwidth spec to a :class:`Channel`.
+
+    Accepts a ready channel, a named preset (3G/4G/Wi-Fi), or a raw
+    uplink rate in Mbps (downlink assumed symmetric-ish at 2x, matching
+    the experiment environment's convention).
+    """
+    if isinstance(bandwidth, Channel):
+        return bandwidth
+    if isinstance(bandwidth, BandwidthPreset):
+        return Channel(shaper=TrafficShaper.from_preset(bandwidth))
+    return Channel(
+        shaper=TrafficShaper(
+            uplink_bps=mbps(float(bandwidth)), downlink_bps=mbps(2 * float(bandwidth))
+        )
+    )
+
+
+def plan(
+    model: str | Network,
+    n: int = 100,
+    bandwidth: Channel | BandwidthPreset | float = 10.0,
+    scheme: str = "JPS",
+    structure: str | Structure = Structure.AUTO,
+    split: str | SplitMode = SplitMode.EXACT,
+    engine: PlanningEngine | None = None,
+) -> Schedule:
+    """Plan ``n`` inference jobs of ``model`` at the given bandwidth.
+
+    ``model`` is a zoo name (see :func:`list_models`) or a
+    :class:`Network`; ``bandwidth`` a :class:`Channel`, a preset, or an
+    uplink rate in Mbps. ``scheme`` is ``"JPS"`` or a baseline
+    (``"LO"``, ``"CO"``, ``"PO"``); ``structure`` and ``split`` select
+    the JPS variant (:class:`Structure`, :class:`SplitMode`).
+    """
+    chosen = engine or default_engine()
+    return chosen.plan(
+        model, n, as_channel(bandwidth), scheme=scheme, structure=structure, split=split
+    )
+
+
+def compare(
+    model: str | Network,
+    n: int = 100,
+    bandwidth: Channel | BandwidthPreset | float = 10.0,
+    schemes: list[str] | None = None,
+    engine: PlanningEngine | None = None,
+) -> dict[str, Schedule]:
+    """All schemes side by side on shared memoized tables."""
+    chosen = engine or default_engine()
+    return chosen.compare(model, n, as_channel(bandwidth), schemes=schemes)
+
+
+def list_models() -> list[str]:
+    """Zoo model names accepted by :func:`plan` and :func:`compare`."""
+    return sorted(MODELS)

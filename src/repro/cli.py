@@ -5,24 +5,26 @@ Commands
 models                         list the zoo with FLOP/param/structure info
 summary MODEL                  per-layer table of one model
 table MODEL [--mbps X]         the (f, g, cloud) cost table
-plan MODEL [-n N] [--mbps X] [--scheme S] [--gantt]
-                               plan a job set and report the schedule
-compare MODEL [-n N] [--mbps X]
+plan MODEL [-n N] [--mbps X] [--scheme S] [--structure T] [--split M]
+     [--json] [--gantt]       plan a job set and report the schedule
+compare MODEL [-n N] [--mbps X] [--json]
                                all four schemes side by side + LP lower bound
-experiment NAME                regenerate a paper artifact
+experiment NAME [--jobs J]     regenerate a paper artifact
                                (fig4 | fig11 | fig12 | fig13 | fig14 | table1)
 dot MODEL [--mbps X]           Graphviz DOT with the JPS cut highlighted
 energy MODEL [--radio R]       energy-latency Pareto frontier
-campaign OUT [--quick] [--compare OLD] [--tolerance T]
+campaign OUT [--quick] [--compare OLD] [--tolerance T] [--jobs J]
                                run every experiment, save JSON, diff runs
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.analysis import fractional_lower_bound, speedup_report
+from repro.core.joint import SplitMode, Structure
 from repro.core.plans import Schedule
 from repro.experiments import fig4, fig11, fig12, fig13, fig14, table1
 from repro.experiments.runner import SCHEMES, ExperimentEnv
@@ -54,16 +56,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", "--jobs", type=int, default=100)
     p.add_argument("--mbps", type=float, default=5.85)
     p.add_argument("--scheme", choices=SCHEMES + ["JPS-ratio"], default="JPS")
+    p.add_argument(
+        "--structure",
+        choices=Structure.values(),
+        default=Structure.AUTO.value,
+        help="graph treatment for JPS (auto picks line vs frontier)",
+    )
+    p.add_argument(
+        "--split",
+        choices=SplitMode.values(),
+        default=SplitMode.EXACT.value,
+        help="two-type split rule at the crossing layer",
+    )
+    p.add_argument("--json", action="store_true", help="emit the schedule as JSON")
     p.add_argument("--gantt", action="store_true", help="draw the pipeline timeline")
 
     p = sub.add_parser("compare", help="all schemes side by side")
     p.add_argument("model", choices=sorted(MODELS))
     p.add_argument("-n", "--jobs", type=int, default=100)
     p.add_argument("--mbps", type=float, default=5.85)
+    p.add_argument("--json", action="store_true", help="emit all schedules as JSON")
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument(
         "name", choices=["fig4", "fig11", "fig12", "fig13", "fig14", "table1"]
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for grid experiments (fig12/fig13/table1)",
     )
 
     p = sub.add_parser("dot", help="Graphviz DOT of a model, JPS cut highlighted")
@@ -82,6 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true", help="small n / short sweeps")
     p.add_argument("--compare", help="previous campaign JSON to diff against")
     p.add_argument("--tolerance", type=float, default=0.05)
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the planning grids (default: serial)",
+    )
     return parser
 
 
@@ -125,7 +149,23 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "plan":
-        schedule = env.run_scheme(args.model, args.mbps, args.jobs, args.scheme)
+        from repro import api
+
+        scheme = args.scheme
+        split = args.split
+        if scheme == "JPS-ratio":        # legacy spelling of --scheme JPS --split ratio
+            scheme, split = "JPS", SplitMode.RATIO.value
+        schedule = api.plan(
+            args.model,
+            n=args.jobs,
+            bandwidth=args.mbps,
+            scheme=scheme,
+            structure=args.structure,
+            split=split,
+        )
+        if args.json:
+            print(json.dumps(schedule.to_dict(), indent=2, sort_keys=True))
+            return 0
         _print_schedule(schedule, args.jobs)
         if args.gantt:
             slice_ = Schedule(
@@ -144,6 +184,16 @@ def main(argv: list[str] | None = None) -> int:
             for scheme in SCHEMES
         }
         bound = fractional_lower_bound(table, args.jobs)
+        if args.json:
+            document = {
+                "model": args.model,
+                "mbps": args.mbps,
+                "n": args.jobs,
+                "lp_lower_bound": bound,
+                "schedules": {s: sched.to_dict() for s, sched in schedules.items()},
+            }
+            print(json.dumps(document, indent=2, sort_keys=True))
+            return 0
         print(f"{args.model} @ {args.mbps:g} Mbps, {args.jobs} jobs")
         print(f"{'scheme':<6s} {'makespan (s)':>12s} {'ms/job':>8s}")
         for scheme, schedule in schedules.items():
@@ -194,7 +244,7 @@ def main(argv: list[str] | None = None) -> int:
             save_campaign,
         )
 
-        document = run_campaign(env, quick=args.quick)
+        document = run_campaign(env, quick=args.quick, jobs=args.jobs)
         path = save_campaign(document, args.output)
         print(f"campaign saved to {path}")
         if args.compare:
@@ -213,10 +263,10 @@ def main(argv: list[str] | None = None) -> int:
         harness = {
             "fig4": lambda: fig4.render(fig4.run(env)),
             "fig11": lambda: fig11.render(fig11.run(env)),
-            "fig12": lambda: fig12.render(fig12.run(env)),
-            "fig13": lambda: fig13.render(fig13.run(env)),
-            "fig14": lambda: fig14.render(fig14.run(env)),
-            "table1": lambda: table1.render(table1.run(env)),
+            "fig12": lambda: fig12.render(fig12.run(env, jobs=args.jobs)),
+            "fig13": lambda: fig13.render(fig13.run(env, jobs=args.jobs)),
+            "fig14": lambda: fig14.render(fig14.run(env, n=100)),
+            "table1": lambda: table1.render(table1.run(env, jobs=args.jobs)),
         }[args.name]
         print(harness())
         return 0

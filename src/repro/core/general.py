@@ -51,6 +51,7 @@ __all__ = [
     "representative_paths",
     "alg3_partition",
     "alg3_schedule",
+    "alg3_schedule_from_plans",
     "alg3_consistent_plans",
 ]
 
@@ -200,6 +201,25 @@ def alg3_schedule(
     path_plans, info = alg3_partition(
         network, mobile, cloud, channel, predictor, max_paths
     )
+    return alg3_schedule_from_plans(network, mobile, path_plans, info, n, predictor)
+
+
+def alg3_schedule_from_plans(
+    network: Network,
+    mobile: DeviceModel,
+    path_plans: list[PathPlan],
+    info: dict,
+    n: int,
+    predictor: LayerPredictor | None = None,
+) -> Schedule:
+    """Alg. 3 steps 6+ on precomputed path cuts.
+
+    Split out of :func:`alg3_schedule` so the planning engine can cache
+    the expensive partition phase (path conversion + per-path Alg. 2)
+    and replay only the Johnson ordering + deduplicated flow-shop
+    recurrence per job count.
+    """
+    require_positive(n, "n")
     graph = network.graph
     layer_time = {
         v: node_mobile_time(graph.payload(v), mobile, predictor) for v in graph.node_ids

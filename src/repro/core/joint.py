@@ -16,6 +16,8 @@ For general-structure DNNs two modes exist:
 
 from __future__ import annotations
 
+import enum
+import re
 from dataclasses import dataclass, replace
 from time import perf_counter
 
@@ -42,10 +44,63 @@ from repro.profiling.latency import (
     line_cost_table,
 )
 
-__all__ = ["jps_line", "FrontierTable", "frontier_table", "jps_frontier", "jps"]
+__all__ = [
+    "Structure",
+    "SplitMode",
+    "jps_line",
+    "FrontierTable",
+    "frontier_table",
+    "jps_frontier",
+    "jps",
+]
+
+if hasattr(enum, "StrEnum"):  # Python >= 3.11
+    _StrEnum = enum.StrEnum
+else:  # pragma: no cover - 3.10 fallback, identical semantics
+
+    class _StrEnum(str, enum.Enum):
+        def __str__(self) -> str:
+            return str(self.value)
 
 
-def jps_line(table: CostTable, n: int, split: str = "exact") -> Schedule:
+class _CoercibleEnum(_StrEnum):
+    """StrEnum that coerces raw strings with a helpful ``ValueError``."""
+
+    @classmethod
+    def coerce(cls, value: "str | _CoercibleEnum") -> "_CoercibleEnum":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            label = re.sub(r"(?<!^)(?=[A-Z])", " ", cls.__name__).lower()
+            valid = ", ".join(repr(m.value) for m in cls)
+            raise ValueError(f"unknown {label} {value!r} (use {valid})") from None
+
+    @classmethod
+    def values(cls) -> list[str]:
+        """The raw string values, for argparse ``choices=``."""
+        return [m.value for m in cls]
+
+
+class Structure(_CoercibleEnum):
+    """How :func:`jps` treats the network's graph structure."""
+
+    AUTO = "auto"
+    LINE = "line"
+    FRONTIER = "frontier"
+    PATHS = "paths"
+
+
+class SplitMode(_CoercibleEnum):
+    """Two-type job allocation rule over the crossing layers (l*-1, l*)."""
+
+    RATIO = "ratio"
+    EXACT = "exact"
+    PAIR = "pair"
+
+
+def jps_line(table: CostTable, n: int, split: str | SplitMode = "exact") -> Schedule:
     """JPS on a line-structure cost table.
 
     ``split`` selects the two-type allocation over (l*-1, l*):
@@ -56,17 +111,16 @@ def jps_line(table: CostTable, n: int, split: str = "exact") -> Schedule:
     default. The ablation bench quantifies the gap.
     """
     started = perf_counter()
+    mode = SplitMode.coerce(split)
     l_star = binary_search_cut(table)
-    if split == "ratio":
+    if mode is SplitMode.RATIO:
         chosen: TwoTypeSplit = split_by_paper_ratio(table, l_star, n)
-    elif split == "exact":
+    elif mode is SplitMode.EXACT:
         chosen = split_exact(table, l_star, n)
-    elif split == "pair":
+    else:
         # beyond the paper: the best two-type mix over all position pairs,
         # needed when adjacent-layer time differences are drastic (VGG-16)
         chosen = split_best_pair(table, n)
-    else:
-        raise ValueError(f"unknown split mode {split!r} (use 'ratio', 'exact' or 'pair')")
     schedule = schedule_jobs(plans_for_split(table, chosen), method="JPS")
     overhead = perf_counter() - started
     return Schedule(
@@ -75,7 +129,7 @@ def jps_line(table: CostTable, n: int, split: str = "exact") -> Schedule:
         method="JPS",
         metadata={
             "l_star": l_star,
-            "split": split,
+            "split": mode.value,
             "n_a": chosen.n_a,
             "n_b": chosen.n_b,
             "cut_a": table.positions[chosen.position_a],
@@ -139,7 +193,7 @@ def jps_frontier(
     cloud: DeviceModel,
     channel: Channel,
     n: int,
-    split: str = "exact",
+    split: str | SplitMode = "exact",
     predictor: LayerPredictor | None = None,
 ) -> Schedule:
     """Exact-cut-space JPS for general (series-parallel) DNNs."""
@@ -167,8 +221,8 @@ def jps(
     cloud: DeviceModel,
     channel: Channel,
     n: int,
-    structure: str = "auto",
-    split: str = "exact",
+    structure: str | Structure = "auto",
+    split: str | SplitMode = "exact",
     predictor: LayerPredictor | None = None,
 ) -> Schedule:
     """Entry point: dispatch on network structure.
@@ -177,22 +231,20 @@ def jps(
     clustering), ``"frontier"`` uses the exact general-DAG cut space,
     ``"paths"`` runs the paper's Alg. 3, and ``"auto"`` picks ``line``
     for networks that cluster into lines (AlexNet, MobileNet-v2,
-    ResNet-18) and ``frontier`` otherwise (GoogLeNet).
+    ResNet-18) and ``frontier`` otherwise (GoogLeNet). Raw strings are
+    accepted and coerced to :class:`Structure` / :class:`SplitMode`.
     """
-    if structure == "auto":
+    chosen = Structure.coerce(structure)
+    if chosen is Structure.AUTO:
         from repro.dag.transform import collapse_clusterable_blocks
 
         clustered = collapse_clusterable_blocks(network.graph)
-        structure = "line" if clustered.is_line() else "frontier"
-    if structure == "line":
+        chosen = Structure.LINE if clustered.is_line() else Structure.FRONTIER
+    if chosen is Structure.LINE:
         table = line_cost_table(network, mobile, cloud, channel, predictor)
         return jps_line(table, n, split=split)
-    if structure == "frontier":
+    if chosen is Structure.FRONTIER:
         return jps_frontier(network, mobile, cloud, channel, n, split, predictor)
-    if structure == "paths":
-        from repro.core.general import alg3_schedule
+    from repro.core.general import alg3_schedule
 
-        return alg3_schedule(network, mobile, cloud, channel, n, predictor=predictor)
-    raise ValueError(
-        f"unknown structure {structure!r} (use 'auto', 'line', 'frontier' or 'paths')"
-    )
+    return alg3_schedule(network, mobile, cloud, channel, n, predictor=predictor)

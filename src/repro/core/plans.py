@@ -16,6 +16,20 @@ from repro.utils.validation import require_non_negative
 __all__ = ["JobPlan", "Schedule"]
 
 
+def _json_safe(value: Any) -> Any:
+    """Coerce numpy scalars and other exotica to plain JSON types."""
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if isinstance(value, Mapping):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_json_safe(v) for v in value]
+        return sorted(items) if isinstance(value, (set, frozenset)) else items
+    return str(value)
+
+
 @dataclass(frozen=True)
 class JobPlan:
     """One job's partition and the resulting stage lengths."""
@@ -43,6 +57,42 @@ class JobPlan:
     @property
     def stages(self) -> tuple[float, float]:
         return (self.compute_time, self.comm_time)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable encoding; inverse of :meth:`from_dict`.
+
+        ``mobile_nodes`` frozensets encode as sorted lists so the output
+        is deterministic and diff-friendly.
+        """
+        return {
+            "job_id": _json_safe(self.job_id),
+            "model": self.model,
+            "cut_position": _json_safe(self.cut_position),
+            "compute_time": _json_safe(self.compute_time),
+            "comm_time": _json_safe(self.comm_time),
+            "cloud_time": _json_safe(self.cloud_time),
+            "cut_label": self.cut_label,
+            "mobile_nodes": (
+                None if self.mobile_nodes is None else sorted(self.mobile_nodes)
+            ),
+            "group": self.group,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobPlan":
+        """Rebuild a plan from :meth:`to_dict` output (e.g. parsed JSON)."""
+        nodes = data.get("mobile_nodes")
+        return cls(
+            job_id=int(data["job_id"]),
+            model=str(data["model"]),
+            cut_position=int(data["cut_position"]),
+            compute_time=float(data["compute_time"]),
+            comm_time=float(data["comm_time"]),
+            cloud_time=float(data.get("cloud_time", 0.0)),
+            cut_label=str(data.get("cut_label", "")),
+            mobile_nodes=None if nodes is None else frozenset(nodes),
+            group=str(data.get("group", "")),
+        )
 
 
 @dataclass(frozen=True)
@@ -74,3 +124,29 @@ class Schedule:
         for job in self.jobs:
             counts[job.cut_position] = counts.get(job.cut_position, 0) + 1
         return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable encoding; inverse of :meth:`from_dict`.
+
+        This is *the* schedule wire format: the CLI's ``--json`` output
+        and the runtime's schedule serialization
+        (:func:`repro.runtime.serialization.serialize_schedule`) both
+        emit it. Metadata values are coerced to JSON-safe types (numpy
+        scalars unwrap; unknown objects stringify).
+        """
+        return {
+            "jobs": [job.to_dict() for job in self.jobs],
+            "makespan": _json_safe(self.makespan),
+            "method": self.method,
+            "metadata": _json_safe(dict(self.metadata)),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Schedule":
+        """Rebuild a schedule from :meth:`to_dict` output."""
+        return cls(
+            jobs=tuple(JobPlan.from_dict(job) for job in data["jobs"]),
+            makespan=float(data["makespan"]),
+            method=str(data["method"]),
+            metadata=dict(data.get("metadata", {})),
+        )

@@ -1,0 +1,434 @@
+"""The planning engine: memoized cost intermediates behind one ``plan()``.
+
+Every JPS call decomposes into a *structure* phase (linearize the graph
+or enumerate + Pareto-prune the frontier cut space; run Alg. 3's path
+conversion) and a *search* phase (binary search + two-type split +
+Johnson sort). The structure phase dominates wall time — GoogLeNet's
+frontier enumeration visits thousands of cuts — yet its inputs change
+rarely: the same (network, devices, predictor) tuple is replanned for
+dozens of bandwidths and job counts in every experiment sweep.
+
+:class:`PlanningEngine` memoizes three levels of intermediates behind
+content-addressed keys (:mod:`repro.engine.keys`):
+
+* **bandwidth-independent structure** — the linearized line order with
+  cumulative ``f``/``cloud`` and edge volumes, or the Pareto cut set
+  with per-cut compute/bytes/cloud-rest. Dominance is decided on
+  (compute time, transfer bytes), both bandwidth-invariant, so one
+  enumeration serves every channel.
+* **per-channel cost tables** — the structure priced through a concrete
+  channel's ``uplink_time``; an LRU bound keeps sweep-heavy workloads
+  from growing without limit.
+* **Alg. 3 path plans** — per-(channel) path cuts, replayed through the
+  deduplicated flow-shop recurrence for any job count.
+
+A warm ``plan()`` therefore costs only the O(log k) search and the
+Johnson sort, which is what the paper's Fig. 12(d) claims the deployed
+scheduler pays per decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.baselines import cloud_only, local_only, partition_only
+from repro.core.joint import FrontierTable, SplitMode, Structure, jps_line
+from repro.core.plans import Schedule
+from repro.dag.cuts import Cut, enumerate_frontier_cuts, prune_dominated
+from repro.dag.graph import Dag
+from repro.dag.transform import collapse_clusterable_blocks, linearize
+from repro.engine.cache import LRUCache
+from repro.engine.keys import (
+    channel_fingerprint,
+    device_fingerprint,
+    network_fingerprint,
+    predictor_fingerprint,
+)
+from repro.net.bandwidth import TrafficShaper
+from repro.net.channel import Channel
+from repro.nn.network import Network
+from repro.nn.zoo import get_model
+from repro.profiling.device import DeviceModel, gtx1080_server, raspberry_pi_4
+from repro.profiling.latency import (
+    CostTable,
+    LayerPredictor,
+    cut_costs,
+    node_mobile_time,
+)
+from repro.utils.units import mbps
+
+__all__ = ["PlanningEngine"]
+
+#: Baseline schemes the engine plans besides JPS.
+BASELINES = {"LO": local_only, "CO": cloud_only, "PO": partition_only}
+
+
+@dataclass(frozen=True)
+class _LineStructure:
+    """Bandwidth-independent facts of a linearized model."""
+
+    graph: Dag                      # the clustered line graph (for mobile sets)
+    order: tuple[str, ...]
+    f: np.ndarray                   # cumulative mobile compute
+    cloud: np.ndarray               # cumulative cloud compute
+    volumes: np.ndarray             # inter-position tensor bytes, 0 at the end
+
+
+@dataclass(frozen=True)
+class _FrontierStructure:
+    """Bandwidth-independent Pareto cut data of a general DAG."""
+
+    cuts: tuple[Cut, ...]
+    f: np.ndarray
+    transfer_bytes: np.ndarray
+    rests: np.ndarray               # cloud time of the part after each cut
+    full_cut_sizes: np.ndarray      # |mobile| per cut (full cut uploads nothing)
+    num_nodes: int
+
+
+@dataclass
+class PlanningEngine:
+    """Memoized planner over one (mobile, cloud) device pair.
+
+    ``plan(model, n, channel)`` accepts a zoo model name or a
+    :class:`Network`, a :class:`Channel` (or any duck-typed channel
+    exposing ``uplink_time``; see :func:`repro.engine.keys.channel_fingerprint`
+    for how such channels key the caches), and produces the same
+    :class:`Schedule` the uncached :func:`repro.core.joint.jps` path
+    would — the caches are exact, not approximate.
+
+    ``max_entries`` bounds each per-channel LRU; the bandwidth-
+    independent structure caches are bounded by the same limit but in
+    practice hold one entry per distinct model.
+    """
+
+    mobile: DeviceModel = field(default_factory=raspberry_pi_4)
+    cloud: DeviceModel = field(default_factory=gtx1080_server)
+    max_entries: int = 128
+
+    def __post_init__(self) -> None:
+        self._networks: dict[str, Network] = {}
+        self._fingerprints: dict[int, str] = {}
+        self._is_line: dict[str, bool] = {}
+        self._device_key = (
+            device_fingerprint(self.mobile),
+            device_fingerprint(self.cloud),
+        )
+        self._lines: LRUCache[_LineStructure] = LRUCache(self.max_entries)
+        self._frontiers: LRUCache[_FrontierStructure] = LRUCache(self.max_entries)
+        self._tables: LRUCache[CostTable] = LRUCache(self.max_entries)
+        self._frontier_tables: LRUCache[FrontierTable] = LRUCache(self.max_entries)
+        self._alg3: LRUCache[tuple] = LRUCache(self.max_entries)
+
+    # ------------------------------------------------------------------
+    # keys and resolution
+    # ------------------------------------------------------------------
+    def resolve(self, model: str | Network) -> Network:
+        """A zoo name or an already-built network."""
+        if isinstance(model, Network):
+            return model
+        if model not in self._networks:
+            self._networks[model] = get_model(model)
+        return self._networks[model]
+
+    def _net_key(self, network: Network) -> str:
+        # fingerprinting walks every node; cache it per network object
+        marker = id(network)
+        if marker not in self._fingerprints:
+            self._fingerprints[marker] = network_fingerprint(network)
+        return self._fingerprints[marker]
+
+    def _base_key(
+        self, network: Network, predictor: LayerPredictor | None, predictor_key
+    ) -> tuple:
+        return (
+            self._net_key(network),
+            self._device_key,
+            predictor_fingerprint(predictor, predictor_key),
+        )
+
+    def structure_of(self, model: str | Network) -> Structure:
+        """``auto`` resolution: LINE when clustering linearizes the graph."""
+        network = self.resolve(model)
+        key = self._net_key(network)
+        if key not in self._is_line:
+            clustered = collapse_clusterable_blocks(network.graph)
+            self._is_line[key] = clustered.is_line()
+        return Structure.LINE if self._is_line[key] else Structure.FRONTIER
+
+    # ------------------------------------------------------------------
+    # memoized structure builders
+    # ------------------------------------------------------------------
+    def _line_structure(
+        self, network: Network, predictor: LayerPredictor | None, predictor_key
+    ) -> _LineStructure:
+        key = ("line",) + self._base_key(network, predictor, predictor_key)
+
+        def build() -> _LineStructure:
+            graph = linearize(network.graph)
+            order = graph.line_order()
+            f_steps = [
+                node_mobile_time(graph.payload(v), self.mobile, predictor)
+                for v in order
+            ]
+            cloud_steps = [
+                node_mobile_time(graph.payload(v), self.cloud) for v in order
+            ]
+            volumes = [graph.volume(a, b) for a, b in zip(order, order[1:])] + [0.0]
+            return _LineStructure(
+                graph=graph,
+                order=tuple(order),
+                f=np.cumsum(f_steps),
+                cloud=np.cumsum(cloud_steps),
+                volumes=np.asarray(volumes),
+            )
+
+        return self._lines.get_or_build(key, build)
+
+    def _frontier_structure(
+        self, network: Network, predictor: LayerPredictor | None, predictor_key
+    ) -> _FrontierStructure:
+        key = ("frontier",) + self._base_key(network, predictor, predictor_key)
+
+        def build() -> _FrontierStructure:
+            # dominance compares (compute, transfer bytes) — both independent
+            # of the channel — so one probe pricing serves every bandwidth
+            probe = Channel(
+                shaper=TrafficShaper(uplink_bps=mbps(10.0), downlink_bps=mbps(20.0))
+            )
+            cuts = enumerate_frontier_cuts(network.graph)
+            costs = cut_costs(network, cuts, self.mobile, self.cloud, probe, predictor)
+            compute_of = {m: c[0] for m, c in costs.items()}
+            surviving = prune_dominated(cuts, compute_of)
+            surviving.sort(key=lambda c: compute_of[c.mobile])
+            return _FrontierStructure(
+                cuts=tuple(surviving),
+                f=np.array([costs[c.mobile][0] for c in surviving]),
+                transfer_bytes=np.array([c.transfer_bytes for c in surviving]),
+                rests=np.array([costs[c.mobile][2] for c in surviving]),
+                full_cut_sizes=np.array([len(c.mobile) for c in surviving]),
+                num_nodes=len(network.graph),
+            )
+
+        return self._frontiers.get_or_build(key, build)
+
+    # ------------------------------------------------------------------
+    # per-channel tables
+    # ------------------------------------------------------------------
+    def line_table(
+        self,
+        model: str | Network,
+        channel: Channel,
+        predictor: LayerPredictor | None = None,
+        predictor_key=None,
+    ) -> CostTable:
+        """The linearized (f, g, cloud) table, priced through ``channel``."""
+        network = self.resolve(model)
+        key = (
+            ("table-line",)
+            + self._base_key(network, predictor, predictor_key)
+            + (channel_fingerprint(channel),)
+        )
+
+        def build() -> CostTable:
+            structure = self._line_structure(network, predictor, predictor_key)
+            g = np.asarray([channel.uplink_time(v) for v in structure.volumes])
+            return CostTable(
+                model_name=network.name,
+                positions=structure.order,
+                f=structure.f.copy(),
+                g=g,
+                cloud=structure.cloud.copy(),
+                graph=structure.graph,
+            )
+
+        return self._tables.get_or_build(key, build)
+
+    def frontier_table(
+        self,
+        model: str | Network,
+        channel: Channel,
+        predictor: LayerPredictor | None = None,
+        predictor_key=None,
+    ) -> FrontierTable:
+        """The Pareto-frontier table, priced through ``channel``.
+
+        Identical to :func:`repro.core.joint.frontier_table` output —
+        same cuts in the same order, same (f, g, cloud) — but the cut
+        enumeration and dominance pruning are paid once per
+        (network, devices, predictor) rather than per call.
+        """
+        network = self.resolve(model)
+        key = (
+            ("table-frontier",)
+            + self._base_key(network, predictor, predictor_key)
+            + (channel_fingerprint(channel),)
+        )
+
+        def build() -> FrontierTable:
+            structure = self._frontier_structure(network, predictor, predictor_key)
+            g = np.array(
+                [
+                    channel.uplink_time(b) if b > 0 else 0.0
+                    for b in structure.transfer_bytes
+                ]
+            )
+            g[structure.full_cut_sizes == structure.num_nodes] = 0.0
+            cloud_of_mobile = np.maximum.accumulate(
+                structure.rests.max() - structure.rests
+            )
+            table = CostTable(
+                model_name=f"{network.name}/frontier",
+                positions=tuple(c.label for c in structure.cuts),
+                f=structure.f.copy(),
+                g=g,
+                cloud=cloud_of_mobile,
+                graph=None,
+            )
+            return FrontierTable(table=table, cuts=structure.cuts)
+
+        return self._frontier_tables.get_or_build(key, build)
+
+    def cost_table(
+        self,
+        model: str | Network,
+        channel: Channel,
+        structure: str | Structure = Structure.AUTO,
+        predictor: LayerPredictor | None = None,
+        predictor_key=None,
+    ) -> CostTable:
+        """The model's planning table under ``structure`` resolution."""
+        chosen = Structure.coerce(structure)
+        if chosen is Structure.AUTO:
+            chosen = self.structure_of(model)
+        if chosen is Structure.LINE:
+            return self.line_table(model, channel, predictor, predictor_key)
+        if chosen is Structure.FRONTIER:
+            return self.frontier_table(model, channel, predictor, predictor_key).table
+        raise ValueError("Alg. 3 plans per-path tables; use plan(structure='paths')")
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def _alg3_plans(
+        self,
+        network: Network,
+        channel: Channel,
+        predictor: LayerPredictor | None,
+        predictor_key,
+    ) -> tuple:
+        from repro.core.general import alg3_partition
+
+        key = (
+            ("alg3",)
+            + self._base_key(network, predictor, predictor_key)
+            + (channel_fingerprint(channel),)
+        )
+        return self._alg3.get_or_build(
+            key,
+            lambda: alg3_partition(
+                network, self.mobile, self.cloud, channel, predictor
+            ),
+        )
+
+    def plan(
+        self,
+        model: str | Network,
+        n: int,
+        channel: Channel,
+        scheme: str = "JPS",
+        structure: str | Structure = Structure.AUTO,
+        split: str | SplitMode = SplitMode.EXACT,
+        predictor: LayerPredictor | None = None,
+        predictor_key=None,
+    ) -> Schedule:
+        """Plan ``n`` jobs of ``model`` over ``channel``.
+
+        ``scheme`` is ``"JPS"`` or a baseline (``"LO"``, ``"CO"``,
+        ``"PO"``). Baselines plan on the same memoized table, so a
+        ``compare()`` sweep reuses one structure build across schemes.
+        """
+        network = self.resolve(model)
+        if scheme in BASELINES:
+            table = self.cost_table(
+                network, channel, Structure.AUTO, predictor, predictor_key
+            )
+            return BASELINES[scheme](table, n)
+        if scheme != "JPS":
+            raise ValueError(
+                f"unknown scheme {scheme!r} (use 'JPS', 'LO', 'CO' or 'PO')"
+            )
+
+        chosen = Structure.coerce(structure)
+        if chosen is Structure.AUTO:
+            chosen = self.structure_of(network)
+        if chosen is Structure.LINE:
+            table = self.line_table(network, channel, predictor, predictor_key)
+            return jps_line(table, n, split=split)
+        if chosen is Structure.FRONTIER:
+            frontier = self.frontier_table(network, channel, predictor, predictor_key)
+            schedule = jps_line(frontier.table, n, split=split)
+            jobs = tuple(
+                replace(
+                    plan,
+                    model=network.name,
+                    mobile_nodes=frontier.cut_at(plan.cut_position).mobile,
+                )
+                for plan in schedule.jobs
+            )
+            return Schedule(
+                jobs=jobs,
+                makespan=schedule.makespan,
+                method="JPS-frontier",
+                metadata={**schedule.metadata, "num_pareto_cuts": len(frontier.cuts)},
+            )
+        from repro.core.general import alg3_schedule_from_plans
+
+        path_plans, info = self._alg3_plans(network, channel, predictor, predictor_key)
+        return alg3_schedule_from_plans(
+            network, self.mobile, path_plans, info, n, predictor
+        )
+
+    def compare(
+        self,
+        model: str | Network,
+        n: int,
+        channel: Channel,
+        schemes: list[str] | None = None,
+    ) -> dict[str, Schedule]:
+        """All schemes side by side on shared memoized tables."""
+        chosen = schemes or ["LO", "CO", "PO", "JPS"]
+        return {scheme: self.plan(model, n, channel, scheme=scheme) for scheme in chosen}
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, dict[str, float]]:
+        """Hit/miss/eviction counters and sizes of every cache layer."""
+        caches = {
+            "line_structure": self._lines,
+            "frontier_structure": self._frontiers,
+            "line_tables": self._tables,
+            "frontier_tables": self._frontier_tables,
+            "alg3_plans": self._alg3,
+        }
+        return {
+            name: {**cache.stats.as_dict(), "entries": len(cache)}
+            for name, cache in caches.items()
+        }
+
+    def clear(self) -> None:
+        """Drop all memoized state (statistics keep accumulating)."""
+        for cache in (
+            self._lines,
+            self._frontiers,
+            self._tables,
+            self._frontier_tables,
+            self._alg3,
+        ):
+            cache.clear()
+        self._is_line.clear()
+        self._fingerprints.clear()
+        self._networks.clear()

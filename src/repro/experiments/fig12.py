@@ -33,21 +33,27 @@ def run(
     models: list[str] | None = None,
     presets: list[BandwidthPreset] | None = None,
     n: int = DEFAULT_N,
+    jobs: int | None = None,
 ) -> list[Fig12Cell]:
+    from repro.experiments.parallel import GridCell, plan_grid
+
     env = env or ExperimentEnv()
+    work = [
+        GridCell(model=model, bandwidth=preset, n=n)
+        for preset in presets or [THREE_G, FOUR_G, WIFI]
+        for model in models or EXPERIMENT_MODELS
+    ]
     cells: list[Fig12Cell] = []
-    for preset in presets or [THREE_G, FOUR_G, WIFI]:
-        grid = env.scheme_grid(models or EXPERIMENT_MODELS, preset, n)
-        for model, schedules in grid.items():
-            for scheme, schedule in schedules.items():
-                cells.append(
-                    Fig12Cell(
-                        preset=preset.name,
-                        model=model,
-                        scheme=scheme,
-                        avg_latency_s=schedule.average_completion,
-                    )
+    for item, schedules in zip(work, plan_grid(work, env=env, jobs=jobs)):
+        for scheme, schedule in schedules.items():
+            cells.append(
+                Fig12Cell(
+                    preset=item.bandwidth.name,
+                    model=item.model,
+                    scheme=scheme,
+                    avg_latency_s=schedule.average_completion,
                 )
+            )
     return cells
 
 

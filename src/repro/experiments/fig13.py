@@ -34,21 +34,31 @@ def run(
     models: list[str] | None = None,
     bandwidths_mbps: list[float] | None = None,
     n: int = 100,
+    jobs: int | None = None,
 ) -> list[Fig13Curve]:
+    from repro.experiments.parallel import GridCell, plan_grid
+
     env = env or ExperimentEnv()
     bws = bandwidths_mbps or DEFAULT_BANDWIDTHS
+    chosen = models or DEFAULT_MODELS
+    work = [
+        GridCell(model=model, bandwidth=float(bw), n=n)
+        for model in chosen
+        for bw in bws
+    ]
+    results = plan_grid(work, env=env, jobs=jobs)
     curves: list[Fig13Curve] = []
-    for model in models or DEFAULT_MODELS:
-        series: dict[str, list[float]] = {s: [] for s in SCHEMES}
-        for bw in bws:
-            grid = env.scheme_grid([model], float(bw), n)[model]
-            for scheme in SCHEMES:
-                series[scheme].append(grid[scheme].average_completion)
+    for index, model in enumerate(chosen):
+        per_model = results[index * len(bws): (index + 1) * len(bws)]
+        series = {
+            s: tuple(grid[s].average_completion for grid in per_model)
+            for s in SCHEMES
+        }
         curves.append(
             Fig13Curve(
                 model=model,
                 bandwidths_mbps=tuple(float(b) for b in bws),
-                latency_s={s: tuple(v) for s, v in series.items()},
+                latency_s=series,
             )
         )
     return curves

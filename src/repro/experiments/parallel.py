@@ -1,0 +1,134 @@
+"""Process-pool fan-out for per-(model, bandwidth) planning cells.
+
+The figure harnesses and the campaign runner all reduce to the same
+work item: plan every scheme for one (model, bandwidth, n) cell. Cells
+are independent — each builds from the deterministic device constants —
+so they parallelize across processes with no shared state beyond the
+:class:`~repro.experiments.runner.ExperimentEnv` construction arguments.
+
+Each worker process holds one long-lived environment (installed by the
+pool initializer), so its model/frontier caches amortize across every
+cell that lands on it, mirroring what the serial path gets from a
+single environment. Results return in input order, which keeps campaign
+documents bit-identical between serial and parallel runs
+(``tests/test_parallel.py`` locks this).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from math import ceil
+
+from repro.core.plans import Schedule
+from repro.experiments.runner import SCHEMES, ExperimentEnv
+from repro.net.bandwidth import BandwidthPreset
+from repro.profiling.device import DeviceModel
+
+__all__ = ["GridCell", "plan_grid", "resolve_jobs"]
+
+#: Per-process environment installed by the pool initializer.
+_WORKER_ENV: ExperimentEnv | None = None
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One unit of campaign work: all schemes of one (model, bandwidth)."""
+
+    model: str
+    bandwidth: BandwidthPreset | float
+    n: int
+    schemes: tuple[str, ...] = tuple(SCHEMES)
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: None/0/1 mean serial."""
+    if jobs is None or jobs <= 1:
+        return 1
+    return int(jobs)
+
+
+def _init_worker(mobile: DeviceModel, cloud: DeviceModel, seed: int) -> None:
+    global _WORKER_ENV
+    _WORKER_ENV = ExperimentEnv(mobile=mobile, cloud=cloud, seed=seed)
+
+
+def _eval_cells(cells: list[GridCell]) -> list[dict[str, Schedule]]:
+    global _WORKER_ENV
+    if _WORKER_ENV is None:  # spawn start-method without initializer
+        _WORKER_ENV = ExperimentEnv()
+    return [
+        {
+            scheme: _WORKER_ENV.run_scheme(cell.model, cell.bandwidth, cell.n, scheme)
+            for scheme in cell.schemes
+        }
+        for cell in cells
+    ]
+
+
+def _model_chunks(cells: list[GridCell], workers: int) -> list[list[int]]:
+    """Partition cell indices into worker batches, grouped by model.
+
+    The expensive per-model structure (GoogLeNet's frontier enumeration)
+    is rebuilt once per worker process that touches the model, so cells
+    of one model should land on as few workers as possible while still
+    spreading a long single-model sweep across the pool. Each model gets
+    a chunk count proportional to its share of the cells, clamped to
+    [1, workers].
+    """
+    by_model: dict[str, list[int]] = {}
+    for index, cell in enumerate(cells):
+        by_model.setdefault(cell.model, []).append(index)
+    chunks: list[list[int]] = []
+    for indices in by_model.values():
+        count = round(len(indices) * workers / len(cells))
+        count = max(1, min(workers, count))
+        size = ceil(len(indices) / count)
+        chunks.extend(indices[i: i + size] for i in range(0, len(indices), size))
+    return chunks
+
+
+def plan_grid(
+    cells: list[GridCell],
+    env: ExperimentEnv | None = None,
+    jobs: int | None = None,
+) -> list[dict[str, Schedule]]:
+    """Plan every cell; returns ``{scheme: Schedule}`` per cell, in order.
+
+    ``jobs <= 1`` runs serially on ``env`` (building one if needed);
+    otherwise a :class:`~concurrent.futures.ProcessPoolExecutor` with
+    ``jobs`` workers evaluates model-grouped batches of cells. Workers
+    rebuild the environment from ``env``'s devices and seed, so custom
+    device models flow through; results are reassembled in input order,
+    making parallel output independent of completion order.
+    """
+    env = env or ExperimentEnv()
+    workers = resolve_jobs(jobs)
+    if workers == 1 or len(cells) <= 1:
+        return _serial_grid(cells, env)
+    chunks = _model_chunks(cells, workers)
+    results: list[dict[str, Schedule] | None] = [None] * len(cells)
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(chunks)),
+        initializer=_init_worker,
+        initargs=(env.mobile, env.cloud, env.seed),
+    ) as pool:
+        futures = [
+            pool.submit(_eval_cells, [cells[i] for i in chunk]) for chunk in chunks
+        ]
+        for chunk, future in zip(chunks, futures):
+            for index, result in zip(chunk, future.result()):
+                results[index] = result
+    return results  # type: ignore[return-value]
+
+
+def _serial_grid(
+    cells: list[GridCell], env: ExperimentEnv
+) -> list[dict[str, Schedule]]:
+    return [
+        {
+            scheme: env.run_scheme(cell.model, cell.bandwidth, cell.n, scheme)
+            for scheme in cell.schemes
+        }
+        for cell in cells
+    ]

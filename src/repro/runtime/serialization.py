@@ -9,15 +9,30 @@ the same framing overhead.
 
 Format: magic, version, dtype tag, ndim, shape (u32 little-endian each),
 then the C-contiguous raw buffer.
+
+Schedules cross the wire too (client ships its plan to the server for
+admission/telemetry): :func:`serialize_schedule` frames the canonical
+:meth:`repro.core.plans.Schedule.to_dict` JSON document — one encoding
+shared with the CLI's ``--json`` output, not a runtime-private dialect.
 """
 
 from __future__ import annotations
 
+import json
 import struct
 
 import numpy as np
 
-__all__ = ["serialize_tensor", "deserialize_tensor", "serialized_size", "SerializationError"]
+from repro.core.plans import Schedule
+
+__all__ = [
+    "serialize_tensor",
+    "deserialize_tensor",
+    "serialized_size",
+    "serialize_schedule",
+    "deserialize_schedule",
+    "SerializationError",
+]
 
 _MAGIC = b"RPT1"
 _DTYPES: dict[str, int] = {"float32": 1, "float64": 2, "int32": 3, "int64": 4, "uint8": 5}
@@ -67,6 +82,33 @@ def deserialize_tensor(payload: bytes) -> np.ndarray:
             f"body length {len(body)} does not match shape {shape} ({expected} bytes)"
         )
     return np.frombuffer(body, dtype=dtype).reshape(shape).copy()
+
+
+_SCHEDULE_MAGIC = b"RPS1"
+
+
+def serialize_schedule(schedule: Schedule) -> bytes:
+    """Encode a schedule as magic + canonical JSON (UTF-8).
+
+    The payload is exactly ``Schedule.to_dict()`` with sorted keys, so
+    byte-identical schedules produce byte-identical payloads.
+    """
+    body = json.dumps(schedule.to_dict(), sort_keys=True).encode()
+    return _SCHEDULE_MAGIC + body
+
+
+def deserialize_schedule(payload: bytes) -> Schedule:
+    """Decode a payload produced by :func:`serialize_schedule`."""
+    if len(payload) < len(_SCHEDULE_MAGIC) or not payload.startswith(_SCHEDULE_MAGIC):
+        raise SerializationError("not a serialized schedule (bad magic)")
+    try:
+        document = json.loads(payload[len(_SCHEDULE_MAGIC):])
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"malformed schedule JSON: {exc}") from exc
+    try:
+        return Schedule.from_dict(document)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"invalid schedule document: {exc}") from exc
 
 
 def serialized_size(shape: tuple[int, ...], dtype: str = "float32") -> int:

@@ -1,0 +1,73 @@
+"""Process-pool campaign fan-out: chunking, parity, jobs resolution."""
+
+import pytest
+
+from repro.experiments.parallel import (
+    GridCell,
+    _model_chunks,
+    plan_grid,
+    resolve_jobs,
+)
+from repro.experiments.runner import ExperimentEnv
+
+
+def cells_for(models, bandwidths, n=5):
+    return [
+        GridCell(model=m, bandwidth=float(b), n=n) for m in models for b in bandwidths
+    ]
+
+
+def test_resolve_jobs_serial_values():
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(0) == 1
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(4) == 4
+
+
+def test_model_chunks_partition_exactly():
+    cells = cells_for(["alexnet", "mobilenet-v2", "googlenet"], [1, 5, 10, 20])
+    chunks = _model_chunks(cells, workers=4)
+    flat = sorted(index for chunk in chunks for index in chunk)
+    assert flat == list(range(len(cells)))
+    for chunk in chunks:
+        models = {cells[i].model for i in chunk}
+        assert len(models) == 1  # a chunk never mixes models
+
+
+def test_model_chunks_bound_per_model_spread():
+    cells = cells_for(["googlenet"], range(20))
+    chunks = _model_chunks(cells, workers=4)
+    assert 1 <= len(chunks) <= 4  # one model never fans wider than the pool
+
+
+def test_plan_grid_parallel_matches_serial():
+    cells = cells_for(["alexnet", "mobilenet-v2"], [5.0, 20.0], n=5)
+    env = ExperimentEnv()
+    serial = plan_grid(cells, env=env, jobs=1)
+    parallel = plan_grid(cells, env=ExperimentEnv(), jobs=2)
+    assert len(serial) == len(parallel) == len(cells)
+    for ours, theirs in zip(serial, parallel):
+        assert ours.keys() == theirs.keys()
+        for scheme in ours:
+            assert ours[scheme].makespan == theirs[scheme].makespan
+            assert [p.cut_position for p in ours[scheme].jobs] == [
+                p.cut_position for p in theirs[scheme].jobs
+            ]
+
+
+def test_plan_grid_empty_and_single_cell():
+    assert plan_grid([], jobs=4) == []
+    env = ExperimentEnv()
+    [only] = plan_grid(cells_for(["alexnet"], [10.0], n=3), env=env, jobs=4)
+    assert only["JPS"].makespan == pytest.approx(
+        env.run_scheme("alexnet", 10.0, 3, "JPS").makespan
+    )
+
+
+def test_harnesses_accept_jobs_knob():
+    from repro.experiments import table1
+
+    env = ExperimentEnv()
+    serial = table1.run(env, models=["alexnet"], n=5, jobs=1)
+    fanned = table1.run(ExperimentEnv(), models=["alexnet"], n=5, jobs=2)
+    assert [r.reductions for r in serial] == [r.reductions for r in fanned]
