@@ -26,7 +26,8 @@ models and estimators), ``repro.net`` (bandwidth/channel models),
 ``repro.core`` (the paper's algorithms), ``repro.sim`` (discrete-event
 pipeline), ``repro.runtime`` (system prototype), ``repro.experiments``
 (per-figure harnesses + parallel campaign runner), ``repro.extensions``
-(beyond-the-paper features).
+(beyond-the-paper features), ``repro.serving`` (multi-client offload
+gateway with adaptive re-planning and metrics).
 """
 
 __version__ = "1.1.0"
@@ -55,6 +56,20 @@ _API_EXPORTS = frozenset(
         "WIFI",
         "MODELS",
         "get_model",
+        # online scheduling + serving gateway
+        "OnlineJpsScheduler",
+        "ReleasedJob",
+        "clairvoyant_makespan",
+        "offline_lower_bound",
+        "Gateway",
+        "AdaptiveChannelEstimator",
+        "MetricsRegistry",
+        "ClientSpec",
+        "Request",
+        "ScenarioConfig",
+        "default_scenario",
+        "run_scenario",
+        "BandwidthTimeline",
     }
 )
 

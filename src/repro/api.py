@@ -23,6 +23,12 @@ from __future__ import annotations
 from repro.core.joint import SplitMode, Structure, jps
 from repro.core.plans import JobPlan, Schedule
 from repro.engine import CacheStats, PlanningEngine
+from repro.extensions.online import (
+    OnlineJpsScheduler,
+    ReleasedJob,
+    clairvoyant_makespan,
+    offline_lower_bound,
+)
 from repro.net.bandwidth import (
     FOUR_G,
     PRESETS,
@@ -32,9 +38,20 @@ from repro.net.bandwidth import (
     TrafficShaper,
 )
 from repro.net.channel import Channel
+from repro.net.timeline import BandwidthTimeline
 from repro.nn.network import Network
 from repro.nn.zoo import MODELS, get_model
 from repro.profiling.device import DeviceModel, gtx1080_server, raspberry_pi_4
+from repro.serving import (
+    AdaptiveChannelEstimator,
+    ClientSpec,
+    Gateway,
+    MetricsRegistry,
+    Request,
+    ScenarioConfig,
+    default_scenario,
+    run_scenario,
+)
 from repro.utils.units import mbps
 
 __all__ = [
@@ -45,6 +62,21 @@ __all__ = [
     "as_channel",
     "PlanningEngine",
     "CacheStats",
+    # online scheduling (beyond-the-paper release times)
+    "OnlineJpsScheduler",
+    "ReleasedJob",
+    "clairvoyant_makespan",
+    "offline_lower_bound",
+    # serving gateway
+    "Gateway",
+    "AdaptiveChannelEstimator",
+    "MetricsRegistry",
+    "ClientSpec",
+    "Request",
+    "ScenarioConfig",
+    "default_scenario",
+    "run_scenario",
+    "BandwidthTimeline",
     "Schedule",
     "JobPlan",
     "Structure",

@@ -9,8 +9,13 @@ plan MODEL [-n N] [--mbps X] [--scheme S] [--structure T] [--split M]
      [--json] [--gantt]       plan a job set and report the schedule
 compare MODEL [-n N] [--mbps X] [--json]
                                all four schemes side by side + LP lower bound
+serve [--clients N] [--rate R] [--horizon T] [--model M] [--mbps X]
+      [--drop-mbps Y] [--drop-at T] [--deadline D] [--scheme S ...]
+      [--seed K] [--queue-depth Q] [--json PATH]
+                               multi-client offload gateway scenario
 experiment NAME [--jobs J]     regenerate a paper artifact
-                               (fig4 | fig11 | fig12 | fig13 | fig14 | table1)
+                               (fig4 | fig11 | fig12 | fig13 | fig14 | table1
+                                | serving)
 dot MODEL [--mbps X]           Graphviz DOT with the JPS cut highlighted
 energy MODEL [--radio R]       energy-latency Pareto frontier
 campaign OUT [--quick] [--compare OLD] [--tolerance T] [--jobs J]
@@ -26,9 +31,10 @@ import sys
 from repro.core.analysis import fractional_lower_bound, speedup_report
 from repro.core.joint import SplitMode, Structure
 from repro.core.plans import Schedule
-from repro.experiments import fig4, fig11, fig12, fig13, fig14, table1
+from repro.experiments import fig4, fig11, fig12, fig13, fig14, fig_serving, table1
 from repro.experiments.runner import SCHEMES, ExperimentEnv
 from repro.nn.zoo import MODELS
+from repro.serving.gateway import GATEWAY_SCHEMES
 from repro.sim.pipeline import simulate_schedule
 from repro.sim.trace import render_gantt
 
@@ -77,9 +83,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mbps", type=float, default=5.85)
     p.add_argument("--json", action="store_true", help="emit all schedules as JSON")
 
+    p = sub.add_parser("serve", help="run the multi-client offload gateway")
+    p.add_argument("--clients", type=int, default=3, help="number of Poisson clients")
+    p.add_argument("--rate", type=float, default=2.0, help="per-client req/s")
+    p.add_argument("--horizon", type=float, default=60.0, help="arrival window (s)")
+    p.add_argument("--model", choices=sorted(MODELS), default="alexnet")
+    p.add_argument("--mbps", type=float, default=8.0, help="initial uplink rate")
+    p.add_argument(
+        "--drop-mbps", type=float, default=4.0,
+        help="uplink rate after the mid-run drop (== --mbps for a flat trace)",
+    )
+    p.add_argument(
+        "--drop-at", type=float, default=None,
+        help="when the rate drops (default: mid-horizon)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request relative deadline (s); expired requests are dropped",
+    )
+    p.add_argument(
+        "--scheme", action="append", choices=list(GATEWAY_SCHEMES), default=None,
+        help="scheme(s) to serve under (repeatable; default JPS, LO, CO)",
+    )
+    p.add_argument("--seed", type=int, default=None, help="workload seed")
+    p.add_argument("--queue-depth", type=int, default=64, help="per-client queue bound")
+    p.add_argument(
+        "--json", metavar="PATH",
+        help="write the full metrics report as JSON ('-' for stdout)",
+    )
+
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument(
-        "name", choices=["fig4", "fig11", "fig12", "fig13", "fig14", "table1"]
+        "name",
+        choices=["fig4", "fig11", "fig12", "fig13", "fig14", "table1", "serving"],
     )
     p.add_argument(
         "--jobs", type=int, default=None,
@@ -236,6 +272,57 @@ def main(argv: list[str] | None = None) -> int:
                   f"{point.per_job_energy:7.2f} J")
         return 0
 
+    if args.command == "serve":
+        import dataclasses
+
+        from repro.serving import default_scenario, run_scenario
+
+        schemes = (
+            tuple(dict.fromkeys(args.scheme)) if args.scheme else ("JPS", "LO", "CO")
+        )
+        config = default_scenario(
+            clients=args.clients,
+            rate=args.rate,
+            horizon=args.horizon,
+            model=args.model,
+            drop_at=args.drop_at,
+            mbps_before=args.mbps,
+            mbps_after=args.drop_mbps,
+            deadline=args.deadline,
+            schemes=schemes,
+        )
+        if args.seed is not None:
+            config = dataclasses.replace(config, seed=args.seed)
+        config = dataclasses.replace(config, max_queue_depth=args.queue_depth)
+        report = run_scenario(config)
+        if args.json == "-":
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return 0
+        print(
+            f"{args.model}: {args.clients} clients x {args.rate:g} req/s over "
+            f"{args.horizon:g}s, uplink {args.mbps:g} -> {args.drop_mbps:g} Mbps "
+            f"({report['arrivals']} arrivals, {report['offered_load_rps']:.2f} req/s)"
+        )
+        print(
+            f"{'scheme':<6s} {'served':>7s} {'dropped':>8s} {'p50':>8s} {'p95':>8s} "
+            f"{'p99':>8s} {'thr/s':>7s} {'replans':>8s}"
+        )
+        for scheme, data in report["schemes"].items():
+            counters = data["counters"]
+            latency = data["histograms"]["latency"]
+            print(
+                f"{scheme:<6s} {counters.get('served', 0):>7d} "
+                f"{counters.get('dropped', 0):>8d} {latency['p50']:>7.2f}s "
+                f"{latency['p95']:>7.2f}s {latency['p99']:>7.2f}s "
+                f"{data['throughput_rps']:>7.2f} {len(data['replans']):>8d}"
+            )
+        if args.json:
+            from pathlib import Path
+
+            Path(args.json).write_text(json.dumps(report, indent=2, sort_keys=True))
+            print(f"metrics report written to {args.json}")
+        return 0
+
     if args.command == "campaign":
         from repro.experiments.campaign import (
             compare_campaigns,
@@ -267,6 +354,7 @@ def main(argv: list[str] | None = None) -> int:
             "fig13": lambda: fig13.render(fig13.run(env, jobs=args.jobs)),
             "fig14": lambda: fig14.render(fig14.run(env, n=100)),
             "table1": lambda: table1.render(table1.run(env, jobs=args.jobs)),
+            "serving": lambda: fig_serving.render(fig_serving.run()),
         }[args.name]
         print(harness())
         return 0

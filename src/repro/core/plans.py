@@ -13,19 +13,24 @@ from typing import Any, Mapping
 
 from repro.utils.validation import require_non_negative
 
-__all__ = ["JobPlan", "Schedule"]
+__all__ = ["JobPlan", "Schedule", "json_safe"]
 
 
-def _json_safe(value: Any) -> Any:
-    """Coerce numpy scalars and other exotica to plain JSON types."""
+def json_safe(value: Any) -> Any:
+    """Coerce numpy scalars and other exotica to plain JSON types.
+
+    The common denominator of every wire format in the repo: schedule
+    JSON, campaign documents, and the serving metrics report all pass
+    their payloads through this before ``json.dumps``.
+    """
     if isinstance(value, (str, bool, int, float)) or value is None:
         return value
     if hasattr(value, "item"):  # numpy scalar
         return value.item()
     if isinstance(value, Mapping):
-        return {str(k): _json_safe(v) for k, v in value.items()}
+        return {str(k): json_safe(v) for k, v in value.items()}
     if isinstance(value, (list, tuple, set, frozenset)):
-        items = [_json_safe(v) for v in value]
+        items = [json_safe(v) for v in value]
         return sorted(items) if isinstance(value, (set, frozenset)) else items
     return str(value)
 
@@ -65,12 +70,12 @@ class JobPlan:
         is deterministic and diff-friendly.
         """
         return {
-            "job_id": _json_safe(self.job_id),
+            "job_id": json_safe(self.job_id),
             "model": self.model,
-            "cut_position": _json_safe(self.cut_position),
-            "compute_time": _json_safe(self.compute_time),
-            "comm_time": _json_safe(self.comm_time),
-            "cloud_time": _json_safe(self.cloud_time),
+            "cut_position": json_safe(self.cut_position),
+            "compute_time": json_safe(self.compute_time),
+            "comm_time": json_safe(self.comm_time),
+            "cloud_time": json_safe(self.cloud_time),
             "cut_label": self.cut_label,
             "mobile_nodes": (
                 None if self.mobile_nodes is None else sorted(self.mobile_nodes)
@@ -136,9 +141,9 @@ class Schedule:
         """
         return {
             "jobs": [job.to_dict() for job in self.jobs],
-            "makespan": _json_safe(self.makespan),
+            "makespan": json_safe(self.makespan),
             "method": self.method,
-            "metadata": _json_safe(dict(self.metadata)),
+            "metadata": json_safe(dict(self.metadata)),
         }
 
     @classmethod

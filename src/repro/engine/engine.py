@@ -419,6 +419,22 @@ class PlanningEngine:
             for name, cache in caches.items()
         }
 
+    def stats_snapshot(self) -> dict:
+        """Plain-dict cache statistics: per-layer counters plus totals.
+
+        The stable observability surface — gateway metrics, benchmarks,
+        and reports consume this instead of touching cache objects. The
+        ``totals`` hit rate pools lookups across every layer.
+        """
+        layers = self.stats()
+        totals = {
+            key: sum(layer[key] for layer in layers.values())
+            for key in ("hits", "misses", "evictions", "entries")
+        }
+        lookups = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+        return {"layers": layers, "totals": totals}
+
     def clear(self) -> None:
         """Drop all memoized state (statistics keep accumulating)."""
         for cache in (

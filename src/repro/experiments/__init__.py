@@ -8,6 +8,7 @@ from repro.experiments import (
     fig12,
     fig13,
     fig14,
+    fig_serving,
     noise,
     table1,
     workloads,
@@ -25,6 +26,7 @@ __all__ = [
     "fig12",
     "fig13",
     "fig14",
+    "fig_serving",
     "noise",
     "table1",
     "workloads",

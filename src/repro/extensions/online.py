@@ -116,11 +116,20 @@ class OnlineJpsScheduler:
             if not self._mix:
                 self._mix = [l_star]
 
+    @property
+    def cut_mix(self) -> tuple[int, ...]:
+        """The round-robin cut sequence (two-type split over the nominal burst)."""
+        return tuple(self._mix)
+
+    def cut_for(self, index: int) -> int:
+        """Cut position assigned to the ``index``-th admitted job."""
+        return self._mix[index % len(self._mix)]
+
     def assign_cuts(self, releases: list[float], model: str = "online") -> list[ReleasedJob]:
         """Round-robin the precomputed cut mix over arriving jobs."""
         jobs = []
         for index, release in enumerate(sorted(releases)):
-            position = self._mix[index % len(self._mix)]
+            position = self.cut_for(index)
             f, g = self.table.stage_lengths(position)
             jobs.append(
                 ReleasedJob(

@@ -1,0 +1,113 @@
+"""Adaptive channel estimation: EWMA rate tracking + drift detection.
+
+The gateway plans against a rate it believes; the wireless truth is a
+:class:`~repro.net.timeline.BandwidthTimeline` it never reads directly.
+Every completed upload is one noisy rate sample (wire bits over airtime,
+setup latency backed out); an exponentially weighted moving average
+smooths the samples, and when the smoothed estimate drifts beyond a
+relative threshold from the rate the current plan was priced at, the
+estimator reports drift. The gateway then re-plans through the
+:class:`~repro.engine.PlanningEngine` — whose bandwidth-independent
+structure caches make the new cost table a cheap priced-table miss —
+and ``rebase()`` marks the new planning rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.bandwidth import TrafficShaper
+from repro.net.channel import Channel
+from repro.utils.units import BITS_PER_BYTE
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["AdaptiveChannelEstimator"]
+
+
+@dataclass
+class AdaptiveChannelEstimator:
+    """EWMA uplink-rate tracker with relative drift detection.
+
+    ``alpha`` is the EWMA weight of the newest sample;
+    ``drift_threshold`` the relative deviation |est - planned| / planned
+    that flags a re-plan; ``min_observations`` suppresses drift until
+    enough samples arrived to trust the average. The framing constants
+    (``setup_latency``, ``header_bytes``, ``protocol_overhead``) must
+    match the link being observed so samples recover the raw rate.
+    """
+
+    initial_bps: float
+    alpha: float = 0.3
+    drift_threshold: float = 0.25
+    min_observations: int = 3
+    setup_latency: float = 0.0
+    header_bytes: float = 0.0
+    protocol_overhead: float = 1.0
+    observations: int = field(default=0, init=False)
+    estimate_bps: float = field(init=False)
+    planned_bps: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.initial_bps, "initial_bps")
+        if not 0 < self.alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+        require_positive(self.drift_threshold, "drift_threshold")
+        require_positive(self.min_observations, "min_observations")
+        require_non_negative(self.setup_latency, "setup_latency")
+        require_non_negative(self.header_bytes, "header_bytes")
+        require_positive(self.protocol_overhead, "protocol_overhead")
+        self.estimate_bps = self.initial_bps
+        self.planned_bps = self.initial_bps
+
+    def observe(self, payload_bytes: float, duration: float) -> float:
+        """Fold one completed transfer in; returns the sample's rate."""
+        require_positive(payload_bytes, "payload_bytes")
+        require_positive(duration, "duration")
+        wire_bits = (
+            (payload_bytes + self.header_bytes)
+            * self.protocol_overhead
+            * BITS_PER_BYTE
+        )
+        airtime = duration - self.setup_latency
+        if airtime <= 0:
+            raise ValueError(
+                f"duration {duration} does not cover setup latency {self.setup_latency}"
+            )
+        sample_bps = wire_bits / airtime
+        self.estimate_bps = (
+            self.alpha * sample_bps + (1 - self.alpha) * self.estimate_bps
+        )
+        self.observations += 1
+        return sample_bps
+
+    @property
+    def drift(self) -> float:
+        """Relative deviation of the estimate from the planning rate."""
+        return abs(self.estimate_bps - self.planned_bps) / self.planned_bps
+
+    def drifted(self) -> bool:
+        """True when the link moved enough that the plan is stale."""
+        return (
+            self.observations >= self.min_observations
+            and self.drift > self.drift_threshold
+        )
+
+    def rebase(self) -> float:
+        """Adopt the current estimate as the new planning rate."""
+        self.planned_bps = self.estimate_bps
+        return self.planned_bps
+
+    def channel(self) -> Channel:
+        """A planning channel priced at the current estimate.
+
+        Framing constants mirror the observed link, so cost tables built
+        from this channel price ``g`` the way the link actually charges.
+        """
+        return Channel(
+            shaper=TrafficShaper(
+                uplink_bps=self.estimate_bps, downlink_bps=2 * self.estimate_bps
+            ),
+            setup_latency=self.setup_latency,
+            header_bytes=self.header_bytes,
+            protocol_overhead=self.protocol_overhead,
+        )

@@ -1,0 +1,392 @@
+"""The offload gateway: multi-client serving on the event engine.
+
+This is the continuously-running counterpart of the paper's one-shot
+batch: clients stream inference requests into per-client FIFO queues;
+the gateway admits (bounded queue depth, optional deadlines), assigns
+each admitted request a partition from the current plan, and drives the
+mobile-CPU → uplink → cloud-GPU chain on the discrete-event engine
+(:mod:`repro.sim.engine`). Scheduling is the Johnson-order online
+policy of :mod:`repro.extensions.online`: whenever the mobile stage
+idles, the Johnson-preferred request among the queue heads runs next.
+
+Partitions adapt: an :class:`~repro.serving.estimator.AdaptiveChannelEstimator`
+folds every observed upload into an EWMA rate; on drift past its
+threshold the gateway re-prices cost tables through the shared
+:class:`~repro.engine.PlanningEngine` (a warm structure cache makes
+this a per-rate table build, not a re-enumeration) and subsequent
+admissions draw cuts from the new mix. Everything observable lands in a
+:class:`~repro.serving.metrics.MetricsRegistry` whose snapshot is the
+gateway's JSON report.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.baselines import single_job_optimal_cut
+from repro.core.joint import Structure
+from repro.core.plans import JobPlan
+from repro.core.scheduling import johnson_order
+from repro.engine import PlanningEngine
+from repro.extensions.online import OnlineJpsScheduler
+from repro.net.timeline import BandwidthTimeline
+from repro.profiling.latency import CostTable
+from repro.serving.estimator import AdaptiveChannelEstimator
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.workload import Request
+from repro.sim.engine import Engine, Resource
+from repro.utils.validation import require_positive
+
+__all__ = ["Gateway", "GatewayResult", "ServedRecord", "GATEWAY_SCHEMES"]
+
+#: Schemes the gateway can serve under. ``JPS`` adapts its cut mix on
+#: re-plans; the baselines' cut choices are bandwidth-invariant.
+GATEWAY_SCHEMES = ("JPS", "LO", "CO", "PO")
+
+
+@dataclass
+class _ModelState:
+    """Per-model planning state, rebuilt on every re-plan."""
+
+    table: CostTable
+    payloads: tuple[float, ...]       # upload bytes per cut position
+    mix: tuple[int, ...]              # JPS round-robin cut sequence
+    assigned: int = 0                 # monotone round-robin pointer
+
+
+@dataclass
+class _Ticket:
+    """One admitted request moving through the pipeline."""
+
+    request: Request
+    plan: JobPlan
+    payload_bytes: float
+    admitted_at: float
+    started: float | None = None
+    completed: float | None = None
+
+
+@dataclass(frozen=True)
+class ServedRecord:
+    """Terminal outcome of one request (served or dropped)."""
+
+    request_id: int
+    client_id: str
+    outcome: str                      # "served" | "rejected" | "expired"
+    latency: float | None             # completion - arrival, served only
+
+
+@dataclass
+class GatewayResult:
+    """What one gateway run produced."""
+
+    scheme: str
+    makespan: float
+    records: list[ServedRecord]
+    metrics: MetricsRegistry
+    replan_events: list[dict]
+    mobile: Resource
+    uplink: Resource
+    cloud: Resource
+    pending: int                      # admitted but unfinished (truncated runs)
+
+
+class Gateway:
+    """Admission + adaptive dispatch over one simulated device fleet.
+
+    ``timeline`` is the ground-truth uplink; the gateway never reads it
+    directly — transfers are priced by the event engine at grant time
+    and observed through the estimator. ``planner`` is shared across
+    schemes/runs on purpose: the bandwidth-independent structure caches
+    are what make adaptive re-planning affordable.
+    """
+
+    def __init__(
+        self,
+        timeline: BandwidthTimeline,
+        planner: PlanningEngine | None = None,
+        scheme: str = "JPS",
+        estimator: AdaptiveChannelEstimator | None = None,
+        initial_bps: float | None = None,
+        max_queue_depth: int = 64,
+        nominal_burst: int = 8,
+        include_cloud: bool = True,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if scheme not in GATEWAY_SCHEMES:
+            raise ValueError(f"unknown scheme {scheme!r} (use one of {GATEWAY_SCHEMES})")
+        require_positive(max_queue_depth, "max_queue_depth")
+        require_positive(nominal_burst, "nominal_burst")
+        self.timeline = timeline
+        self.planner = planner or PlanningEngine()
+        self.scheme = scheme
+        self.estimator = estimator or AdaptiveChannelEstimator(
+            initial_bps=initial_bps or timeline.rates_bps[0],
+            setup_latency=timeline.setup_latency,
+            header_bytes=timeline.header_bytes,
+            protocol_overhead=timeline.protocol_overhead,
+        )
+        self.max_queue_depth = max_queue_depth
+        self.nominal_burst = nominal_burst
+        self.include_cloud = include_cloud
+        self.metrics = metrics or MetricsRegistry()
+        self.replan_events: list[dict] = []
+        self._models: dict[str, _ModelState] = {}
+        self._queues: dict[str, deque[_Ticket]] = {}
+        self._client_order: list[str] = []
+        self._records: list[ServedRecord] = []
+        self._engine = Engine()
+        self._mobile = Resource(self._engine, "mobile-cpu")
+        self._uplink = Resource(self._engine, "uplink")
+        self._cloud = Resource(self._engine, "cloud-gpu")
+        self._cpu_claimed = False
+        self._inflight = 0
+
+    # ------------------------------------------------------------------
+    # planning state
+    # ------------------------------------------------------------------
+    def _build_model_state(self, model: str) -> _ModelState:
+        channel = self.estimator.channel()
+        if self.planner.structure_of(model) is Structure.LINE:
+            table = self.planner.line_table(model, channel)
+            payloads = tuple(table.transfer_bytes_at(i) for i in range(table.k))
+        else:
+            frontier = self.planner.frontier_table(model, channel)
+            table = frontier.table
+            # a priced g of 0 marks the full cut (nothing crosses the link)
+            payloads = tuple(
+                cut.transfer_bytes if table.g[i] > 0 else 0.0
+                for i, cut in enumerate(frontier.cuts)
+            )
+        mix = OnlineJpsScheduler(table, nominal_burst=self.nominal_burst).cut_mix
+        return _ModelState(table=table, payloads=payloads, mix=mix)
+
+    def _state_of(self, model: str) -> _ModelState:
+        if model not in self._models:
+            self._models[model] = self._build_model_state(model)
+        return self._models[model]
+
+    def _next_position(self, state: _ModelState) -> int:
+        if self.scheme == "LO":
+            return state.table.k - 1
+        if self.scheme == "CO":
+            return 0
+        if self.scheme == "PO":
+            return single_job_optimal_cut(state.table)
+        position = state.mix[state.assigned % len(state.mix)]
+        state.assigned += 1
+        return position
+
+    def _replan(self) -> None:
+        old_bps = self.estimator.planned_bps
+        drift = self.estimator.drift
+        new_bps = self.estimator.rebase()
+        carried = {model: state.assigned for model, state in self._models.items()}
+        self._models = {model: self._build_model_state(model) for model in self._models}
+        for model, assigned in carried.items():
+            self._models[model].assigned = assigned
+        self.metrics.counter("replans").increment()
+        self.replan_events.append(
+            {
+                "time": self._engine.now,
+                "old_bps": old_bps,
+                "new_bps": new_bps,
+                "drift": drift,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Admit (or reject) one request at the current simulation time."""
+        self.metrics.counter("arrived").increment()
+        if request.client_id not in self._queues:
+            self._queues[request.client_id] = deque()
+            self._client_order.append(request.client_id)
+        queue = self._queues[request.client_id]
+        if len(queue) >= self.max_queue_depth:
+            self.metrics.counter("dropped").increment()
+            self.metrics.counter("dropped_queue_full").increment()
+            self._records.append(
+                ServedRecord(request.request_id, request.client_id, "rejected", None)
+            )
+            return
+        state = self._state_of(request.model)
+        position = self._next_position(state)
+        f, g = state.table.stage_lengths(position)
+        plan = JobPlan(
+            job_id=request.request_id,
+            model=request.model,
+            cut_position=position,
+            compute_time=f,
+            comm_time=g,
+            cloud_time=state.table.cloud_rest(position),
+            cut_label=state.table.positions[position],
+        )
+        ticket = _Ticket(
+            request=request,
+            plan=plan,
+            payload_bytes=state.payloads[position],
+            admitted_at=self._engine.now,
+        )
+        queue.append(ticket)
+        self.metrics.counter("admitted").increment()
+        self.metrics.histogram("queue_depth").observe(len(queue))
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _pick(self, heads: list[_Ticket]) -> _Ticket:
+        if self.scheme == "JPS":
+            stages = [t.plan.stages for t in heads]
+            return heads[johnson_order(stages)[0]]
+        return min(heads, key=lambda t: (t.request.arrival, t.request.request_id))
+
+    def _dispatch(self) -> None:
+        if self._cpu_claimed:
+            return
+        now = self._engine.now
+        while True:
+            heads = [self._queues[c][0] for c in self._client_order if self._queues[c]]
+            if not heads:
+                return
+            expired = [t for t in heads if t.request.expiry < now]
+            if expired:
+                for ticket in expired:
+                    self._queues[ticket.request.client_id].popleft()
+                    self.metrics.counter("dropped").increment()
+                    self.metrics.counter("dropped_deadline").increment()
+                    self._records.append(
+                        ServedRecord(
+                            ticket.request.request_id,
+                            ticket.request.client_id,
+                            "expired",
+                            None,
+                        )
+                    )
+                continue
+            ticket = self._pick(heads)
+            self._queues[ticket.request.client_id].popleft()
+            self._start(ticket)
+            return
+
+    def _start(self, ticket: _Ticket) -> None:
+        self._cpu_claimed = True
+        self._inflight += 1
+        ticket.started = self._engine.now
+        self.metrics.histogram("queue_wait").observe(
+            self._engine.now - ticket.request.arrival
+        )
+        label = f"req{ticket.request.request_id}"
+
+        def comm_duration(start: float) -> float:
+            return self.timeline.transfer_end(start, ticket.payload_bytes) - start
+
+        def after_compute(start: float, end: float) -> None:
+            # the CPU is free the instant the compute stage ends: hand it
+            # to the Johnson-next request before this one queues uplink
+            self._cpu_claimed = False
+            self._dispatch()
+            if ticket.payload_bytes > 0:
+                self._uplink.acquire(f"{label}/comm", comm_duration, after_comm)
+            else:
+                enter_cloud()
+
+        def after_comm(start: float, end: float) -> None:
+            self.estimator.observe(ticket.payload_bytes, end - start)
+            if self.scheme == "JPS" and self.estimator.drifted():
+                self._replan()
+            enter_cloud()
+
+        def enter_cloud() -> None:
+            if self.include_cloud and ticket.plan.cloud_time > 0:
+                self._cloud.acquire(
+                    f"{label}/cloud", ticket.plan.cloud_time, after_cloud
+                )
+            else:
+                finish()
+
+        def after_cloud(start: float, end: float) -> None:
+            finish()
+
+        def finish() -> None:
+            ticket.completed = self._engine.now
+            self._inflight -= 1
+            latency = ticket.completed - ticket.request.arrival
+            self.metrics.counter("served").increment()
+            self.metrics.histogram("latency").observe(latency)
+            self._records.append(
+                ServedRecord(
+                    ticket.request.request_id,
+                    ticket.request.client_id,
+                    "served",
+                    latency,
+                )
+            )
+
+        self._mobile.acquire(
+            f"{label}/compute", ticket.plan.compute_time, after_compute
+        )
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def run(self, requests: list[Request], until: float | None = None) -> GatewayResult:
+        """Serve a request stream; drains fully unless ``until`` is set."""
+        for request in sorted(requests, key=lambda r: (r.arrival, r.request_id)):
+            self._engine.schedule(
+                request.arrival - self._engine.now, _submitter(self, request)
+            )
+        makespan = self._engine.run(until=until)
+        # a drained run leaves empty queues (dispatch fires on every CPU
+        # idle); anything counted here means the run was truncated
+        pending = sum(len(q) for q in self._queues.values()) + self._inflight
+        return GatewayResult(
+            scheme=self.scheme,
+            makespan=makespan,
+            records=self._records,
+            metrics=self.metrics,
+            replan_events=self.replan_events,
+            mobile=self._mobile,
+            uplink=self._uplink,
+            cloud=self._cloud,
+            pending=pending,
+        )
+
+    def report(self, result: GatewayResult) -> dict:
+        """JSON-safe metrics report of one run (see docs/serving.md)."""
+        snapshot = self.metrics.snapshot()
+        counters = snapshot["counters"]
+        horizon = max(result.makespan, 1e-12)
+        return {
+            "scheme": result.scheme,
+            "makespan": result.makespan,
+            "counters": counters,
+            "histograms": snapshot["histograms"],
+            "replans": self.replan_events,
+            "estimator": {
+                "planned_bps": self.estimator.planned_bps,
+                "estimate_bps": self.estimator.estimate_bps,
+                "observations": self.estimator.observations,
+            },
+            "utilization": {
+                "mobile": result.mobile.total_busy_time / horizon,
+                "uplink": result.uplink.total_busy_time / horizon,
+                "cloud": result.cloud.total_busy_time / horizon,
+            },
+            "throughput_rps": counters.get("served", 0) / horizon,
+            "pending": result.pending,
+            "balance_ok": (
+                counters.get("served", 0) + counters.get("dropped", 0) + result.pending
+                == counters.get("arrived", 0)
+            ),
+            "engine_cache": self.planner.stats_snapshot()["totals"],
+        }
+
+
+def _submitter(gateway: Gateway, request: Request):
+    # default-arg binding would also work; a closure factory reads clearer
+    return lambda: gateway.submit(request)

@@ -1,0 +1,172 @@
+"""End-to-end serving scenarios: workload + timeline + gateway + report.
+
+A :class:`ScenarioConfig` is a fully deterministic description of one
+serving run — clients, horizon, the ground-truth bandwidth trace, the
+schemes to compare, and the seed. :func:`run_scenario` generates the
+request stream once and serves the *identical* stream under every
+scheme through one shared :class:`~repro.engine.PlanningEngine` (so
+re-plans and cross-scheme planning hit warm structure caches), then
+assembles the JSON metrics report that ``repro serve`` writes and CI
+uploads as an artifact.
+
+:func:`default_scenario` is the acceptance scenario from the PR issue:
+three Poisson clients over a trace with a mid-run rate drop, sized so
+the drop drives at least one adaptive re-plan and the JPS gateway's
+tail latency beats the all-mobile and all-cloud baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plans import json_safe
+from repro.engine import PlanningEngine
+from repro.net.channel import DEFAULT_HEADER_BYTES, DEFAULT_SETUP_LATENCY
+from repro.net.timeline import BandwidthTimeline
+from repro.serving.estimator import AdaptiveChannelEstimator
+from repro.serving.gateway import GATEWAY_SCHEMES, Gateway
+from repro.serving.workload import ClientSpec, generate_requests
+from repro.utils.rng import DEFAULT_SEED
+from repro.utils.validation import require_positive
+
+__all__ = ["ScenarioConfig", "default_scenario", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One reproducible serving run (see module docstring)."""
+
+    clients: tuple[ClientSpec, ...]
+    bandwidth_steps: tuple[tuple[float, float], ...]   # (start_s, rate_mbps)
+    horizon: float = 60.0
+    schemes: tuple[str, ...] = ("JPS", "LO", "CO")
+    seed: int = DEFAULT_SEED
+    max_queue_depth: int = 64
+    nominal_burst: int = 8
+    include_cloud: bool = True
+    ewma_alpha: float = 0.3
+    drift_threshold: float = 0.25
+    setup_latency: float = DEFAULT_SETUP_LATENCY
+    header_bytes: float = DEFAULT_HEADER_BYTES
+    protocol_overhead: float = 1.05
+
+    def __post_init__(self) -> None:
+        if not self.clients:
+            raise ValueError("need at least one client")
+        if not self.bandwidth_steps:
+            raise ValueError("need at least one bandwidth step")
+        require_positive(self.horizon, "horizon")
+        unknown = [s for s in self.schemes if s not in GATEWAY_SCHEMES]
+        if unknown:
+            raise ValueError(f"unknown schemes {unknown} (use {GATEWAY_SCHEMES})")
+
+    def timeline(self) -> BandwidthTimeline:
+        return BandwidthTimeline.steps_mbps(
+            list(self.bandwidth_steps),
+            setup_latency=self.setup_latency,
+            header_bytes=self.header_bytes,
+            protocol_overhead=self.protocol_overhead,
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-safe config echo embedded in every report."""
+        return json_safe(
+            {
+                "clients": [
+                    {
+                        "name": c.name,
+                        "model": c.model,
+                        "process": c.process,
+                        "rate": c.rate,
+                        "burst_size": c.burst_size,
+                        "period": c.period,
+                        "deadline": c.deadline,
+                    }
+                    for c in self.clients
+                ],
+                "bandwidth_steps": [list(s) for s in self.bandwidth_steps],
+                "horizon": self.horizon,
+                "schemes": list(self.schemes),
+                "seed": self.seed,
+                "max_queue_depth": self.max_queue_depth,
+                "nominal_burst": self.nominal_burst,
+                "include_cloud": self.include_cloud,
+                "ewma_alpha": self.ewma_alpha,
+                "drift_threshold": self.drift_threshold,
+            }
+        )
+
+
+def default_scenario(
+    clients: int = 3,
+    rate: float = 2.0,
+    horizon: float = 60.0,
+    model: str = "alexnet",
+    seed: int = DEFAULT_SEED,
+    drop_at: float | None = None,
+    mbps_before: float = 8.0,
+    mbps_after: float = 4.0,
+    deadline: float | None = None,
+    schemes: tuple[str, ...] = ("JPS", "LO", "CO"),
+) -> ScenarioConfig:
+    """The issue's acceptance scenario, parameterized.
+
+    ``clients`` Poisson streams of ``rate`` req/s each over an uplink
+    that starts at ``mbps_before`` and drops to ``mbps_after`` at
+    ``drop_at`` (default: mid-horizon) — enough drift to force the JPS
+    gateway through at least one re-plan.
+    """
+    require_positive(clients, "clients")
+    when = horizon / 2 if drop_at is None else drop_at
+    return ScenarioConfig(
+        clients=tuple(
+            ClientSpec(
+                name=f"client{i}",
+                model=model,
+                process="poisson",
+                rate=rate,
+                deadline=deadline,
+            )
+            for i in range(clients)
+        ),
+        bandwidth_steps=((0.0, mbps_before), (when, mbps_after)),
+        horizon=horizon,
+        schemes=schemes,
+        seed=seed,
+    )
+
+
+def run_scenario(
+    config: ScenarioConfig, planner: PlanningEngine | None = None
+) -> dict:
+    """Serve the scenario under every scheme; returns the full report."""
+    planner = planner or PlanningEngine()
+    requests = generate_requests(list(config.clients), config.horizon, config.seed)
+    reports: dict[str, dict] = {}
+    for scheme in config.schemes:
+        gateway = Gateway(
+            timeline=config.timeline(),
+            planner=planner,
+            scheme=scheme,
+            estimator=AdaptiveChannelEstimator(
+                initial_bps=config.timeline().rates_bps[0],
+                alpha=config.ewma_alpha,
+                drift_threshold=config.drift_threshold,
+                setup_latency=config.setup_latency,
+                header_bytes=config.header_bytes,
+                protocol_overhead=config.protocol_overhead,
+            ),
+            max_queue_depth=config.max_queue_depth,
+            nominal_burst=config.nominal_burst,
+            include_cloud=config.include_cloud,
+        )
+        result = gateway.run(requests)
+        reports[scheme] = gateway.report(result)
+    return json_safe(
+        {
+            "config": config.as_dict(),
+            "arrivals": len(requests),
+            "offered_load_rps": len(requests) / config.horizon,
+            "schemes": reports,
+        }
+    )

@@ -77,3 +77,23 @@ def test_plan_matches_core_jps_for_every_zoo_model(name):
     direct = jps(network, engine.mobile, engine.cloud, channel, n=4)
     via_facade = api.plan(network, n=4, bandwidth=channel)
     assert via_facade.makespan == pytest.approx(direct.makespan, rel=1e-12)
+
+
+def test_serving_surface_reexported():
+    """The gateway, estimator, and online scheduler ride the facade."""
+    from repro import serving
+    from repro.extensions import online
+
+    assert api.Gateway is serving.Gateway
+    assert api.AdaptiveChannelEstimator is serving.AdaptiveChannelEstimator
+    assert api.MetricsRegistry is serving.MetricsRegistry
+    assert api.ClientSpec is serving.ClientSpec
+    assert api.run_scenario is serving.run_scenario
+    assert api.OnlineJpsScheduler is online.OnlineJpsScheduler
+    assert api.ReleasedJob is online.ReleasedJob
+    assert api.clairvoyant_makespan is online.clairvoyant_makespan
+    # and through the lazy top-level package facade too
+    import repro
+
+    assert repro.Gateway is serving.Gateway
+    assert repro.BandwidthTimeline is api.BandwidthTimeline

@@ -119,3 +119,30 @@ def test_campaign_command_detects_regression(capsys, tmp_path, monkeypatch):
          "--compare", str(tmp_path / "a.json")]
     )
     assert code == 1
+
+
+def test_serve_command(capsys):
+    out = run_cli(
+        capsys, "serve", "--clients", "2", "--rate", "1", "--horizon", "8",
+        "--scheme", "JPS", "--scheme", "LO",
+    )
+    assert "JPS" in out and "LO" in out
+    assert "served" in out and "p95" in out
+
+
+def test_serve_json_to_stdout(capsys):
+    import json
+
+    out = run_cli(
+        capsys, "serve", "--clients", "2", "--rate", "1", "--horizon", "8",
+        "--scheme", "JPS", "--json", "-",
+    )
+    payload = json.loads(out[out.index("{"):])
+    assert payload["schemes"]["JPS"]["balance_ok"] is True
+    assert payload["arrivals"] > 0
+
+
+def test_experiment_serving(capsys):
+    out = run_cli(capsys, "experiment", "serving")
+    assert "serving" in out.lower()
+    assert "JPS" in out

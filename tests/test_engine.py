@@ -178,3 +178,28 @@ def test_network_fingerprint_tracks_structure():
     assert network_fingerprint(get_model("alexnet")) != network_fingerprint(
         get_model("vgg11")
     )
+
+
+# ----------------------------------------------------------------------
+# the public stats surface
+# ----------------------------------------------------------------------
+
+def test_stats_snapshot_totals_are_plain_and_consistent(engine):
+    engine.plan("alexnet", 5, make_channel(10.0))
+    engine.plan("alexnet", 5, make_channel(10.0))   # warm hit
+    snapshot = engine.stats_snapshot()
+    assert set(snapshot) == {"layers", "totals"}
+    totals = snapshot["totals"]
+    assert set(totals) == {"hits", "misses", "evictions", "entries", "hit_rate"}
+    layers = snapshot["layers"]
+    assert totals["hits"] == sum(s["hits"] for s in layers.values())
+    assert totals["misses"] == sum(s["misses"] for s in layers.values())
+    assert totals["entries"] == sum(s["entries"] for s in layers.values())
+    assert 0.0 <= totals["hit_rate"] <= 1.0
+    assert totals["hits"] > 0
+
+
+def test_stats_snapshot_empty_engine():
+    totals = PlanningEngine().stats_snapshot()["totals"]
+    assert totals["hits"] == totals["misses"] == 0
+    assert totals["hit_rate"] == 0.0

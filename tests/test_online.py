@@ -89,3 +89,16 @@ def test_online_can_beat_fixed_johnson_order(alexnet_table):
 def test_nominal_burst_validation(alexnet_table):
     with pytest.raises(ValueError):
         OnlineJpsScheduler(alexnet_table, nominal_burst=0)
+
+
+def test_cut_mix_is_exposed_and_cyclic(alexnet_table):
+    scheduler = OnlineJpsScheduler(alexnet_table, nominal_burst=6)
+    mix = scheduler.cut_mix
+    assert isinstance(mix, tuple) and len(mix) >= 1
+    assert all(0 <= cut < alexnet_table.k for cut in mix)
+    # cut_for walks the mix round-robin, wrapping at its length
+    for i in range(2 * len(mix)):
+        assert scheduler.cut_for(i) == mix[i % len(mix)]
+    # assign_cuts agrees with the exposed rotation
+    jobs = scheduler.assign_cuts([0.0] * 5)
+    assert [j.plan.cut_position for j in jobs] == [scheduler.cut_for(i) for i in range(5)]

@@ -1,0 +1,78 @@
+"""Serving metrics: counters and streaming histogram accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.serving.metrics import Counter, MetricsRegistry, StreamingHistogram
+
+
+def test_counter_monotone():
+    counter = Counter("served")
+    counter.increment()
+    counter.increment(3)
+    assert counter.value == 4
+    with pytest.raises(ValueError, match="forward"):
+        counter.increment(-1)
+
+
+def test_histogram_rejects_bad_accuracy():
+    with pytest.raises(ValueError, match="relative_accuracy"):
+        StreamingHistogram(relative_accuracy=0.0)
+    with pytest.raises(ValueError, match="relative_accuracy"):
+        StreamingHistogram(relative_accuracy=1.0)
+
+
+def test_histogram_empty_snapshot():
+    hist = StreamingHistogram()
+    assert hist.quantile(0.5) == 0.0
+    snapshot = hist.as_dict()
+    assert snapshot["count"] == 0 and snapshot["min"] == 0.0
+
+
+def test_histogram_exact_facts():
+    hist = StreamingHistogram()
+    for v in (0.5, 1.5, 3.0):
+        hist.observe(v)
+    assert hist.count == 3
+    assert hist.min == 0.5 and hist.max == 3.0
+    assert hist.mean == pytest.approx(5.0 / 3.0)
+
+
+def test_histogram_zeros_have_their_own_bucket():
+    hist = StreamingHistogram()
+    for _ in range(9):
+        hist.observe(0.0)
+    hist.observe(10.0)
+    assert hist.quantile(0.5) == 0.0
+    assert hist.quantile(1.0) == 10.0
+
+
+@pytest.mark.parametrize("accuracy", [0.01, 0.05])
+def test_histogram_quantiles_within_relative_error(accuracy):
+    rng = np.random.default_rng(7)
+    samples = rng.lognormal(mean=0.0, sigma=1.5, size=5000)
+    hist = StreamingHistogram(relative_accuracy=accuracy)
+    for v in samples:
+        hist.observe(v)
+    for q in (0.5, 0.95, 0.99):
+        exact = np.quantile(samples, q)
+        estimate = hist.quantile(q)
+        # DDSketch guarantee is per-value; the rank interpolation between
+        # numpy's definition and ours adds a little slack
+        assert abs(estimate - exact) / exact < 2.5 * accuracy
+
+
+def test_histogram_rejects_negative():
+    with pytest.raises(ValueError):
+        StreamingHistogram().observe(-1.0)
+
+
+def test_registry_reuses_and_snapshots():
+    registry = MetricsRegistry()
+    registry.counter("arrived").increment(2)
+    assert registry.counter("arrived") is registry.counter("arrived")
+    registry.histogram("latency").observe(1.0)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"arrived": 2}
+    assert snapshot["histograms"]["latency"]["count"] == 1
+    assert set(snapshot["histograms"]["latency"]) >= {"p50", "p95", "p99"}

@@ -1,0 +1,94 @@
+"""Serving workload generators: determinism and process shape."""
+
+import numpy as np
+import pytest
+
+from repro.serving.workload import (
+    ClientSpec,
+    Request,
+    burst_arrivals,
+    generate_requests,
+    poisson_arrivals,
+)
+
+
+def test_poisson_rate_roughly_matches():
+    times = poisson_arrivals(rate=10.0, horizon=200.0, rng=3)
+    assert all(0 <= t < 200.0 for t in times)
+    assert times == sorted(times)
+    assert len(times) == pytest.approx(2000, rel=0.1)
+
+
+def test_poisson_deterministic_under_seed():
+    assert poisson_arrivals(2.0, 50.0, rng=11) == poisson_arrivals(2.0, 50.0, rng=11)
+
+
+def test_burst_structure():
+    times = burst_arrivals(burst_size=3, period=10.0, horizon=35.0, rng=5)
+    assert len(times) % 3 == 0 or len(times) > 0
+    assert all(0 <= t < 35.0 for t in times)
+    # within a burst, spacing is the configured 1 ms
+    assert times[1] - times[0] == pytest.approx(1e-3)
+
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        Request(client_id="c", request_id=0, model="alexnet", arrival=-1.0)
+    with pytest.raises(ValueError):
+        Request(client_id="c", request_id=0, model="alexnet", arrival=0.0, deadline=0.0)
+    unlimited = Request(client_id="c", request_id=0, model="alexnet", arrival=1.0)
+    assert unlimited.expiry == float("inf")
+    bounded = Request(
+        client_id="c", request_id=1, model="alexnet", arrival=1.0, deadline=2.0
+    )
+    assert bounded.expiry == 3.0
+
+
+def test_client_spec_validation():
+    with pytest.raises(ValueError, match="arrival process"):
+        ClientSpec(name="c", process="uniform")
+    with pytest.raises(ValueError):
+        ClientSpec(name="c", rate=0.0)
+
+
+def test_generate_requests_merged_and_unique():
+    clients = [
+        ClientSpec(name="a", rate=2.0),
+        ClientSpec(name="b", rate=1.0, deadline=5.0),
+        ClientSpec(name="c", process="burst", burst_size=2, period=5.0),
+    ]
+    requests = generate_requests(clients, horizon=30.0, seed=42)
+    arrivals = [r.arrival for r in requests]
+    assert arrivals == sorted(arrivals)
+    assert [r.request_id for r in requests] == list(range(len(requests)))
+    assert {r.client_id for r in requests} == {"a", "b", "c"}
+    assert all(r.deadline == 5.0 for r in requests if r.client_id == "b")
+    # bit-identical regeneration under the same seed
+    again = generate_requests(clients, horizon=30.0, seed=42)
+    assert requests == again
+
+
+def test_generate_requests_client_independence():
+    """Adding a client must not perturb the other clients' arrivals."""
+    base = [ClientSpec(name="a", rate=2.0), ClientSpec(name="b", rate=1.0)]
+    extended = base + [ClientSpec(name="z", rate=3.0)]
+    of = lambda reqs, name: [r.arrival for r in reqs if r.client_id == name]  # noqa: E731
+    small = generate_requests(base, horizon=20.0, seed=9)
+    large = generate_requests(extended, horizon=20.0, seed=9)
+    assert of(small, "a") == of(large, "a")
+    assert of(small, "b") == of(large, "b")
+
+
+def test_generate_requests_rejects_duplicates_and_empty():
+    with pytest.raises(ValueError, match="unique"):
+        generate_requests(
+            [ClientSpec(name="a"), ClientSpec(name="a")], horizon=1.0, seed=0
+        )
+    with pytest.raises(ValueError, match="at least one client"):
+        generate_requests([], horizon=1.0, seed=0)
+
+
+def test_spawned_streams_accept_generator_seed():
+    rng = np.random.default_rng(1)
+    times = poisson_arrivals(1.0, 10.0, rng=rng)
+    assert times  # consumed from the provided generator

@@ -194,3 +194,53 @@ def test_pipeline_utilization_consistency(alexnet_table):
     total = result.mobile.utilization(horizon) + result.uplink.utilization(horizon)
     # a balanced JPS pipeline keeps both resources mostly busy
     assert total > 1.0
+
+
+# ----------------------------------------------------------------------
+# FIFO fairness under simultaneous acquires — the serving gateway's
+# dispatch correctness rests on same-timestamp events serving in
+# schedule order
+# ----------------------------------------------------------------------
+
+def test_resource_fifo_under_simultaneous_acquires():
+    """Acquires issued by events at the same instant serve in event order."""
+    engine = Engine()
+    res = Resource(engine, "cpu")
+    order = []
+    for tag, duration in (("a", 3.0), ("b", 1.0), ("c", 2.0)):
+        engine.schedule(
+            1.0,
+            lambda t=tag, d=duration: res.acquire(
+                t, d, lambda s, e, t=t: order.append((t, s, e))
+            ),
+        )
+    engine.run()
+    assert [t for t, _, _ in order] == ["a", "b", "c"]
+    assert [label.label for label in res.busy_log] == ["a", "b", "c"]
+    # strict back-to-back service, no overlap and no idle gaps
+    assert order == [("a", 1.0, 4.0), ("b", 4.0, 5.0), ("c", 5.0, 7.0)]
+
+
+def test_resource_fifo_fairness_across_waves():
+    """Later same-time waves queue strictly behind earlier ones."""
+    engine = Engine()
+    res = Resource(engine, "link")
+    served = []
+    def grab(tag):
+        return lambda: res.acquire(tag, 1.0, lambda s, e, t=tag: served.append(t))
+    for wave, tags in ((0.0, ("w0-a", "w0-b")), (1.0, ("w1-a", "w1-b"))):
+        for tag in tags:
+            engine.schedule(wave, grab(tag))
+    engine.run()
+    assert served == ["w0-a", "w0-b", "w1-a", "w1-b"]
+
+
+def test_resource_fifo_with_zero_durations_keeps_order():
+    """Zero-length holds (LO comm stages) must not let later work overtake."""
+    engine = Engine()
+    res = Resource(engine, "cpu")
+    served = []
+    for tag, duration in (("long", 2.0), ("zero1", 0.0), ("zero2", 0.0)):
+        res.acquire(tag, duration, lambda s, e, t=tag: served.append(t))
+    engine.run()
+    assert served == ["long", "zero1", "zero2"]

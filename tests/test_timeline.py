@@ -144,3 +144,82 @@ def test_transfer_bytes_at(alexnet_table):
     assert alexnet_table.transfer_bytes_at(0) == pytest.approx(3 * 224 * 224 * 4)
     with pytest.raises(IndexError):
         alexnet_table.transfer_bytes_at(alexnet_table.k)
+
+
+# ----------------------------------------------------------------------
+# split consistency: the closed-form segment walk is self-consistent
+# ----------------------------------------------------------------------
+
+def _delivered_bits(tl: BandwidthTimeline, start: float, end: float) -> float:
+    """∫ b(t) dt over [start, end], computed independently of transfer_end."""
+    total = 0.0
+    boundaries = list(tl.times) + [float("inf")]
+    for i, rate in enumerate(tl.rates_bps):
+        lo = max(start, boundaries[i])
+        hi = min(end, boundaries[i + 1])
+        if hi > lo:
+            total += rate * (hi - lo)
+    return total
+
+
+@st.composite
+def random_timelines(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.05, max_value=5.0), min_size=n - 1, max_size=n - 1
+        )
+    )
+    times = [0.0]
+    for gap in gaps:
+        times.append(times[-1] + gap)
+    rates = draw(
+        st.lists(
+            st.floats(min_value=1e5, max_value=1e8), min_size=n, max_size=n
+        )
+    )
+    return BandwidthTimeline(times=tuple(times), rates_bps=tuple(rates))
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    tl=random_timelines(),
+    payload=st.floats(min_value=1.0, max_value=5e7),
+    start=st.floats(min_value=0.0, max_value=10.0),
+    fraction=st.floats(min_value=0.05, max_value=0.95),
+)
+def test_transfer_split_at_any_interior_point_is_consistent(
+    tl, payload, start, fraction
+):
+    """transfer(B from t0) == transfer(remainder from t_mid) for any t_mid.
+
+    This is the property the adaptive estimator leans on: a transfer
+    interrupted and resumed at any interior instant finishes at the same
+    time as the uninterrupted one, so per-transfer observations compose.
+    """
+    end = tl.transfer_end(start, payload)
+    assert end > start
+    t_mid = start + fraction * (end - start)
+    delivered = _delivered_bits(tl, start, t_mid)
+    total_bits = payload * 8.0
+    remaining_bytes = (total_bits - delivered) / 8.0
+    assert remaining_bytes > 0
+    resumed = tl.transfer_end(t_mid, remaining_bytes)
+    assert resumed == pytest.approx(end, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    tl=random_timelines(),
+    payload=st.floats(min_value=1.0, max_value=5e7),
+    start=st.floats(min_value=0.0, max_value=10.0),
+)
+def test_transfer_end_consistent_with_delivered_bits(tl, payload, start):
+    """At the reported end, the integral of b(t) equals the payload.
+
+    Tolerance is loose in absolute terms: reconstructing a sub-µs
+    transfer duration from two O(10 s) timestamps cancels ~10 digits.
+    """
+    end = tl.transfer_end(start, payload)
+    delivered = _delivered_bits(tl, start, end)
+    assert delivered == pytest.approx(payload * 8.0, rel=1e-6, abs=1e-4)
