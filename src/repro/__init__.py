@@ -27,7 +27,9 @@ models and estimators), ``repro.net`` (bandwidth/channel models),
 pipeline), ``repro.runtime`` (system prototype), ``repro.experiments``
 (per-figure harnesses + parallel campaign runner), ``repro.extensions``
 (beyond-the-paper features), ``repro.serving`` (multi-client offload
-gateway with adaptive re-planning and metrics).
+gateway with adaptive re-planning and metrics), ``repro.obs`` (unified
+tracing & telemetry: spans, Chrome-trace export, Prometheus
+exposition — see ``docs/observability.md``).
 """
 
 __version__ = "1.1.0"
@@ -70,6 +72,20 @@ _API_EXPORTS = frozenset(
         "default_scenario",
         "run_scenario",
         "BandwidthTimeline",
+        # observability (repro.obs)
+        "Tracer",
+        "NullTracer",
+        "Span",
+        "InstantEvent",
+        "well_formed",
+        "chrome_trace_events",
+        "write_chrome_trace",
+        "validate_chrome_events",
+        "to_prometheus",
+        "exposition_from_snapshot",
+        "parse_prometheus",
+        "pipeline_spans",
+        "write_pipeline_trace",
     }
 )
 

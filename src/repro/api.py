@@ -41,6 +41,19 @@ from repro.net.channel import Channel
 from repro.net.timeline import BandwidthTimeline
 from repro.nn.network import Network
 from repro.nn.zoo import MODELS, get_model
+from repro.obs import (
+    InstantEvent,
+    NullTracer,
+    Span,
+    Tracer,
+    chrome_trace_events,
+    exposition_from_snapshot,
+    parse_prometheus,
+    to_prometheus,
+    validate_chrome_events,
+    well_formed,
+    write_chrome_trace,
+)
 from repro.profiling.device import DeviceModel, gtx1080_server, raspberry_pi_4
 from repro.serving import (
     AdaptiveChannelEstimator,
@@ -52,6 +65,7 @@ from repro.serving import (
     default_scenario,
     run_scenario,
 )
+from repro.sim.trace import pipeline_spans, write_pipeline_trace
 from repro.utils.units import mbps
 
 __all__ = [
@@ -77,6 +91,20 @@ __all__ = [
     "default_scenario",
     "run_scenario",
     "BandwidthTimeline",
+    # observability (repro.obs)
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "InstantEvent",
+    "well_formed",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "validate_chrome_events",
+    "to_prometheus",
+    "exposition_from_snapshot",
+    "parse_prometheus",
+    "pipeline_spans",
+    "write_pipeline_trace",
     "Schedule",
     "JobPlan",
     "Structure",

@@ -20,6 +20,10 @@ dot MODEL [--mbps X]           Graphviz DOT with the JPS cut highlighted
 energy MODEL [--radio R]       energy-latency Pareto frontier
 campaign OUT [--quick] [--compare OLD] [--tolerance T] [--jobs J]
                                run every experiment, save JSON, diff runs
+trace TARGET [--out PATH] [--prom PATH] [--seed K]
+                               run a target (serving | experiment) under the
+                               tracer; export a Perfetto-loadable Chrome trace
+                               and optionally a Prometheus exposition
 """
 
 from __future__ import annotations
@@ -142,6 +146,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="worker processes for the planning grids (default: serial)",
     )
+
+    p = sub.add_parser(
+        "trace", help="run a target under the tracer, export Chrome trace JSON"
+    )
+    p.add_argument(
+        "target",
+        choices=["serving", "experiment"],
+        help="serving: the default gateway scenario; experiment: a scheme grid",
+    )
+    p.add_argument(
+        "--out", default="trace.json",
+        help="Chrome trace-event JSON path (load in ui.perfetto.dev)",
+    )
+    p.add_argument(
+        "--prom", metavar="PATH", default=None,
+        help="also write the Prometheus exposition ('-' for stdout; serving only)",
+    )
+    p.add_argument("--seed", type=int, default=None, help="workload seed (serving)")
     return parser
 
 
@@ -344,6 +366,43 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"  {problem}")
                 return 1
             print(f"no regressions vs {args.compare} (tolerance {args.tolerance:g})")
+        return 0
+
+    if args.command == "trace":
+        import dataclasses
+        from pathlib import Path
+
+        from repro.obs import Tracer, exposition_from_snapshot, write_chrome_trace
+
+        tracer = Tracer()
+        exposition = None
+        if args.target == "serving":
+            from repro.serving import default_scenario, run_scenario
+
+            config = default_scenario()
+            if args.seed is not None:
+                config = dataclasses.replace(config, seed=args.seed)
+            report = run_scenario(config, tracer=tracer)
+            # first scheme's report: gateway counters + engine cache gauges
+            exposition = exposition_from_snapshot(
+                report["schemes"][config.schemes[0]]
+            )
+        else:
+            if args.prom:
+                print("--prom requires the serving target", file=sys.stderr)
+                return 2
+            env.tracer = tracer
+            env.scheme_grid(["alexnet", "googlenet"], 10.0, 20)
+        path = write_chrome_trace(args.out, tracer.spans, tracer.instants)
+        print(
+            f"{len(tracer.spans)} spans, {len(tracer.instants)} instant events "
+            f"-> {path} (load in ui.perfetto.dev)"
+        )
+        if args.prom == "-":
+            print(exposition, end="")
+        elif args.prom:
+            Path(args.prom).write_text(exposition)
+            print(f"prometheus exposition written to {args.prom}")
         return 0
 
     if args.command == "experiment":

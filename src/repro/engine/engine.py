@@ -50,6 +50,8 @@ from repro.net.bandwidth import TrafficShaper
 from repro.net.channel import Channel
 from repro.nn.network import Network
 from repro.nn.zoo import get_model
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NullTracer, Tracer
 from repro.profiling.device import DeviceModel, gtx1080_server, raspberry_pi_4
 from repro.profiling.latency import (
     CostTable,
@@ -102,11 +104,18 @@ class PlanningEngine:
     ``max_entries`` bounds each per-channel LRU; the bandwidth-
     independent structure caches are bounded by the same limit but in
     practice hold one entry per distinct model.
+
+    ``tracer`` defaults to the no-op :class:`~repro.obs.tracer.NullTracer`,
+    so uninstrumented callers pay only one call per ``plan()``. Pass a
+    live :class:`~repro.obs.tracer.Tracer` to record one span per plan
+    and one per structure/table build — cache hits show up as plan
+    spans *without* a nested build span.
     """
 
     mobile: DeviceModel = field(default_factory=raspberry_pi_4)
     cloud: DeviceModel = field(default_factory=gtx1080_server)
     max_entries: int = 128
+    tracer: Tracer | NullTracer = field(default_factory=NullTracer)
 
     def __post_init__(self) -> None:
         self._networks: dict[str, Network] = {}
@@ -158,6 +167,22 @@ class PlanningEngine:
             self._is_line[key] = clustered.is_line()
         return Structure.LINE if self._is_line[key] else Structure.FRONTIER
 
+    def _traced(self, kind: str, model: str, build):
+        """Wrap a cache build closure in an ``engine/build`` span.
+
+        The span only appears on cache *misses* — a warm ``plan()``
+        shows a plan span with no nested build, which is the cache
+        working as intended.
+        """
+
+        def wrapped():
+            with self.tracer.span(
+                "engine/build", lane=("engine", "builds"), kind=kind, model=model
+            ):
+                return build()
+
+        return wrapped
+
     # ------------------------------------------------------------------
     # memoized structure builders
     # ------------------------------------------------------------------
@@ -185,7 +210,9 @@ class PlanningEngine:
                 volumes=np.asarray(volumes),
             )
 
-        return self._lines.get_or_build(key, build)
+        return self._lines.get_or_build(
+            key, self._traced("line_structure", network.name, build)
+        )
 
     def _frontier_structure(
         self, network: Network, predictor: LayerPredictor | None, predictor_key
@@ -212,7 +239,9 @@ class PlanningEngine:
                 num_nodes=len(network.graph),
             )
 
-        return self._frontiers.get_or_build(key, build)
+        return self._frontiers.get_or_build(
+            key, self._traced("frontier_structure", network.name, build)
+        )
 
     # ------------------------------------------------------------------
     # per-channel tables
@@ -244,7 +273,9 @@ class PlanningEngine:
                 graph=structure.graph,
             )
 
-        return self._tables.get_or_build(key, build)
+        return self._tables.get_or_build(
+            key, self._traced("line_table", network.name, build)
+        )
 
     def frontier_table(
         self,
@@ -289,7 +320,9 @@ class PlanningEngine:
             )
             return FrontierTable(table=table, cuts=structure.cuts)
 
-        return self._frontier_tables.get_or_build(key, build)
+        return self._frontier_tables.get_or_build(
+            key, self._traced("frontier_table", network.name, build)
+        )
 
     def cost_table(
         self,
@@ -328,8 +361,12 @@ class PlanningEngine:
         )
         return self._alg3.get_or_build(
             key,
-            lambda: alg3_partition(
-                network, self.mobile, self.cloud, channel, predictor
+            self._traced(
+                "alg3_plans",
+                network.name,
+                lambda: alg3_partition(
+                    network, self.mobile, self.cloud, channel, predictor
+                ),
             ),
         )
 
@@ -351,6 +388,28 @@ class PlanningEngine:
         ``compare()`` sweep reuses one structure build across schemes.
         """
         network = self.resolve(model)
+        with self.tracer.span(
+            "engine/plan",
+            lane=("engine", "plans"),
+            model=network.name,
+            n=n,
+            scheme=scheme,
+        ):
+            return self._plan(
+                network, n, channel, scheme, structure, split, predictor, predictor_key
+            )
+
+    def _plan(
+        self,
+        network: Network,
+        n: int,
+        channel: Channel,
+        scheme: str,
+        structure: str | Structure,
+        split: str | SplitMode,
+        predictor: LayerPredictor | None,
+        predictor_key,
+    ) -> Schedule:
         if scheme in BASELINES:
             table = self.cost_table(
                 network, channel, Structure.AUTO, predictor, predictor_key
@@ -434,6 +493,25 @@ class PlanningEngine:
         lookups = totals["hits"] + totals["misses"]
         totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
         return {"layers": layers, "totals": totals}
+
+    def to_metrics(self, registry: MetricsRegistry) -> MetricsRegistry:
+        """Publish the cache statistics as gauges on ``registry``.
+
+        Totals land on ``engine_cache_<stat>`` gauges and each layer on
+        ``engine_cache_<stat>{layer="..."}``, so one Prometheus
+        exposition shows planner cache health next to the serving
+        counters. Gauges are *set*, not incremented — calling this
+        again after more planning overwrites with fresh values.
+        """
+        snapshot = self.stats_snapshot()
+        for stat, value in snapshot["totals"].items():
+            registry.gauge(f"engine_cache_{stat}").set(value)
+        for layer, stats in snapshot["layers"].items():
+            for stat, value in stats.items():
+                if stat == "hit_rate":
+                    continue
+                registry.gauge(f"engine_cache_{stat}", layer=layer).set(value)
+        return registry
 
     def clear(self) -> None:
         """Drop all memoized state (statistics keep accumulating)."""

@@ -48,27 +48,37 @@ def run_campaign(
         "quick": quick,
         "n_jobs": n,
     }
-    document["fig4"] = [asdict(row) for row in fig4.run(env)]
-    document["fig11"] = [asdict(row) for row in fig11.run(env, job_counts=fig11_counts)]
-    document["fig12"] = [asdict(cell) for cell in fig12.run(env, n=n, jobs=jobs)]
-    document["table1"] = [asdict(row) for row in table1.run(env, n=n, jobs=jobs)]
-    document["fig13"] = [
-        {
-            "model": curve.model,
-            "bandwidths_mbps": list(curve.bandwidths_mbps),
-            "latency_s": {k: list(v) for k, v in curve.latency_s.items()},
-        }
-        for curve in fig13.run(env, bandwidths_mbps=fig13_bws, n=n, jobs=jobs)
-    ]
-    document["fig14"] = [
-        {
-            "model": curve.model,
-            "ratios": list(curve.ratios),
-            "makespan_s": {k: list(v) for k, v in curve.makespan_s.items()},
-            "optimal_ratio": dict(curve.optimal_ratio),
-        }
-        for curve in fig14.run(env, n=n)
-    ]
+    # one phase span per figure/table; env.tracer also records a span
+    # per (model, bandwidth, scheme) cell inside each phase
+    with env.tracer.span("campaign/fig4", lane=("campaign", "phases")):
+        document["fig4"] = [asdict(row) for row in fig4.run(env)]
+    with env.tracer.span("campaign/fig11", lane=("campaign", "phases")):
+        document["fig11"] = [
+            asdict(row) for row in fig11.run(env, job_counts=fig11_counts)
+        ]
+    with env.tracer.span("campaign/fig12", lane=("campaign", "phases")):
+        document["fig12"] = [asdict(cell) for cell in fig12.run(env, n=n, jobs=jobs)]
+    with env.tracer.span("campaign/table1", lane=("campaign", "phases")):
+        document["table1"] = [asdict(row) for row in table1.run(env, n=n, jobs=jobs)]
+    with env.tracer.span("campaign/fig13", lane=("campaign", "phases")):
+        document["fig13"] = [
+            {
+                "model": curve.model,
+                "bandwidths_mbps": list(curve.bandwidths_mbps),
+                "latency_s": {k: list(v) for k, v in curve.latency_s.items()},
+            }
+            for curve in fig13.run(env, bandwidths_mbps=fig13_bws, n=n, jobs=jobs)
+        ]
+    with env.tracer.span("campaign/fig14", lane=("campaign", "phases")):
+        document["fig14"] = [
+            {
+                "model": curve.model,
+                "ratios": list(curve.ratios),
+                "makespan_s": {k: list(v) for k, v in curve.makespan_s.items()},
+                "optimal_ratio": dict(curve.optimal_ratio),
+            }
+            for curve in fig14.run(env, n=n)
+        ]
     return document
 
 

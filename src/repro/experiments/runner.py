@@ -24,6 +24,7 @@ from repro.net.bandwidth import BandwidthPreset, TrafficShaper
 from repro.net.channel import Channel
 from repro.nn.network import Network
 from repro.nn.zoo import get_model
+from repro.obs.tracer import NullTracer, Tracer
 from repro.profiling.device import DeviceModel, gtx1080_server, raspberry_pi_4
 from repro.profiling.latency import CostTable, cut_costs, line_cost_table
 from repro.utils.units import mbps
@@ -55,6 +56,7 @@ class ExperimentEnv:
     mobile: DeviceModel = field(default_factory=raspberry_pi_4)
     cloud: DeviceModel = field(default_factory=gtx1080_server)
     seed: int = 0
+    tracer: Tracer | NullTracer = field(default_factory=NullTracer)
 
     def __post_init__(self) -> None:
         self._networks: dict[str, Network] = {}
@@ -138,6 +140,19 @@ class ExperimentEnv:
         self, name: str, bandwidth: BandwidthPreset | float, n: int, scheme: str
     ) -> Schedule:
         """One (model, bandwidth, scheme) cell."""
+        with self.tracer.span(
+            "experiment/cell",
+            lane=("experiments", scheme),
+            model=name,
+            bandwidth=str(bandwidth),
+            n=n,
+            scheme=scheme,
+        ):
+            return self._run_scheme(name, bandwidth, n, scheme)
+
+    def _run_scheme(
+        self, name: str, bandwidth: BandwidthPreset | float, n: int, scheme: str
+    ) -> Schedule:
         table = self.cost_table(name, bandwidth)
         if scheme == "LO":
             return local_only(table, n)

@@ -1,0 +1,62 @@
+"""repro.obs — the unified tracing & telemetry layer.
+
+One dependency-free substrate every layer instruments against:
+
+* :mod:`~repro.obs.tracer` — nested spans with attributes and explicit
+  context propagation (:class:`Tracer`), plus a near-zero-cost
+  :class:`NullTracer` for disabled hot paths;
+* :mod:`~repro.obs.metrics` — monotone :class:`Counter`\\ s (optionally
+  labeled), :class:`Gauge`\\ s, DDSketch-style
+  :class:`StreamingHistogram`\\ s with mergeable buckets, all behind a
+  :class:`MetricsRegistry` snapshot;
+* :mod:`~repro.obs.chrome` — spans → Chrome trace-event JSON, loadable
+  in Perfetto / ``chrome://tracing`` (``repro trace <target>``);
+* :mod:`~repro.obs.prometheus` — registry snapshot → Prometheus text
+  exposition (plus a scraper for round-trip tests).
+
+Instrumentation sites: :class:`~repro.engine.PlanningEngine` (plan and
+structure/table-build spans, cache gauges via ``to_metrics``),
+:mod:`repro.sim` (per-job per-stage spans derived from pipeline
+traces; see :func:`repro.sim.trace.pipeline_spans`), the serving
+:class:`~repro.serving.gateway.Gateway` (request lifecycle spans and
+re-plan instant events), and the experiment harnesses (one span per
+figure/campaign cell). See ``docs/observability.md``.
+"""
+
+from repro.obs.chrome import (
+    chrome_trace_events,
+    validate_chrome_events,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    SNAPSHOT_QUANTILES,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StreamingHistogram,
+)
+from repro.obs.prometheus import (
+    exposition_from_snapshot,
+    parse_prometheus,
+    to_prometheus,
+)
+from repro.obs.tracer import InstantEvent, NullTracer, Span, Tracer, well_formed
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "InstantEvent",
+    "well_formed",
+    "Counter",
+    "Gauge",
+    "StreamingHistogram",
+    "MetricsRegistry",
+    "SNAPSHOT_QUANTILES",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "validate_chrome_events",
+    "to_prometheus",
+    "exposition_from_snapshot",
+    "parse_prometheus",
+]

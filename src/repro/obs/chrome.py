@@ -1,0 +1,159 @@
+"""Chrome trace-event export: spans → a Perfetto-loadable JSON array.
+
+The *Trace Event Format* (the JSON array variant consumed by
+``chrome://tracing`` and https://ui.perfetto.dev) models a trace as a
+flat list of events; ``"X"`` (complete) events carry ``ts``/``dur`` in
+**microseconds** and are grouped into rows by integer ``pid``/``tid``.
+We map a span's ``lane`` — a ``(process, track)`` label pair — onto
+those ids and emit ``"M"`` (metadata) events naming them, so a pipeline
+trace opens with one process group per job and one track per stage
+(mobile compute / uplink / cloud), i.e. the paper's Fig. 5 staircase.
+
+:func:`validate_chrome_events` is the schema check the CI workflow runs
+against the exported artifact: an array of objects, every event with
+``ph``/``ts``/``pid``/``tid``, complete events with a non-negative
+``dur``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.obs.tracer import DEFAULT_LANE, InstantEvent, Span
+
+__all__ = ["chrome_trace_events", "write_chrome_trace", "validate_chrome_events"]
+
+#: Trace-event timestamps are microseconds; spans carry seconds.
+MICROSECONDS = 1e6
+
+#: Event phases the validator accepts (the subset we emit).
+KNOWN_PHASES = ("X", "i", "I", "M", "B", "E")
+
+
+class _LaneTable:
+    """First-seen-order assignment of (process, track) labels to ids."""
+
+    def __init__(self) -> None:
+        self._pids: dict[str, int] = {}
+        self._tids: dict[tuple[str, str], int] = {}
+        self._tracks_per_pid: dict[str, int] = {}
+        self.metadata: list[dict] = []
+
+    def ids(self, lane: tuple[str, str] | None) -> tuple[int, int]:
+        process, track = lane or DEFAULT_LANE
+        if process not in self._pids:
+            self._pids[process] = len(self._pids) + 1
+            self.metadata.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": self._pids[process],
+                    "tid": 0,
+                    "ts": 0,
+                    "args": {"name": process},
+                }
+            )
+        pid = self._pids[process]
+        key = (process, track)
+        if key not in self._tids:
+            self._tracks_per_pid[process] = self._tracks_per_pid.get(process, 0) + 1
+            self._tids[key] = self._tracks_per_pid[process]
+            self.metadata.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": self._tids[key],
+                    "ts": 0,
+                    "args": {"name": track},
+                }
+            )
+        return pid, self._tids[key]
+
+
+def chrome_trace_events(
+    spans: Iterable[Span], instants: Iterable[InstantEvent] = ()
+) -> list[dict]:
+    """Finished spans + instant events as a Chrome trace-event array.
+
+    Spans still open (``end is None``) are skipped — export after the
+    run, or close them first. The returned list is JSON-ready: metadata
+    events first, then timeline events in timestamp order.
+    """
+    lanes = _LaneTable()
+    events: list[dict] = []
+    for span in spans:
+        if span.end is None:
+            continue
+        pid, tid = lanes.ids(span.lane)
+        event = {
+            "ph": "X",
+            "name": span.name,
+            "cat": "span",
+            "ts": span.start * MICROSECONDS,
+            "dur": (span.end - span.start) * MICROSECONDS,
+            "pid": pid,
+            "tid": tid,
+        }
+        if span.attributes:
+            event["args"] = dict(span.attributes)
+        events.append(event)
+    for instant in instants:
+        pid, tid = lanes.ids(instant.lane)
+        event = {
+            "ph": "i",
+            "name": instant.name,
+            "cat": "event",
+            "ts": instant.timestamp * MICROSECONDS,
+            "pid": pid,
+            "tid": tid,
+            "s": "t",                 # thread-scoped marker
+        }
+        if instant.attributes:
+            event["args"] = dict(instant.attributes)
+        events.append(event)
+    events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))
+    return lanes.metadata + events
+
+
+def write_chrome_trace(
+    path: str | Path,
+    spans: Iterable[Span],
+    instants: Iterable[InstantEvent] = (),
+) -> Path:
+    """Export to ``path`` as the JSON-array trace format; returns the path."""
+    target = Path(path)
+    events = chrome_trace_events(spans, instants)
+    validate_chrome_events(events)
+    target.write_text(json.dumps(events, indent=1) + "\n")
+    return target
+
+
+def validate_chrome_events(events: Sequence[dict]) -> int:
+    """Check ``events`` against the trace-event schema; returns the count.
+
+    Raises :class:`ValueError` on the first violation — this is the
+    gate CI runs on the exported ``trace.json`` artifact.
+    """
+    if not isinstance(events, (list, tuple)):
+        raise ValueError(f"trace must be an array of events, got {type(events).__name__}")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {index} is not an object")
+        for key in ("ph", "ts", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"event {index} ({event.get('name')!r}) misses {key!r}")
+        if event["ph"] not in KNOWN_PHASES:
+            raise ValueError(f"event {index} has unknown phase {event['ph']!r}")
+        if not isinstance(event["ts"], (int, float)):
+            raise ValueError(f"event {index}: ts must be a number")
+        if event["ph"] == "X":
+            if "dur" not in event or not isinstance(event["dur"], (int, float)):
+                raise ValueError(f"event {index}: complete event without numeric dur")
+            if event["dur"] < 0:
+                raise ValueError(f"event {index}: negative duration {event['dur']}")
+        if event["ph"] != "M" and not isinstance(event.get("name"), str):
+            raise ValueError(f"event {index}: missing name")
+    return len(events)

@@ -1,0 +1,125 @@
+"""Prometheus text exposition of a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Renders the registry snapshot in the Prometheus *text exposition
+format* (version 0.0.4: ``# TYPE`` comments plus ``name{labels} value``
+sample lines), which any scraper — or the bundled
+:func:`parse_prometheus` — can read back.
+
+Naming conventions (see ``docs/observability.md``):
+
+* every family is prefixed with a namespace (default ``repro``) and
+  sanitized to ``[a-zA-Z_:][a-zA-Z0-9_:]*``;
+* counters follow the ``_total`` suffix convention
+  (``repro_served_total``);
+* gauges are emitted verbatim (``repro_engine_cache_hits``);
+* streaming histograms are exposed as *summaries*: one
+  ``{quantile="0.5|0.95|0.99"}`` sample per snapshot quantile plus
+  ``_sum`` and ``_count`` — the exact shape Prometheus expects from a
+  client-side quantile sketch.
+
+The exposition can also be built from an already-snapshotted dict
+(:func:`exposition_from_snapshot`), so a saved gateway JSON report
+re-exposes without the live registry.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+from repro.obs.metrics import SNAPSHOT_QUANTILES, MetricsRegistry
+
+__all__ = ["to_prometheus", "exposition_from_snapshot", "parse_prometheus"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Sample-line shape: name, optional {labels}, value.
+_SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+
+
+def _sanitize(name: str) -> str:
+    cleaned = _NAME_OK.sub("_", name)
+    if cleaned[:1].isdigit():
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _split_key(key: str) -> tuple[str, str]:
+    """A snapshot key into (bare name, label suffix incl. braces)."""
+    if "{" in key:
+        name, _, rest = key.partition("{")
+        return name, "{" + rest
+    return key, ""
+
+
+def _format(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def exposition_from_snapshot(
+    snapshot: Mapping[str, Mapping], namespace: str = "repro"
+) -> str:
+    """Render a registry snapshot (or any dict shaped like one).
+
+    Reads the ``counters`` / ``gauges`` / ``histograms`` keys and
+    ignores everything else, so a full gateway report dict works as
+    input directly.
+    """
+    lines: list[str] = []
+    for kind, suffix, prom_type in (
+        ("counters", "_total", "counter"),
+        ("gauges", "", "gauge"),
+    ):
+        families: dict[str, list[str]] = {}
+        for key in sorted(snapshot.get(kind, {})):
+            name, labels = _split_key(key)
+            family = f"{namespace}_{_sanitize(name)}{suffix}"
+            families.setdefault(family, []).append(
+                f"{family}{labels} {_format(snapshot[kind][key])}"
+            )
+        for family in sorted(families):
+            lines.append(f"# TYPE {family} {prom_type}")
+            lines.extend(families[family])
+    for key in sorted(snapshot.get("histograms", {})):
+        family = f"{namespace}_{_sanitize(key)}"
+        summary = snapshot["histograms"][key]
+        lines.append(f"# TYPE {family} summary")
+        for q in SNAPSHOT_QUANTILES:
+            sample = summary[f"p{round(q * 100):02d}"]
+            lines.append(f'{family}{{quantile="{q:g}"}} {_format(sample)}')
+        lines.append(f"{family}_sum {_format(summary['sum'])}")
+        lines.append(f"{family}_count {_format(summary['count'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def to_prometheus(registry: MetricsRegistry, namespace: str = "repro") -> str:
+    """The live registry's exposition (snapshot + render)."""
+    return exposition_from_snapshot(registry.snapshot(), namespace=namespace)
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Scrape an exposition back into ``{sample_key: value}``.
+
+    The sample key is the line's name plus its literal label part
+    (``repro_latency{quantile="0.95"}``), which makes round-trip tests
+    a dict comparison. ``# TYPE``/``# HELP`` comments and blank lines
+    are skipped; malformed sample lines raise :class:`ValueError`.
+    """
+    samples: dict[str, float] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: not a prometheus sample: {raw!r}")
+        name, labels, value = match.groups()
+        key = f"{name}{labels or ''}"
+        if key in samples:
+            raise ValueError(f"line {lineno}: duplicate sample {key!r}")
+        samples[key] = float(value.replace("+Inf", "inf").replace("-Inf", "-inf"))
+    return samples

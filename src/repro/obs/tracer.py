@@ -1,0 +1,325 @@
+"""Spans and instant events: the tracing half of :mod:`repro.obs`.
+
+A :class:`Tracer` collects *spans* — named, attributed ``[start, end]``
+intervals — and *instant events* (zero-duration markers such as a
+gateway re-plan). Two usage modes coexist:
+
+* **live timing** — ``with tracer.span("engine.plan", model="alexnet"):``
+  stamps wall-clock times from a monotonic clock (normalized so the
+  first reading of a tracer is ~0). Nesting is tracked through a
+  contextvar, so the parent of a new span defaults to the innermost
+  open one; passing ``parent=`` overrides it (explicit context
+  propagation — no thread-locals required).
+* **retro-recording** — ``tracer.record(name, start, end)`` appends a
+  completed span with caller-supplied timestamps. This is how the
+  discrete-event simulator and the serving gateway trace *virtual*
+  time: stage windows are known exactly when a stage finishes, so they
+  are recorded after the fact instead of timed.
+
+Every span may carry a ``lane`` — a ``(process, track)`` label pair the
+Chrome exporter (:mod:`repro.obs.chrome`) maps onto pid/tid rows, which
+is what makes a pipeline trace render as the paper's Fig. 5-style
+staircase in Perfetto.
+
+:class:`NullTracer` is the disabled counterpart: same surface, no
+recording, a shared no-op context manager — instrumented hot paths pay
+roughly one attribute lookup and one call per span
+(``benchmarks/bench_obs_overhead.py`` keeps that under 2% on a real
+workload).
+"""
+
+from __future__ import annotations
+
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["Span", "InstantEvent", "Tracer", "NullTracer", "well_formed"]
+
+#: Lane used when a span/event does not name one.
+DEFAULT_LANE = ("repro", "main")
+
+
+@dataclass
+class Span:
+    """One named interval with attributes and an optional parent."""
+
+    name: str
+    start: float
+    end: float | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+    span_id: int = 0
+    parent_id: int | None = None
+    lane: tuple[str, str] | None = None       # (process, track) for exporters
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class InstantEvent:
+    """A zero-duration marker (e.g. a re-plan decision)."""
+
+    name: str
+    timestamp: float
+    attributes: dict[str, Any] = field(default_factory=dict)
+    lane: tuple[str, str] | None = None
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: Tracer, span: Span):
+        self._tracer = tracer
+        self._span = span
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = self._tracer._current.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._current.reset(self._token)
+        self._tracer.end_span(self._span)
+        return False
+
+
+class Tracer:
+    """Collects spans and instant events; see the module docstring.
+
+    ``clock`` is any zero-argument callable returning seconds; the
+    default is ``time.perf_counter`` rebased so the tracer's first
+    possible reading is 0 — that keeps wall-clocked spans on the same
+    scale as virtual-time spans recorded from a simulation start.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        if clock is None:
+            t0 = time.perf_counter()
+            clock = lambda: time.perf_counter() - t0  # noqa: E731
+        self._clock = clock
+        self._next_id = 0
+        self._open: dict[int, Span] = {}
+        self.spans: list[Span] = []
+        self.instants: list[InstantEvent] = []
+        self._current: ContextVar[Span | None] = ContextVar("repro_obs_span", default=None)
+
+    # ------------------------------------------------------------------
+    # live spans
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span entered via :meth:`span`."""
+        return self._current.get()
+
+    def start_span(
+        self,
+        name: str,
+        *,
+        parent: Span | None = None,
+        lane: tuple[str, str] | None = None,
+        **attributes: Any,
+    ) -> Span:
+        """Open a span now; pair with :meth:`end_span`.
+
+        ``parent`` defaults to the current contextvar span, so spans
+        started inside a ``with tracer.span(...)`` block nest under it
+        even without explicit plumbing.
+        """
+        if parent is None:
+            parent = self._current.get()
+        span = Span(
+            name=name,
+            start=self._clock(),
+            attributes=attributes,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            lane=lane if lane is not None else (parent.lane if parent else None),
+        )
+        self._next_id += 1
+        self._open[span.span_id] = span
+        return span
+
+    def end_span(self, span: Span) -> Span:
+        """Close an open span at the current clock reading."""
+        if span.span_id not in self._open:
+            raise ValueError(f"span {span.name!r} is not open in this tracer")
+        del self._open[span.span_id]
+        span.end = max(self._clock(), span.start)
+        self.spans.append(span)
+        return span
+
+    def span(
+        self,
+        name: str,
+        *,
+        parent: Span | None = None,
+        lane: tuple[str, str] | None = None,
+        **attributes: Any,
+    ) -> _SpanContext:
+        """``with tracer.span("name", k=v) as s:`` — timed, nested span."""
+        return _SpanContext(
+            self, self.start_span(name, parent=parent, lane=lane, **attributes)
+        )
+
+    # ------------------------------------------------------------------
+    # retro-recorded (virtual-time) spans and markers
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        parent: Span | None = None,
+        lane: tuple[str, str] | None = None,
+        **attributes: Any,
+    ) -> Span:
+        """Append a completed span with explicit timestamps."""
+        if end < start:
+            raise ValueError(f"span {name!r}: end {end} before start {start}")
+        span = Span(
+            name=name,
+            start=start,
+            end=end,
+            attributes=attributes,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            lane=lane,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def instant(
+        self,
+        name: str,
+        *,
+        timestamp: float | None = None,
+        lane: tuple[str, str] | None = None,
+        **attributes: Any,
+    ) -> InstantEvent:
+        """Append an instant event (now, unless ``timestamp`` is given)."""
+        event = InstantEvent(
+            name=name,
+            timestamp=self._clock() if timestamp is None else timestamp,
+            attributes=attributes,
+            lane=lane,
+        )
+        self.instants.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def open_spans(self) -> int:
+        return len(self._open)
+
+    def chrome_trace(self) -> list[dict]:
+        """This tracer's finished spans/instants as Chrome trace events."""
+        from repro.obs.chrome import chrome_trace_events
+
+        return chrome_trace_events(self.spans, self.instants)
+
+
+class _NullSpanContext:
+    """Shared no-op ``with`` target for the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = Span(name="null", start=0.0, end=0.0, span_id=-1)
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """Disabled tracer: same surface as :class:`Tracer`, records nothing.
+
+    Every method returns a shared dummy object, so instrumentation sites
+    need no ``if tracer is not None`` guards and the disabled hot path
+    costs one method call per span.
+    """
+
+    enabled = False
+    spans: tuple[Span, ...] = ()
+    instants: tuple[InstantEvent, ...] = ()
+
+    @property
+    def current(self) -> Span | None:
+        return None
+
+    @property
+    def open_spans(self) -> int:
+        return 0
+
+    def span(self, name: str, **kwargs: Any) -> _NullSpanContext:
+        return _NULL_CONTEXT
+
+    def start_span(self, name: str, **kwargs: Any) -> Span:
+        return _NULL_SPAN
+
+    def end_span(self, span: Span) -> Span:
+        return span
+
+    def record(self, name: str, start: float, end: float, **kwargs: Any) -> Span:
+        return _NULL_SPAN
+
+    def instant(self, name: str, **kwargs: Any) -> None:
+        return None
+
+    def chrome_trace(self) -> list[dict]:
+        return []
+
+
+def _by_id(spans: Iterator[Span]) -> dict[int, Span]:
+    return {span.span_id: span for span in spans}
+
+
+def well_formed(spans: list[Span], tolerance: float = 1e-9) -> list[str]:
+    """Structural problems of a finished span set (empty list == OK).
+
+    Checks the invariants the exporters rely on: unique ids, closed
+    spans, non-negative durations, parents that exist and temporally
+    contain their children.
+    """
+    problems: list[str] = []
+    seen: set[int] = set()
+    for span in spans:
+        if span.span_id in seen:
+            problems.append(f"duplicate span id {span.span_id} ({span.name!r})")
+        seen.add(span.span_id)
+        if span.end is None:
+            problems.append(f"span {span.name!r} never closed")
+        elif span.end < span.start - tolerance:
+            problems.append(f"span {span.name!r} ends before it starts")
+    index = _by_id(iter(spans))
+    for span in spans:
+        if span.parent_id is None or span.end is None:
+            continue
+        parent = index.get(span.parent_id)
+        if parent is None:
+            problems.append(f"span {span.name!r} has unknown parent {span.parent_id}")
+            continue
+        if parent.end is None:
+            continue  # already reported above
+        if span.start < parent.start - tolerance or span.end > parent.end + tolerance:
+            problems.append(
+                f"span {span.name!r} [{span.start}, {span.end}] escapes parent "
+                f"{parent.name!r} [{parent.start}, {parent.end}]"
+            )
+    return problems

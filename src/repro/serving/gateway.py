@@ -31,6 +31,7 @@ from repro.core.scheduling import johnson_order
 from repro.engine import PlanningEngine
 from repro.extensions.online import OnlineJpsScheduler
 from repro.net.timeline import BandwidthTimeline
+from repro.obs.tracer import NullTracer, Tracer
 from repro.profiling.latency import CostTable
 from repro.serving.estimator import AdaptiveChannelEstimator
 from repro.serving.metrics import MetricsRegistry
@@ -65,6 +66,10 @@ class _Ticket:
     admitted_at: float
     started: float | None = None
     completed: float | None = None
+    # stage windows in virtual time, recorded as tracer spans at finish
+    compute_window: tuple[float, float] | None = None
+    comm_window: tuple[float, float] | None = None
+    cloud_window: tuple[float, float] | None = None
 
 
 @dataclass(frozen=True)
@@ -113,6 +118,7 @@ class Gateway:
         nominal_burst: int = 8,
         include_cloud: bool = True,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         if scheme not in GATEWAY_SCHEMES:
             raise ValueError(f"unknown scheme {scheme!r} (use one of {GATEWAY_SCHEMES})")
@@ -131,6 +137,7 @@ class Gateway:
         self.nominal_burst = nominal_burst
         self.include_cloud = include_cloud
         self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or NullTracer()
         self.replan_events: list[dict] = []
         self._models: dict[str, _ModelState] = {}
         self._queues: dict[str, deque[_Ticket]] = {}
@@ -187,6 +194,14 @@ class Gateway:
         for model, assigned in carried.items():
             self._models[model].assigned = assigned
         self.metrics.counter("replans").increment()
+        self.tracer.instant(
+            "gateway/replan",
+            timestamp=self._engine.now,
+            lane=("gateway", "events"),
+            old_bps=old_bps,
+            new_bps=new_bps,
+            drift=drift,
+        )
         self.replan_events.append(
             {
                 "time": self._engine.now,
@@ -209,6 +224,14 @@ class Gateway:
         if len(queue) >= self.max_queue_depth:
             self.metrics.counter("dropped").increment()
             self.metrics.counter("dropped_queue_full").increment()
+            self.tracer.instant(
+                "gateway/drop",
+                timestamp=self._engine.now,
+                lane=("gateway", "events"),
+                request_id=request.request_id,
+                client=request.client_id,
+                reason="queue_full",
+            )
             self._records.append(
                 ServedRecord(request.request_id, request.client_id, "rejected", None)
             )
@@ -259,6 +282,14 @@ class Gateway:
                     self._queues[ticket.request.client_id].popleft()
                     self.metrics.counter("dropped").increment()
                     self.metrics.counter("dropped_deadline").increment()
+                    self.tracer.instant(
+                        "gateway/drop",
+                        timestamp=now,
+                        lane=("gateway", "events"),
+                        request_id=ticket.request.request_id,
+                        client=ticket.request.client_id,
+                        reason="deadline",
+                    )
                     self._records.append(
                         ServedRecord(
                             ticket.request.request_id,
@@ -286,6 +317,7 @@ class Gateway:
             return self.timeline.transfer_end(start, ticket.payload_bytes) - start
 
         def after_compute(start: float, end: float) -> None:
+            ticket.compute_window = (start, end)
             # the CPU is free the instant the compute stage ends: hand it
             # to the Johnson-next request before this one queues uplink
             self._cpu_claimed = False
@@ -296,6 +328,7 @@ class Gateway:
                 enter_cloud()
 
         def after_comm(start: float, end: float) -> None:
+            ticket.comm_window = (start, end)
             self.estimator.observe(ticket.payload_bytes, end - start)
             if self.scheme == "JPS" and self.estimator.drifted():
                 self._replan()
@@ -310,6 +343,7 @@ class Gateway:
                 finish()
 
         def after_cloud(start: float, end: float) -> None:
+            ticket.cloud_window = (start, end)
             finish()
 
         def finish() -> None:
@@ -318,6 +352,7 @@ class Gateway:
             latency = ticket.completed - ticket.request.arrival
             self.metrics.counter("served").increment()
             self.metrics.histogram("latency").observe(latency)
+            self._record_spans(ticket, latency)
             self._records.append(
                 ServedRecord(
                     ticket.request.request_id,
@@ -330,6 +365,47 @@ class Gateway:
         self._mobile.acquire(
             f"{label}/compute", ticket.plan.compute_time, after_compute
         )
+
+    def _record_spans(self, ticket: _Ticket, latency: float) -> None:
+        """Retro-record one served request's lifecycle as tracer spans.
+
+        Virtual-time stage windows only become known as their DES
+        callbacks fire, so the whole family — request parent, queue
+        wait, then one span per executed stage — is recorded at finish.
+        Each request is its own lane process (``req <id>``) with one
+        track per stage, mirroring :func:`repro.sim.trace.pipeline_spans`.
+        """
+        rid = ticket.request.request_id
+        process = f"req {rid}"
+        parent = self.tracer.record(
+            f"request {rid}",
+            ticket.request.arrival,
+            ticket.completed,
+            lane=(process, "lifecycle"),
+            request_id=rid,
+            client=ticket.request.client_id,
+            model=ticket.request.model,
+            cut=ticket.plan.cut_label or ticket.plan.cut_position,
+            latency=latency,
+        )
+        self.tracer.record(
+            "queue", ticket.admitted_at, ticket.started, parent=parent, lane=(process, "queue")
+        )
+        for stage, resource, window in (
+            ("compute", "mobile-cpu", ticket.compute_window),
+            ("transfer", "uplink", ticket.comm_window),
+            ("cloud", "cloud-gpu", ticket.cloud_window),
+        ):
+            if window is None:
+                continue
+            self.tracer.record(
+                stage,
+                window[0],
+                window[1],
+                parent=parent,
+                lane=(process, resource),
+                resource=resource,
+            )
 
     # ------------------------------------------------------------------
     # driving
@@ -357,7 +433,14 @@ class Gateway:
         )
 
     def report(self, result: GatewayResult) -> dict:
-        """JSON-safe metrics report of one run (see docs/serving.md)."""
+        """JSON-safe metrics report of one run (see docs/serving.md).
+
+        Engine cache totals are published into the gateway's own
+        registry as gauges first, so the snapshot (and any Prometheus
+        exposition built from it) carries serving counters and planner
+        cache health side by side.
+        """
+        self.planner.to_metrics(self.metrics)
         snapshot = self.metrics.snapshot()
         counters = snapshot["counters"]
         horizon = max(result.makespan, 1e-12)
@@ -365,6 +448,7 @@ class Gateway:
             "scheme": result.scheme,
             "makespan": result.makespan,
             "counters": counters,
+            "gauges": snapshot["gauges"],
             "histograms": snapshot["histograms"],
             "replans": self.replan_events,
             "estimator": {

@@ -1,145 +1,28 @@
-"""Serving metrics: counters and streaming quantile histograms.
+"""Deprecated location — metrics moved to :mod:`repro.obs.metrics`.
 
-The gateway runs for simulated hours and millions of requests, so the
-latency distribution cannot be kept as raw samples. A
-:class:`StreamingHistogram` buckets observations on a geometric grid
-(DDSketch-style): every quantile estimate carries a bounded *relative*
-error set by ``relative_accuracy``, memory is O(number of occupied
-buckets), and merging two histograms is bucket-wise addition. Counters
-are plain monotone integers. A :class:`MetricsRegistry` names both and
-snapshots the whole family into a JSON-safe dict — the wire format of
-the gateway's metrics report (see ``docs/serving.md``).
+The serving-only registry grew into the cross-stack telemetry substrate
+of :mod:`repro.obs` (gauges, labeled counters, histogram merge,
+Prometheus exposition). This module remains as a backward-compatible
+shim so ``from repro.serving.metrics import MetricsRegistry`` keeps
+working; new code should import from :mod:`repro.obs.metrics` (or the
+:mod:`repro.obs` package) directly. The shim re-exports, it does not
+fork: both paths hand out the *same* classes, so registries built
+through either are interchangeable. See ``docs/observability.md`` for
+the deprecation path.
 """
 
-from __future__ import annotations
+from repro.obs.metrics import (
+    SNAPSHOT_QUANTILES,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StreamingHistogram,
+)
 
-import math
-from dataclasses import dataclass, field
-
-from repro.utils.validation import require_non_negative
-
-__all__ = ["Counter", "StreamingHistogram", "MetricsRegistry"]
-
-#: Quantiles every snapshot reports, in order.
-SNAPSHOT_QUANTILES = (0.50, 0.95, 0.99)
-
-
-@dataclass
-class Counter:
-    """A monotone event counter."""
-
-    name: str
-    value: int = 0
-
-    def increment(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValueError(f"{self.name}: counters only move forward, got {amount}")
-        self.value += amount
-
-
-class StreamingHistogram:
-    """Log-bucketed histogram with relative-error quantile estimates.
-
-    A non-zero observation ``v`` lands in bucket ``ceil(log_gamma v)``
-    with ``gamma = (1 + a) / (1 - a)``; the bucket's representative
-    value ``2 * gamma^i / (gamma + 1)`` (the geometric midpoint) is then
-    within a factor ``(1 ± a)`` of every value the bucket can hold, so
-    ``quantile()`` is accurate to relative error ``a``. Zeros get their
-    own bucket (latencies of dropped-at-admission work, empty queues).
-    """
-
-    def __init__(self, relative_accuracy: float = 0.01):
-        if not 0 < relative_accuracy < 1:
-            raise ValueError(
-                f"relative_accuracy must be in (0, 1), got {relative_accuracy}"
-            )
-        self.relative_accuracy = relative_accuracy
-        self._gamma = (1 + relative_accuracy) / (1 - relative_accuracy)
-        self._log_gamma = math.log(self._gamma)
-        self._buckets: dict[int, int] = {}
-        self._zeros = 0
-        self.count = 0
-        self.total = 0.0
-        self.min = math.inf
-        self.max = -math.inf
-
-    def observe(self, value: float) -> None:
-        require_non_negative(value, "value")
-        self.count += 1
-        self.total += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
-        if value == 0:
-            self._zeros += 1
-            return
-        index = math.ceil(math.log(value) / self._log_gamma)
-        self._buckets[index] = self._buckets.get(index, 0) + 1
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def quantile(self, q: float) -> float:
-        """The q-quantile estimate (exact for min/max, else ±accuracy)."""
-        if not 0 <= q <= 1:
-            raise ValueError(f"q must be in [0, 1], got {q}")
-        if self.count == 0:
-            return 0.0
-        if q == 0:
-            return self.min
-        if q == 1:
-            return self.max
-        rank = q * (self.count - 1)
-        seen = self._zeros
-        if rank < seen:
-            return 0.0
-        for index in sorted(self._buckets):
-            seen += self._buckets[index]
-            if rank < seen:
-                estimate = 2 * self._gamma**index / (self._gamma + 1)
-                return min(max(estimate, self.min), self.max)
-        return self.max
-
-    def as_dict(self) -> dict[str, float]:
-        """JSON-safe summary: count, sum, extremes, p50/p95/p99."""
-        summary: dict[str, float] = {
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
-        }
-        for q in SNAPSHOT_QUANTILES:
-            summary[f"p{round(q * 100):02d}"] = self.quantile(q)
-        return summary
-
-
-@dataclass
-class MetricsRegistry:
-    """Named counters and histograms behind one snapshot call."""
-
-    relative_accuracy: float = 0.01
-    _counters: dict[str, Counter] = field(default_factory=dict)
-    _histograms: dict[str, StreamingHistogram] = field(default_factory=dict)
-
-    def counter(self, name: str) -> Counter:
-        if name not in self._counters:
-            self._counters[name] = Counter(name)
-        return self._counters[name]
-
-    def histogram(self, name: str) -> StreamingHistogram:
-        if name not in self._histograms:
-            self._histograms[name] = StreamingHistogram(self.relative_accuracy)
-        return self._histograms[name]
-
-    def snapshot(self) -> dict[str, dict]:
-        """Plain-dict view of every metric, stable key order."""
-        return {
-            "counters": {
-                name: self._counters[name].value for name in sorted(self._counters)
-            },
-            "histograms": {
-                name: self._histograms[name].as_dict()
-                for name in sorted(self._histograms)
-            },
-        }
+__all__ = [
+    "Counter",
+    "Gauge",
+    "StreamingHistogram",
+    "MetricsRegistry",
+    "SNAPSHOT_QUANTILES",
+]

@@ -23,6 +23,7 @@ from repro.core.plans import json_safe
 from repro.engine import PlanningEngine
 from repro.net.channel import DEFAULT_HEADER_BYTES, DEFAULT_SETUP_LATENCY
 from repro.net.timeline import BandwidthTimeline
+from repro.obs.tracer import NullTracer, Tracer
 from repro.serving.estimator import AdaptiveChannelEstimator
 from repro.serving.gateway import GATEWAY_SCHEMES, Gateway
 from repro.serving.workload import ClientSpec, generate_requests
@@ -137,31 +138,48 @@ def default_scenario(
 
 
 def run_scenario(
-    config: ScenarioConfig, planner: PlanningEngine | None = None
+    config: ScenarioConfig,
+    planner: PlanningEngine | None = None,
+    tracer: "Tracer | None" = None,
 ) -> dict:
-    """Serve the scenario under every scheme; returns the full report."""
+    """Serve the scenario under every scheme; returns the full report.
+
+    Pass a :class:`~repro.obs.tracer.Tracer` to collect request
+    lifecycle spans and re-plan instant events across every scheme's
+    gateway (each scheme wrapped in a ``scenario/scheme`` span); the
+    shared ``planner`` inherits the same tracer for the run, so plan
+    and table-build spans land in the same trace.
+    """
     planner = planner or PlanningEngine()
     requests = generate_requests(list(config.clients), config.horizon, config.seed)
+    obs = tracer or NullTracer()
+    previous_planner_tracer = planner.tracer
+    planner.tracer = obs
     reports: dict[str, dict] = {}
-    for scheme in config.schemes:
-        gateway = Gateway(
-            timeline=config.timeline(),
-            planner=planner,
-            scheme=scheme,
-            estimator=AdaptiveChannelEstimator(
-                initial_bps=config.timeline().rates_bps[0],
-                alpha=config.ewma_alpha,
-                drift_threshold=config.drift_threshold,
-                setup_latency=config.setup_latency,
-                header_bytes=config.header_bytes,
-                protocol_overhead=config.protocol_overhead,
-            ),
-            max_queue_depth=config.max_queue_depth,
-            nominal_burst=config.nominal_burst,
-            include_cloud=config.include_cloud,
-        )
-        result = gateway.run(requests)
-        reports[scheme] = gateway.report(result)
+    try:
+        for scheme in config.schemes:
+            gateway = Gateway(
+                timeline=config.timeline(),
+                planner=planner,
+                scheme=scheme,
+                estimator=AdaptiveChannelEstimator(
+                    initial_bps=config.timeline().rates_bps[0],
+                    alpha=config.ewma_alpha,
+                    drift_threshold=config.drift_threshold,
+                    setup_latency=config.setup_latency,
+                    header_bytes=config.header_bytes,
+                    protocol_overhead=config.protocol_overhead,
+                ),
+                max_queue_depth=config.max_queue_depth,
+                nominal_burst=config.nominal_burst,
+                include_cloud=config.include_cloud,
+                tracer=obs,
+            )
+            with obs.span("scenario/scheme", lane=("scenario", scheme), scheme=scheme):
+                result = gateway.run(requests)
+            reports[scheme] = gateway.report(result)
+    finally:
+        planner.tracer = previous_planner_tracer
     return json_safe(
         {
             "config": config.as_dict(),

@@ -1,4 +1,13 @@
-"""Trace utilities: validation against the analytic model, ASCII Gantt.
+"""Trace utilities: the pipeline span model, validation, ASCII Gantt.
+
+One span model feeds every view of a simulated schedule:
+:func:`pipeline_spans` converts a :class:`~repro.sim.pipeline.PipelineResult`'s
+per-job stage windows into :class:`~repro.obs.tracer.Span` objects
+(lane = ``(job, resource)``), and both the Chrome trace export
+(:func:`pipeline_trace_events` / :func:`write_pipeline_trace`, loadable
+in Perfetto) and the ASCII Gantt (:func:`render_gantt`) read stage
+windows from those spans — a single source of truth, so the picture on
+a terminal and the picture in ``chrome://tracing`` cannot drift apart.
 
 The simulator and the closed-form flow-shop recurrence are developed
 independently; ``validate_against_recurrence`` cross-checks them, and
@@ -8,11 +17,75 @@ as a disagreement.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from repro.core.plans import Schedule
 from repro.core.scheduling import flow_shop_completion_times
+from repro.obs.chrome import chrome_trace_events, validate_chrome_events
+from repro.obs.tracer import Span
 from repro.sim.pipeline import PipelineResult
 
-__all__ = ["validate_against_recurrence", "render_gantt"]
+__all__ = [
+    "validate_against_recurrence",
+    "render_gantt",
+    "pipeline_spans",
+    "pipeline_trace_events",
+    "write_pipeline_trace",
+]
+
+#: (JobTrace attribute, resource row) in pipeline order. Resource names
+#: match the :class:`~repro.sim.engine.Resource` instances the pipeline
+#: simulators build, so spans and busy logs speak the same vocabulary.
+STAGE_RESOURCES = (("compute", "mobile-cpu"), ("comm", "uplink"), ("cloud", "cloud-gpu"))
+
+
+def pipeline_spans(result: PipelineResult) -> list[Span]:
+    """Per-job per-stage spans of a simulated schedule.
+
+    Each executed stage becomes one completed span on lane
+    ``("job <id>", <resource>)`` — in the Chrome export every job is a
+    process group with one track per stage, which renders the
+    mobile → uplink → cloud staircase of the paper's Fig. 5. The
+    ``stage``/``resource``/``cut`` attributes let other renderers (the
+    Gantt below) regroup the same windows by resource instead.
+    """
+    spans: list[Span] = []
+    for trace in result.traces:
+        for stage, resource in STAGE_RESOURCES:
+            window = getattr(trace, stage)
+            if window is None:
+                continue
+            spans.append(
+                Span(
+                    name=f"job{trace.job_id}/{stage}",
+                    start=window.start,
+                    end=window.end,
+                    attributes={
+                        "job": trace.job_id,
+                        "stage": stage,
+                        "resource": resource,
+                        "cut": trace.plan.cut_label or trace.plan.cut_position,
+                    },
+                    span_id=len(spans),
+                    lane=(f"job {trace.job_id}", resource),
+                )
+            )
+    return spans
+
+
+def pipeline_trace_events(result: PipelineResult) -> list[dict]:
+    """The schedule's stage windows as Chrome trace events."""
+    return chrome_trace_events(pipeline_spans(result))
+
+
+def write_pipeline_trace(result: PipelineResult, path: str | Path) -> Path:
+    """Export the schedule timeline as Perfetto-loadable JSON."""
+    target = Path(path)
+    events = pipeline_trace_events(result)
+    validate_chrome_events(events)
+    target.write_text(json.dumps(events, indent=1) + "\n")
+    return target
 
 
 def validate_against_recurrence(
@@ -22,9 +95,21 @@ def validate_against_recurrence(
 
     Only meaningful for ``include_cloud=False`` runs; raises
     :class:`AssertionError` with the first disagreeing job otherwise.
+    An empty schedule trivially validates (zero makespan, no jobs).
     """
     if result.metadata.get("include_cloud"):
         raise ValueError("recurrence validation applies to 2-stage simulations only")
+    if len(result.traces) != len(schedule.jobs):
+        raise AssertionError(
+            f"trace/schedule mismatch: {len(result.traces)} traces for "
+            f"{len(schedule.jobs)} planned jobs"
+        )
+    if not schedule.jobs:
+        if abs(result.makespan) > tolerance:
+            raise AssertionError(
+                f"empty schedule but simulated makespan {result.makespan}"
+            )
+        return
     expected = flow_shop_completion_times([p.stages for p in schedule.jobs])
     for trace, plan, (c1, c2) in zip(result.traces, schedule.jobs, expected):
         sim_c1 = trace.compute.end if trace.compute else 0.0
@@ -37,7 +122,7 @@ def validate_against_recurrence(
             raise AssertionError(
                 f"job {plan.job_id}: pipeline completion {sim_c2} != analytic {c2}"
             )
-    analytic_makespan = expected[-1][1] if expected else 0.0
+    analytic_makespan = expected[-1][1]
     if abs(result.makespan - analytic_makespan) > tolerance:
         raise AssertionError(
             f"makespan {result.makespan} != analytic {analytic_makespan}"
@@ -45,22 +130,31 @@ def validate_against_recurrence(
 
 
 def render_gantt(result: PipelineResult, width: int = 72) -> str:
-    """ASCII Gantt chart of the mobile / uplink / cloud busy intervals.
+    """ASCII Gantt chart of the mobile / uplink / cloud stage windows.
 
-    One row per resource; ``#`` marks busy time. Intended for examples
-    and debugging output, mirroring the paper's Fig. 1/Fig. 6 timelines.
+    One row per resource; ``#`` marks busy time. Stage windows come
+    from :func:`pipeline_spans` — the same span model the Chrome
+    exporter renders — grouped by resource instead of by job. Intended
+    for examples and debugging output, mirroring the paper's
+    Fig. 1/Fig. 6 timelines.
     """
-    if result.makespan <= 0:
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    spans = pipeline_spans(result)
+    if not spans or result.makespan <= 0:
         return "(empty timeline)"
     scale = width / result.makespan
+    by_resource: dict[str, list[Span]] = {}
+    for span in spans:
+        by_resource.setdefault(span.attributes["resource"], []).append(span)
     lines = []
-    for resource in (result.mobile, result.uplink, result.cloud):
+    for _, resource in STAGE_RESOURCES:
         row = [" "] * width
-        for busy in resource.busy_log:
-            lo = min(int(busy.start * scale), width - 1)
-            hi = max(min(int(busy.end * scale), width), lo + 1)
+        for span in by_resource.get(resource, ()):
+            lo = min(int(span.start * scale), width - 1)
+            hi = max(min(int(span.end * scale), width), lo + 1)
             for i in range(lo, hi):
                 row[i] = "#"
-        lines.append(f"{resource.name:>10s} |{''.join(row)}|")
-    lines.append(f"{'':>10s}  0{'':{width - 10}s}{result.makespan * 1e3:8.1f} ms")
+        lines.append(f"{resource:>10s} |{''.join(row)}|")
+    lines.append(f"{'':>10s}  0{'':{max(width - 10, 1)}s}{result.makespan * 1e3:8.1f} ms")
     return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Chrome trace export: lanes, schema validation, the golden pipeline.
+
+The golden-file test is the end-to-end anchor: a 3-job line-network
+schedule with integer stage lengths is simulated and exported, and the
+events must (a) byte-match ``tests/data/golden_pipeline_trace.json``
+and (b) independently reproduce the Prop. 4.1 recurrence windows
+computed by :func:`repro.core.scheduling.flow_shop_completion_times` —
+so the golden file cannot silently drift into agreement with a broken
+simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.plans import JobPlan, Schedule
+from repro.core.scheduling import flow_shop_completion_times
+from repro.obs import (
+    Span,
+    Tracer,
+    chrome_trace_events,
+    validate_chrome_events,
+    write_chrome_trace,
+)
+from repro.sim.pipeline import simulate_schedule
+from repro.sim.trace import pipeline_trace_events, write_pipeline_trace
+
+GOLDEN = Path(__file__).parent / "data" / "golden_pipeline_trace.json"
+
+#: (f, g) stage lengths of the golden 3-job schedule — integers, so the
+#: exported microsecond timestamps are exact.
+GOLDEN_STAGES = [(2.0, 3.0), (1.0, 2.0), (3.0, 1.0)]
+
+
+def golden_schedule() -> Schedule:
+    jobs = tuple(
+        JobPlan(job_id=i, model="toy", cut_position=i, compute_time=f,
+                comm_time=g, cut_label=f"cut{i}")
+        for i, (f, g) in enumerate(GOLDEN_STAGES)
+    )
+    return Schedule(jobs=jobs, makespan=8.0, method="manual")
+
+
+# ----------------------------------------------------------------------
+# golden file
+# ----------------------------------------------------------------------
+
+
+def test_golden_pipeline_trace_matches_recurrence_and_file():
+    result = simulate_schedule(golden_schedule())
+    events = json.loads(json.dumps(pipeline_trace_events(result)))
+    assert events == json.loads(GOLDEN.read_text())
+
+    # independent cross-check: the X events ARE the Prop. 4.1 windows
+    expected = flow_shop_completion_times(GOLDEN_STAGES)
+    spans = {e["name"]: e for e in events if e["ph"] == "X"}
+    assert len(spans) == 2 * len(GOLDEN_STAGES)
+    c1_prev = 0.0
+    for j, ((f, g), (c1, c2)) in enumerate(zip(GOLDEN_STAGES, expected)):
+        compute = spans[f"job{j}/compute"]
+        comm = spans[f"job{j}/comm"]
+        assert compute.get("dur") == pytest.approx(f * 1e6)
+        assert compute["ts"] + compute["dur"] == pytest.approx(c1 * 1e6)
+        assert comm.get("dur") == pytest.approx(g * 1e6)
+        assert comm["ts"] + comm["dur"] == pytest.approx(c2 * 1e6)
+        assert compute["ts"] == pytest.approx(c1_prev * 1e6)  # CPU never idles
+        c1_prev = c1
+
+
+def test_golden_lane_mapping_one_process_per_job():
+    events = json.loads(GOLDEN.read_text())
+    processes = {
+        e["args"]["name"]: e["pid"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert processes == {"job 0": 1, "job 1": 2, "job 2": 3}
+    tracks = {
+        (e["pid"], e["args"]["name"]): e["tid"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    for pid in processes.values():
+        assert tracks[(pid, "mobile-cpu")] == 1
+        assert tracks[(pid, "uplink")] == 2
+    for event in events:
+        if event["ph"] == "X":
+            assert event["pid"] == processes[f"job {event['args']['job']}"]
+
+
+def test_write_pipeline_trace_round_trips(tmp_path):
+    result = simulate_schedule(golden_schedule())
+    path = write_pipeline_trace(result, tmp_path / "pipeline.json")
+    assert json.loads(path.read_text()) == json.loads(GOLDEN.read_text())
+
+
+# ----------------------------------------------------------------------
+# exporter mechanics
+# ----------------------------------------------------------------------
+
+
+def test_open_spans_are_skipped_instants_exported():
+    tracer = Tracer()
+    tracer.start_span("still-open")
+    tracer.record("done", 0.0, 1.0, lane=("p", "t"))
+    tracer.instant("mark", timestamp=0.5, lane=("p", "t"), reason="x")
+    events = chrome_trace_events(tracer.spans + [tracer._open[0]], tracer.instants)
+    phases = [e["ph"] for e in events]
+    assert phases.count("X") == 1 and phases.count("i") == 1
+    instant = next(e for e in events if e["ph"] == "i")
+    assert instant["ts"] == pytest.approx(0.5e6)
+    assert instant["args"] == {"reason": "x"}
+
+
+def test_default_lane_applies_when_none_given():
+    events = chrome_trace_events([Span(name="s", start=0.0, end=1.0)])
+    meta = [e for e in events if e["ph"] == "M"]
+    assert {e["args"]["name"] for e in meta} == {"repro", "main"}
+
+
+def test_write_chrome_trace_validates_and_writes(tmp_path):
+    tracer = Tracer()
+    tracer.record("a", 0.0, 2.0, lane=("p", "t"), k=1)
+    path = write_chrome_trace(tmp_path / "t.json", tracer.spans, tracer.instants)
+    events = json.loads(path.read_text())
+    assert validate_chrome_events(events) == len(events)
+
+
+# ----------------------------------------------------------------------
+# the schema gate CI runs
+# ----------------------------------------------------------------------
+
+
+def test_validate_accepts_the_emitted_subset():
+    events = json.loads(GOLDEN.read_text())
+    assert validate_chrome_events(events) == len(events)
+
+
+@pytest.mark.parametrize(
+    "events, message",
+    [
+        ({"ph": "X"}, "array of events"),
+        ([42], "not an object"),
+        ([{"ph": "X", "ts": 0, "pid": 1}], "misses 'tid'"),
+        ([{"ph": "Q", "ts": 0, "pid": 1, "tid": 1, "name": "x"}], "unknown phase"),
+        ([{"ph": "i", "ts": "soon", "pid": 1, "tid": 1, "name": "x"}], "must be a number"),
+        ([{"ph": "X", "ts": 0, "pid": 1, "tid": 1, "name": "x"}], "without numeric dur"),
+        (
+            [{"ph": "X", "ts": 0, "dur": -5, "pid": 1, "tid": 1, "name": "x"}],
+            "negative duration",
+        ),
+        ([{"ph": "i", "ts": 0, "pid": 1, "tid": 1}], "missing name"),
+    ],
+)
+def test_validate_rejects_schema_violations(events, message):
+    with pytest.raises(ValueError, match=message):
+        validate_chrome_events(events)

@@ -1,0 +1,106 @@
+"""Prometheus exposition: format rules, round-trip, report re-exposure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    exposition_from_snapshot,
+    parse_prometheus,
+    to_prometheus,
+)
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("served").increment(42)
+    registry.counter("hits", layer="line").increment(7)
+    registry.counter("hits", layer="frontier").increment(3)
+    registry.gauge("cache_entries").set(5)
+    hist = registry.histogram("latency")
+    for value in (0.1, 0.2, 0.4, 0.8, 1.6):
+        hist.observe(value)
+    return registry
+
+
+def test_round_trip_preserves_every_sample():
+    registry = _sample_registry()
+    samples = parse_prometheus(to_prometheus(registry))
+    assert samples["repro_served_total"] == 42
+    assert samples['repro_hits_total{layer="line"}'] == 7
+    assert samples['repro_hits_total{layer="frontier"}'] == 3
+    assert samples["repro_cache_entries"] == 5.0
+    assert samples["repro_latency_count"] == 5
+    assert samples["repro_latency_sum"] == pytest.approx(3.1)
+    snapshot = registry.snapshot()["histograms"]["latency"]
+    for q, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+        assert samples[f'repro_latency{{quantile="{q:g}"}}'] == snapshot[key]
+
+
+def test_one_type_line_per_family():
+    """A labeled family emits a single # TYPE comment, samples grouped."""
+    text = to_prometheus(_sample_registry())
+    type_lines = [line for line in text.splitlines() if line.startswith("# TYPE")]
+    assert len(type_lines) == len(set(type_lines))
+    assert "# TYPE repro_hits_total counter" in type_lines
+    # the family's samples follow its TYPE line contiguously
+    lines = text.splitlines()
+    at = lines.index("# TYPE repro_hits_total counter")
+    assert lines[at + 1].startswith("repro_hits_total{")
+    assert lines[at + 2].startswith("repro_hits_total{")
+
+
+def test_counter_gauge_summary_conventions():
+    text = to_prometheus(_sample_registry())
+    assert "# TYPE repro_served_total counter" in text
+    assert "# TYPE repro_cache_entries gauge" in text
+    assert "# TYPE repro_latency summary" in text
+    assert "repro_cache_entries_total" not in text  # gauges get no suffix
+
+
+def test_namespace_and_name_sanitization():
+    registry = MetricsRegistry()
+    registry.counter("weird-name.x").increment()
+    text = to_prometheus(registry, namespace="jps")
+    assert "jps_weird_name_x_total 1" in text
+
+
+def test_exposition_from_saved_gateway_report_shape():
+    """A report dict (extra keys and all) re-exposes without a registry."""
+    report = {
+        "scheme": "JPS",
+        "makespan": 61.2,
+        "counters": {"served": 10, "arrived": 12},
+        "gauges": {"engine_cache_hits": 4.0, 'engine_cache_hits{layer="line_tables"}': 3.0},
+        "histograms": {
+            "latency": {"count": 10, "sum": 5.0, "mean": 0.5,
+                        "min": 0.1, "max": 1.0, "p50": 0.4, "p95": 0.9, "p99": 1.0}
+        },
+        "replans": [{"time": 33.0}],
+    }
+    samples = parse_prometheus(exposition_from_snapshot(report))
+    assert samples["repro_served_total"] == 10
+    assert samples["repro_engine_cache_hits"] == 4.0
+    assert samples['repro_engine_cache_hits{layer="line_tables"}'] == 3.0
+    assert samples['repro_latency{quantile="0.95"}'] == 0.9
+    assert "repro_makespan" not in samples  # only the metric keys render
+
+
+def test_empty_snapshot_renders_empty():
+    assert exposition_from_snapshot({}) == ""
+    assert to_prometheus(MetricsRegistry()) == ""
+
+
+def test_parse_rejects_malformed_and_duplicate_lines():
+    with pytest.raises(ValueError, match="not a prometheus sample"):
+        parse_prometheus("this is not a sample\n")
+    with pytest.raises(ValueError, match="duplicate"):
+        parse_prometheus("a_total 1\na_total 2\n")
+
+
+def test_infinity_formatting_round_trips():
+    samples = parse_prometheus(
+        exposition_from_snapshot({"gauges": {"inf_gauge": float("inf")}})
+    )
+    assert samples["repro_inf_gauge"] == float("inf")

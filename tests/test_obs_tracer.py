@@ -1,0 +1,198 @@
+"""Tracer invariants: nesting, ordering, well-formedness, NullTracer.
+
+The hypothesis test is the load-bearing one: *any* properly bracketed
+sequence of span opens/closes — arbitrary fan-out, arbitrary depth —
+must yield a span set that passes ``well_formed`` and exports to
+schema-valid Chrome trace JSON. Everything the exporters assume about
+tracer output is pinned here, so exporter bugs and tracer bugs cannot
+hide behind each other.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import (
+    NullTracer,
+    Tracer,
+    chrome_trace_events,
+    validate_chrome_events,
+    well_formed,
+)
+
+# ----------------------------------------------------------------------
+# property: random open/close interleavings stay well-formed
+# ----------------------------------------------------------------------
+
+#: True opens a span; False closes the innermost open one (no-op when
+#: nothing is open). Any such sequence is a valid bracketing once the
+#: trailing opens are closed.
+ACTIONS = st.lists(st.booleans(), max_size=60)
+
+
+@given(actions=ACTIONS)
+def test_random_open_close_is_well_formed(actions: list[bool]):
+    tracer = Tracer()
+    stack = []
+    for index, open_one in enumerate(actions):
+        if open_one:
+            parent = stack[-1] if stack else None
+            stack.append(tracer.start_span(f"s{index}", parent=parent, depth=len(stack)))
+        elif stack:
+            tracer.end_span(stack.pop())
+    while stack:
+        tracer.end_span(stack.pop())
+    assert tracer.open_spans == 0
+    assert well_formed(tracer.spans) == []
+    events = chrome_trace_events(tracer.spans, tracer.instants)
+    assert validate_chrome_events(events) == len(events)
+    json.loads(json.dumps(events))  # JSON-serializable end to end
+
+
+@given(actions=ACTIONS)
+def test_spans_close_in_lifo_order_with_monotone_clock(actions: list[bool]):
+    """A child entered after its parent never outlives it."""
+    tracer = Tracer()
+    stack = []
+    for index, open_one in enumerate(actions):
+        if open_one:
+            parent = stack[-1] if stack else None
+            stack.append(tracer.start_span(f"s{index}", parent=parent))
+        elif stack:
+            tracer.end_span(stack.pop())
+    while stack:
+        tracer.end_span(stack.pop())
+    by_id = {span.span_id: span for span in tracer.spans}
+    for span in tracer.spans:
+        assert span.end is not None and span.end >= span.start
+        if span.parent_id is not None:
+            parent = by_id[span.parent_id]
+            assert parent.start <= span.start
+            assert span.end <= parent.end
+
+
+# ----------------------------------------------------------------------
+# context-manager nesting
+# ----------------------------------------------------------------------
+
+
+def test_context_manager_nesting_sets_parents():
+    tracer = Tracer()
+    with tracer.span("outer", lane=("p", "t")) as outer:
+        assert tracer.current is outer
+        with tracer.span("inner") as inner:
+            assert tracer.current is inner
+            assert inner.parent_id == outer.span_id
+            assert inner.lane == ("p", "t")  # inherited from the parent
+        assert tracer.current is outer
+    assert tracer.current is None
+    assert [s.name for s in tracer.spans] == ["inner", "outer"]
+    assert well_formed(tracer.spans) == []
+
+
+def test_explicit_parent_overrides_contextvar():
+    tracer = Tracer()
+    with tracer.span("a") as a:
+        with tracer.span("b"):
+            child = tracer.start_span("c", parent=a)
+            tracer.end_span(child)
+    assert child.parent_id == a.span_id
+
+
+def test_span_attributes_and_duration():
+    tracer = Tracer()
+    with tracer.span("work", model="alexnet", n=7) as span:
+        pass
+    assert span.attributes == {"model": "alexnet", "n": 7}
+    assert span.duration >= 0
+
+
+# ----------------------------------------------------------------------
+# retro-recording and instants
+# ----------------------------------------------------------------------
+
+
+def test_record_appends_virtual_time_spans():
+    tracer = Tracer()
+    parent = tracer.record("request", 1.0, 5.0, lane=("req 1", "lifecycle"))
+    child = tracer.record("compute", 1.5, 2.5, parent=parent)
+    assert child.parent_id == parent.span_id
+    assert well_formed(tracer.spans) == []
+
+
+def test_record_rejects_backwards_interval():
+    tracer = Tracer()
+    with pytest.raises(ValueError, match="before start"):
+        tracer.record("bad", 2.0, 1.0)
+
+
+def test_end_span_twice_raises():
+    tracer = Tracer()
+    span = tracer.start_span("once")
+    tracer.end_span(span)
+    with pytest.raises(ValueError, match="not open"):
+        tracer.end_span(span)
+
+
+def test_instant_events_use_clock_or_explicit_timestamp():
+    tracer = Tracer()
+    stamped = tracer.instant("replan", timestamp=33.0, drift=0.4)
+    clocked = tracer.instant("now")
+    assert stamped.timestamp == 33.0 and stamped.attributes["drift"] == 0.4
+    assert clocked.timestamp >= 0
+    assert len(tracer.instants) == 2
+
+
+def test_clock_is_rebased_near_zero():
+    tracer = Tracer()
+    span = tracer.start_span("first")
+    tracer.end_span(span)
+    assert 0 <= span.start < 1.0
+
+
+# ----------------------------------------------------------------------
+# well_formed catches the breakages exporters care about
+# ----------------------------------------------------------------------
+
+
+def test_well_formed_flags_open_unknown_parent_and_escape():
+    tracer = Tracer()
+    open_span = tracer.start_span("never-closed")
+    problems = well_formed([open_span])
+    assert any("never closed" in p for p in problems)
+
+    orphan = tracer.record("orphan", 0.0, 1.0)
+    orphan.parent_id = 999
+    assert any("unknown parent" in p for p in well_formed([orphan]))
+
+    parent = tracer.record("p", 0.0, 1.0)
+    escapee = tracer.record("c", 0.5, 2.0, parent=parent)
+    assert any("escapes parent" in p for p in well_formed([parent, escapee]))
+
+
+# ----------------------------------------------------------------------
+# NullTracer: same surface, zero recording
+# ----------------------------------------------------------------------
+
+
+def test_null_tracer_is_inert():
+    tracer = NullTracer()
+    assert tracer.enabled is False
+    with tracer.span("anything", k=1) as span:
+        inner = tracer.start_span("more")
+        tracer.end_span(inner)
+        tracer.record("virtual", 0.0, 1.0)
+        tracer.instant("marker")
+    assert span is inner  # the shared dummy span
+    assert tracer.spans == () and tracer.instants == ()
+    assert tracer.current is None and tracer.open_spans == 0
+    assert tracer.chrome_trace() == []
+
+
+def test_null_tracer_context_is_shared():
+    tracer = NullTracer()
+    assert tracer.span("a") is tracer.span("b")

@@ -244,3 +244,75 @@ def test_resource_fifo_with_zero_durations_keeps_order():
         res.acquire(tag, duration, lambda s, e, t=tag: served.append(t))
     engine.run()
     assert served == ["long", "zero1", "zero2"]
+
+
+# ----------------------------------------------------------------------
+# span export: the Gantt and the Chrome trace share one span model
+# ----------------------------------------------------------------------
+
+def test_validate_empty_schedule_trivially_passes():
+    schedule = Schedule(jobs=(), makespan=0.0, method="test")
+    result = simulate_schedule(schedule)
+    validate_against_recurrence(result, schedule)  # must not raise
+
+
+def test_validate_rejects_trace_schedule_length_mismatch():
+    two = _schedule_from_stages([(1.0, 1.0), (2.0, 1.0)])
+    one = _schedule_from_stages([(1.0, 1.0)])
+    result = simulate_schedule(two)
+    with pytest.raises(AssertionError, match="trace/schedule mismatch"):
+        validate_against_recurrence(result, one)
+
+
+def test_pipeline_spans_carry_lanes_and_attributes():
+    from repro.sim.trace import pipeline_spans
+
+    schedule = _schedule_from_stages([(1.0, 2.0), (3.0, 1.0)])
+    result = simulate_schedule(schedule)
+    spans = pipeline_spans(result)
+    assert [(s.lane, s.name) for s in spans] == [
+        (("job 0", "mobile-cpu"), "job0/compute"),
+        (("job 0", "uplink"), "job0/comm"),
+        (("job 1", "mobile-cpu"), "job1/compute"),
+        (("job 1", "uplink"), "job1/comm"),
+    ]
+    for span, trace in zip(spans[::2], result.traces):
+        assert span.attributes["job"] == trace.job_id
+        assert span.attributes["resource"] == "mobile-cpu"
+        assert (span.start, span.end) == (trace.compute.start, trace.compute.end)
+
+
+def test_write_pipeline_trace_emits_valid_chrome_json(tmp_path):
+    import json
+
+    from repro.obs import validate_chrome_events
+    from repro.sim.trace import write_pipeline_trace
+
+    schedule = _schedule_from_stages([(1.0, 2.0), (3.0, 1.0)])
+    result = simulate_schedule(schedule)
+    path = write_pipeline_trace(result, tmp_path / "t.json")
+    events = json.loads(path.read_text())
+    assert validate_chrome_events(events) == len(events)
+    assert sum(e["ph"] == "X" for e in events) == 4
+
+
+def test_gantt_and_chrome_export_share_span_windows():
+    """render_gantt draws exactly the spans pipeline_spans reports."""
+    from repro.sim.trace import pipeline_spans
+
+    schedule = _schedule_from_stages([(1.0, 2.0), (3.0, 1.0)])
+    result = simulate_schedule(schedule)
+    spans = pipeline_spans(result)
+    art = render_gantt(result, width=40)
+    cpu_row = next(line for line in art.splitlines() if "mobile-cpu" in line)
+    cpu_busy = sum(s.end - s.start for s in spans if s.lane[1] == "mobile-cpu")
+    # bar mass matches simulated busy time (one '#' per width/makespan cell)
+    scale = 40 / result.makespan
+    assert abs(cpu_row.count("#") - cpu_busy * scale) <= 2
+
+
+def test_render_gantt_rejects_bad_width():
+    schedule = _schedule_from_stages([(1.0, 1.0)])
+    result = simulate_schedule(schedule)
+    with pytest.raises(ValueError, match="width"):
+        render_gantt(result, width=0)
