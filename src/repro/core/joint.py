@@ -27,9 +27,11 @@ from repro.core.partition import (
     TwoTypeSplit,
     binary_search_cut,
     plans_for_split,
+    searchsorted_cut,
     split_best_pair,
     split_by_paper_ratio,
     split_exact,
+    split_exact_vectorized,
 )
 from repro.core.plans import Schedule
 from repro.core.scheduling import schedule_jobs
@@ -48,6 +50,7 @@ __all__ = [
     "Structure",
     "SplitMode",
     "jps_line",
+    "jps_line_fast",
     "FrontierTable",
     "frontier_table",
     "jps_frontier",
@@ -121,6 +124,41 @@ def jps_line(table: CostTable, n: int, split: str | SplitMode = "exact") -> Sche
         # beyond the paper: the best two-type mix over all position pairs,
         # needed when adjacent-layer time differences are drastic (VGG-16)
         chosen = split_best_pair(table, n)
+    return _line_schedule(table, mode, l_star, chosen, started)
+
+
+def jps_line_fast(
+    table: CostTable, n: int, split: str | SplitMode = "exact"
+) -> Schedule:
+    """:func:`jps_line` through the vectorized kernels.
+
+    The crossing comes from :func:`searchsorted_cut` and the ``exact``
+    split from the :func:`~repro.core.partition.split_exact_vectorized`
+    matrix kernel — output-identical to :func:`jps_line` (the parity
+    property tests lock this) at a fraction of the per-call cost, which
+    is what lets ``PlanningEngine.plan_batch`` sweep a whole bandwidth
+    vector. ``ratio``/``pair`` modes have no batched kernel and reuse
+    the scalar split functions.
+    """
+    started = perf_counter()
+    mode = SplitMode.coerce(split)
+    l_star = searchsorted_cut(table)
+    if mode is SplitMode.RATIO:
+        chosen: TwoTypeSplit = split_by_paper_ratio(table, l_star, n)
+    elif mode is SplitMode.EXACT:
+        chosen = split_exact_vectorized(table, l_star, n)
+    else:
+        chosen = split_best_pair(table, n)
+    return _line_schedule(table, mode, l_star, chosen, started)
+
+
+def _line_schedule(
+    table: CostTable,
+    mode: SplitMode,
+    l_star: int,
+    chosen: TwoTypeSplit,
+    started: float,
+) -> Schedule:
     schedule = schedule_jobs(plans_for_split(table, chosen), method="JPS")
     overhead = perf_counter() - started
     return Schedule(

@@ -31,13 +31,16 @@ from repro.utils.validation import require_positive
 
 __all__ = [
     "binary_search_cut",
+    "searchsorted_cut",
     "linear_scan_cut",
     "partition_ratio",
     "TwoTypeSplit",
     "split_by_paper_ratio",
     "split_exact",
-    "split_best_pair",
+    "split_exact_vectorized",
+    "two_type_makespans",
     "plans_for_split",
+    "split_best_pair",
 ]
 
 
@@ -62,6 +65,26 @@ def binary_search_cut(table: CostTable) -> int:
         else:
             hi = mid
     return lo
+
+
+def searchsorted_cut(table: CostTable) -> int:
+    """Alg. 2's crossing as one ``np.searchsorted`` over ``h = f - g``.
+
+    With ``f`` non-decreasing (a CostTable invariant) and ``g``
+    non-increasing, ``h`` is non-decreasing and the leftmost position
+    with ``f >= g`` is the leftmost with ``h >= 0``. Float subtraction
+    is sign-exact (``sign(fl(f - g)) == sign(f - g)``), so the crossing
+    index matches :func:`binary_search_cut` exactly; the last position
+    has ``g = 0`` hence ``h >= 0``, so a crossing always exists.
+    """
+    if not table.is_g_non_increasing():
+        raise ValueError(
+            f"{table.model_name}: g is not non-increasing; cluster virtual "
+            "blocks before searching (binary search needs a single crossing)"
+        )
+    return min(
+        int(np.searchsorted(table.f - table.g, 0.0, side="left")), table.k - 1
+    )
 
 
 def linear_scan_cut(table: CostTable) -> int:
@@ -167,6 +190,65 @@ def split_exact(table: CostTable, l_star: int, n: int) -> TwoTypeSplit:
             best = TwoTypeSplit(l_star - 1, l_star, n_a, n - n_a, makespan)
     assert best is not None
     return best
+
+
+def two_type_makespans(
+    stage_a: tuple[float, float], stage_b: tuple[float, float], n: int
+) -> np.ndarray:
+    """Johnson makespans of every candidate split, one matrix pass.
+
+    Entry ``n_a`` is the exact makespan of ``n_a`` jobs at ``stage_a``
+    followed by ``n - n_a`` at ``stage_b`` — the order Johnson's rule
+    produces when ``stage_a`` is strictly communication-heavy
+    (``f_a < g_a``) and ``stage_b`` computation-heavy (``f_b >= g_b``),
+    as the (l*-1, l*) candidates of Theorem 5.3 always are. Each row of
+    the (n+1, n) stage matrix goes through the same cumsum /
+    ``maximum.accumulate`` closed form as
+    :func:`~repro.core.scheduling.flow_shop_completion_arrays`, so every
+    entry is bit-identical to evaluating that candidate on its own.
+    """
+    require_positive(n, "n")
+    f_a, g_a = stage_a
+    f_b, g_b = stage_b
+    counts = np.arange(n + 1)[:, None]
+    jobs = np.arange(n)[None, :]
+    in_a = jobs < counts
+    c1 = np.cumsum(np.where(in_a, f_a, f_b), axis=1)
+    gcum = np.cumsum(np.where(in_a, g_a, g_b), axis=1)
+    shifted = np.zeros_like(gcum)
+    shifted[:, 1:] = gcum[:, :-1]
+    c2 = gcum + np.maximum.accumulate(c1 - shifted, axis=1)
+    return c2[:, -1]
+
+
+#: Above this job count the (n+1, n) candidate matrix stops being a win
+#: (memory grows quadratically); fall back to the scalar sweep.
+_MATRIX_SPLIT_MAX_N = 4096
+
+
+def split_exact_vectorized(table: CostTable, l_star: int, n: int) -> TwoTypeSplit:
+    """:func:`split_exact` evaluated as one matrix kernel.
+
+    Same two candidate layers, same ``> 1e-15`` keep-strictly-better
+    sweep over ``n_a`` — only the n+1 makespan evaluations collapse into
+    :func:`two_type_makespans`. Bit-identical to :func:`split_exact`
+    (the property tests lock this), at O(n^2) cells instead of O(n^2)
+    Python-loop flow-shop evaluations.
+    """
+    require_positive(n, "n")
+    if l_star == 0:
+        makespan = flow_shop_makespan([table.stage_lengths(0)] * n)
+        return TwoTypeSplit(0, 0, 0, n, makespan)
+    if n > _MATRIX_SPLIT_MAX_N:
+        return split_exact(table, l_star, n)
+    makespans = two_type_makespans(
+        table.stage_lengths(l_star - 1), table.stage_lengths(l_star), n
+    )
+    best = 0
+    for n_a in range(1, n + 1):
+        if makespans[n_a] < makespans[best] - 1e-15:
+            best = n_a
+    return TwoTypeSplit(l_star - 1, l_star, best, n - best, float(makespans[best]))
 
 
 def split_best_pair(table: CostTable, n: int) -> TwoTypeSplit:

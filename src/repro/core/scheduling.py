@@ -14,6 +14,15 @@ the makespan:
 
 Everything here is exact and deterministic; the brute-force permutation
 search is kept as the optimality oracle for the test-suite.
+
+The public kernels are **vectorized**: :func:`johnson_order` is one
+stable ``np.lexsort`` over a signed key and
+:func:`flow_shop_completion_times` is the cumsum /
+``maximum.accumulate`` closed form of the recurrence — no Python loop
+over jobs. The original scalar loops survive as
+:func:`johnson_order_scalar` / :func:`flow_shop_completion_times_scalar`
+and serve as the parity oracles (``tests/test_vectorized_parity.py``).
+``benchmarks/bench_kernels.py`` tracks the speedup.
 """
 
 from __future__ import annotations
@@ -27,8 +36,12 @@ from repro.core.plans import JobPlan, Schedule
 
 __all__ = [
     "johnson_order",
+    "johnson_order_indices",
+    "johnson_order_scalar",
     "flow_shop_makespan",
     "flow_shop_completion_times",
+    "flow_shop_completion_arrays",
+    "flow_shop_completion_times_scalar",
     "proposition_4_1_makespan",
     "schedule_jobs",
     "best_order_brute_force",
@@ -37,17 +50,81 @@ __all__ = [
 Stage = tuple[float, float]
 
 
+def _stage_arrays(stages: Sequence[Stage]) -> tuple[np.ndarray, np.ndarray]:
+    """Split a stage sequence (or an (n, 2) array) into f and g vectors."""
+    arr = np.asarray(stages, dtype=float)
+    if arr.size == 0:
+        empty = np.empty(0, dtype=float)
+        return empty, empty
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"stages must be (f, g) pairs, got shape {arr.shape}")
+    return arr[:, 0], arr[:, 1]
+
+
+def johnson_order_indices(f: np.ndarray, g: np.ndarray) -> np.ndarray:
+    """Array-native Johnson's rule: the optimal order as an index vector.
+
+    One stable lexsort over ``(group, signed key)`` where the
+    communication-heavy set S1 (``f < g``, group 0, key ``f``) precedes
+    the computation-heavy set S2 (``f >= g``, group 1, key ``-g``).
+    Stability gives the deterministic original-index tiebreak, so the
+    result is bit-identical to :func:`johnson_order_scalar`.
+    """
+    group = f >= g
+    signed = np.where(group, -g, f)
+    return np.lexsort((signed, group))
+
+
 def johnson_order(stages: Sequence[Stage]) -> list[int]:
     """Alg. 1: the optimal job order for a 2-stage flow shop.
 
     Returns indices into ``stages``. Ties break deterministically on the
     original index, so equal-cost schedules are reproducible.
     """
+    f, g = _stage_arrays(stages)
+    if f.size == 0:
+        return []
+    return johnson_order_indices(f, g).tolist()
+
+
+def johnson_order_scalar(stages: Sequence[Stage]) -> list[int]:
+    """Pure-Python Johnson's rule (the parity oracle for the lexsort)."""
     s1 = [i for i, (f, g) in enumerate(stages) if f < g]
     s2 = [i for i, (f, g) in enumerate(stages) if f >= g]
     s1.sort(key=lambda i: (stages[i][0], i))               # ascending f
     s2.sort(key=lambda i: (-stages[i][1], i))              # descending g
     return s1 + s2
+
+
+def flow_shop_completion_arrays(
+    f: np.ndarray, g: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Array-native completion times ``(C1, C2)`` for jobs in the given order.
+
+    The recurrence ``C2[j] = max(C2[j-1], C1[j]) + g[j]`` unrolls to the
+    closed form ``C2[j] = Gcum[j] + max_{k<=j}(C1[k] - Gcum[k-1])`` with
+    ``Gcum[-1] = 0`` — a cumsum and one ``maximum.accumulate``, no Python
+    loop. The closed form is algebraically identical to the recurrence;
+    in floating point it differs only by summation reassociation (exactly
+    equal whenever the sums are exactly representable, e.g. on the dyadic
+    grids the property tests draw from).
+    """
+    if f.size == 0:
+        empty = np.empty(0, dtype=float)
+        return empty, empty
+    bad = np.where((f < 0) | (g < 0))[0]
+    if bad.size:
+        i = int(bad[0])
+        raise ValueError(
+            f"stage lengths must be >= 0, got ({float(f[i])}, {float(g[i])})"
+        )
+    c1 = np.cumsum(f)
+    gcum = np.cumsum(g)
+    shifted = np.empty_like(gcum)
+    shifted[0] = 0.0
+    shifted[1:] = gcum[:-1]
+    c2 = gcum + np.maximum.accumulate(c1 - shifted)
+    return c1, c2
 
 
 def flow_shop_completion_times(stages: Sequence[Stage]) -> list[tuple[float, float]]:
@@ -59,8 +136,21 @@ def flow_shop_completion_times(stages: Sequence[Stage]) -> list[tuple[float, flo
         C2[j] = max(C2[j-1], C1[j]) + g[j]
 
     Stage 2 of a job cannot start before its own stage 1 completes and
-    before the link is free — the pipeline constraint of §3.1.
+    before the link is free — the pipeline constraint of §3.1. Computed
+    via :func:`flow_shop_completion_arrays`; an empty sequence yields an
+    empty list and a single job trivially ``[(f, f + g)]``.
     """
+    f, g = _stage_arrays(stages)
+    if f.size == 0:
+        return []
+    c1, c2 = flow_shop_completion_arrays(f, g)
+    return list(zip(c1.tolist(), c2.tolist()))
+
+
+def flow_shop_completion_times_scalar(
+    stages: Sequence[Stage],
+) -> list[tuple[float, float]]:
+    """The original scalar recurrence (the parity oracle for the closed form)."""
     completions: list[tuple[float, float]] = []
     c1 = c2 = 0.0
     for f, g in stages:
@@ -74,9 +164,10 @@ def flow_shop_completion_times(stages: Sequence[Stage]) -> list[tuple[float, flo
 
 def flow_shop_makespan(stages: Sequence[Stage]) -> float:
     """Makespan of jobs executed in the given order."""
-    if not stages:
+    f, g = _stage_arrays(stages)
+    if f.size == 0:
         return 0.0
-    return flow_shop_completion_times(stages)[-1][1]
+    return float(flow_shop_completion_arrays(f, g)[1][-1])
 
 
 def proposition_4_1_makespan(stages: Sequence[Stage]) -> float:
@@ -96,8 +187,12 @@ def proposition_4_1_makespan(stages: Sequence[Stage]) -> float:
     (formula 2.05, true makespan 2.25). Use
     :func:`flow_shop_makespan` when exactness matters.
     """
-    if not stages:
+    if not len(stages):
         return 0.0
+    if len(stages) == 1:
+        # degenerate pipeline: one job's stages simply run back to back
+        f, g = stages[0]
+        return float(f + g)
     fs = np.array([s[0] for s in stages])
     gs = np.array([s[1] for s in stages])
     return float(fs[0] + max(fs[1:].sum(), gs[:-1].sum()) + gs[-1])

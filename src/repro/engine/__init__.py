@@ -9,7 +9,7 @@ See :mod:`repro.engine.engine` for the cache architecture and
 """
 
 from repro.engine.cache import CacheStats, LRUCache
-from repro.engine.engine import PlanningEngine
+from repro.engine.engine import PlanningEngine, PricedModel
 from repro.engine.keys import (
     channel_fingerprint,
     device_fingerprint,
@@ -22,6 +22,7 @@ __all__ = [
     "CacheStats",
     "LRUCache",
     "PlanningEngine",
+    "PricedModel",
     "channel_fingerprint",
     "device_fingerprint",
     "network_fingerprint",

@@ -33,8 +33,16 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from typing import Sequence
+
 from repro.core.baselines import cloud_only, local_only, partition_only
-from repro.core.joint import FrontierTable, SplitMode, Structure, jps_line
+from repro.core.joint import (
+    FrontierTable,
+    SplitMode,
+    Structure,
+    jps_line,
+    jps_line_fast,
+)
 from repro.core.plans import Schedule
 from repro.dag.cuts import Cut, enumerate_frontier_cuts, prune_dominated
 from repro.dag.graph import Dag
@@ -47,7 +55,7 @@ from repro.engine.keys import (
     predictor_fingerprint,
 )
 from repro.net.bandwidth import TrafficShaper
-from repro.net.channel import Channel
+from repro.net.channel import DEFAULT_HEADER_BYTES, DEFAULT_SETUP_LATENCY, Channel
 from repro.nn.network import Network
 from repro.nn.zoo import get_model
 from repro.obs.metrics import MetricsRegistry
@@ -59,12 +67,33 @@ from repro.profiling.latency import (
     cut_costs,
     node_mobile_time,
 )
-from repro.utils.units import mbps
+from repro.utils.units import BITS_PER_BYTE, mbps
+from repro.utils.validation import require_positive
 
-__all__ = ["PlanningEngine"]
+__all__ = ["PlanningEngine", "PricedModel"]
 
 #: Baseline schemes the engine plans besides JPS.
 BASELINES = {"LO": local_only, "CO": cloud_only, "PO": partition_only}
+
+
+def _wrap_frontier_schedule(
+    model_name: str, schedule: Schedule, cuts: tuple[Cut, ...]
+) -> Schedule:
+    """Re-attach concrete graph cuts to a schedule built on a frontier table."""
+    jobs = tuple(
+        replace(
+            plan,
+            model=model_name,  # the table's "/frontier" suffix is internal
+            mobile_nodes=cuts[plan.cut_position].mobile,
+        )
+        for plan in schedule.jobs
+    )
+    return Schedule(
+        jobs=jobs,
+        makespan=schedule.makespan,
+        method="JPS-frontier",
+        metadata={**schedule.metadata, "num_pareto_cuts": len(cuts)},
+    )
 
 
 @dataclass(frozen=True)
@@ -88,6 +117,62 @@ class _FrontierStructure:
     rests: np.ndarray               # cloud time of the part after each cut
     full_cut_sizes: np.ndarray      # |mobile| per cut (full cut uploads nothing)
     num_nodes: int
+
+
+@dataclass(frozen=True)
+class _PricingKernel:
+    """A model's cost table with the bandwidth factored out.
+
+    ``uplink_time`` is affine in ``1/B`` for fixed framing:
+    ``g = setup + wire_bits / B`` wherever something crosses the network
+    and exactly 0 elsewhere. Precomputing ``wire_bits`` in the same
+    operation order as :meth:`Channel.uplink_time` makes :meth:`g_at`
+    bit-identical to pricing through a concrete channel, so one cached
+    kernel (one content-addressed key per model) serves an entire
+    bandwidth vector.
+    """
+
+    model_name: str
+    positions: tuple[str, ...]
+    f: np.ndarray
+    cloud: np.ndarray
+    payload_bytes: np.ndarray       # upload payload per position (0 = all-local)
+    wire_bits: np.ndarray           # (payload + header) * overhead * 8, 0-masked
+    setup_latency: float
+    graph: Dag | None
+    cuts: tuple[Cut, ...] | None    # frontier kernels carry the real cuts
+
+    def g_at(self, uplink_bps: float) -> np.ndarray:
+        """The ``g`` column at one uplink rate (bit-exact channel pricing)."""
+        require_positive(uplink_bps, "uplink_bps")
+        return np.where(
+            self.wire_bits > 0, self.setup_latency + self.wire_bits / uplink_bps, 0.0
+        )
+
+    def table_at(self, uplink_bps: float) -> CostTable:
+        return CostTable(
+            model_name=self.model_name,
+            positions=self.positions,
+            f=self.f.copy(),
+            g=self.g_at(uplink_bps),
+            cloud=self.cloud.copy(),
+            graph=self.graph,
+        )
+
+
+@dataclass(frozen=True)
+class PricedModel:
+    """A cost table priced at one uplink rate, plus execution metadata.
+
+    ``payloads[i]`` is the upload payload (bytes) behind position ``i``
+    and, for frontier models, ``cuts[i]`` the concrete graph cut — what
+    the serving gateway needs to simulate transfers without re-deriving
+    structure per replan.
+    """
+
+    table: CostTable
+    payloads: tuple[float, ...]
+    cuts: tuple[Cut, ...] | None
 
 
 @dataclass
@@ -130,6 +215,7 @@ class PlanningEngine:
         self._tables: LRUCache[CostTable] = LRUCache(self.max_entries)
         self._frontier_tables: LRUCache[FrontierTable] = LRUCache(self.max_entries)
         self._alg3: LRUCache[tuple] = LRUCache(self.max_entries)
+        self._pricing: LRUCache[_PricingKernel] = LRUCache(self.max_entries)
 
     # ------------------------------------------------------------------
     # keys and resolution
@@ -343,6 +429,233 @@ class PlanningEngine:
         raise ValueError("Alg. 3 plans per-path tables; use plan(structure='paths')")
 
     # ------------------------------------------------------------------
+    # bandwidth-vectorized pricing
+    # ------------------------------------------------------------------
+    def _pricing_kernel(
+        self,
+        network: Network,
+        chosen: Structure,
+        setup_latency: float,
+        header_bytes: float,
+        protocol_overhead: float,
+        predictor: LayerPredictor | None,
+        predictor_key,
+    ) -> _PricingKernel:
+        key = (
+            ("pricing", chosen.value)
+            + self._base_key(network, predictor, predictor_key)
+            + (setup_latency, header_bytes, protocol_overhead)
+        )
+
+        def build() -> _PricingKernel:
+            if chosen is Structure.LINE:
+                structure = self._line_structure(network, predictor, predictor_key)
+                payloads = structure.volumes.astype(float)
+                model_name = network.name
+                positions: tuple[str, ...] = structure.order
+                f, cloud = structure.f, structure.cloud
+                graph, cuts = structure.graph, None
+            else:
+                frontier = self._frontier_structure(network, predictor, predictor_key)
+                # the full cut keeps everything mobile: nothing crosses
+                payloads = np.where(
+                    frontier.full_cut_sizes == frontier.num_nodes,
+                    0.0,
+                    frontier.transfer_bytes.astype(float),
+                )
+                model_name = f"{network.name}/frontier"
+                positions = tuple(c.label for c in frontier.cuts)
+                f = frontier.f
+                cloud = np.maximum.accumulate(frontier.rests.max() - frontier.rests)
+                graph, cuts = None, frontier.cuts
+            # same operation order as Channel.uplink_time, element by element
+            wire_bits = np.where(
+                payloads > 0,
+                ((payloads + header_bytes) * protocol_overhead) * BITS_PER_BYTE,
+                0.0,
+            )
+            return _PricingKernel(
+                model_name=model_name,
+                positions=positions,
+                f=f,
+                cloud=cloud,
+                payload_bytes=payloads,
+                wire_bits=wire_bits,
+                setup_latency=setup_latency,
+                graph=graph,
+                cuts=cuts,
+            )
+
+        return self._pricing.get_or_build(
+            key, self._traced("pricing_kernel", network.name, build)
+        )
+
+    def _resolve_structure(
+        self, model: str | Network, structure: str | Structure
+    ) -> Structure:
+        chosen = Structure.coerce(structure)
+        if chosen is Structure.AUTO:
+            chosen = self.structure_of(model)
+        return chosen
+
+    def priced_table(
+        self,
+        model: str | Network,
+        uplink_bps: float,
+        structure: str | Structure = Structure.AUTO,
+        predictor: LayerPredictor | None = None,
+        predictor_key=None,
+        setup_latency: float = DEFAULT_SETUP_LATENCY,
+        header_bytes: float = DEFAULT_HEADER_BYTES,
+        protocol_overhead: float = 1.05,
+    ) -> PricedModel:
+        """The model's cost table at one uplink rate, without a Channel.
+
+        Bit-identical to :meth:`cost_table` with a channel carrying the
+        same framing, but priced from the memoized bandwidth-independent
+        kernel — the serving gateway replans through this, paying one
+        cache lookup per (model, framing) instead of one table build per
+        bandwidth estimate.
+        """
+        network = self.resolve(model)
+        chosen = self._resolve_structure(network, structure)
+        if chosen is Structure.PATHS:
+            raise ValueError("Alg. 3 plans per-path tables; use plan(structure='paths')")
+        kernel = self._pricing_kernel(
+            network,
+            chosen,
+            setup_latency,
+            header_bytes,
+            protocol_overhead,
+            predictor,
+            predictor_key,
+        )
+        return PricedModel(
+            table=kernel.table_at(uplink_bps),
+            payloads=tuple(kernel.payload_bytes.tolist()),
+            cuts=kernel.cuts,
+        )
+
+    def plan_batch(
+        self,
+        model: str | Network,
+        n: int,
+        uplink_bps: Sequence[float],
+        scheme: str = "JPS",
+        structure: str | Structure = Structure.AUTO,
+        split: str | SplitMode = SplitMode.EXACT,
+        predictor: LayerPredictor | None = None,
+        predictor_key=None,
+        setup_latency: float = DEFAULT_SETUP_LATENCY,
+        header_bytes: float = DEFAULT_HEADER_BYTES,
+        protocol_overhead: float = 1.05,
+        wrap_frontier: bool = True,
+    ) -> list[Schedule]:
+        """Plan ``n`` jobs at every uplink rate of a bandwidth vector.
+
+        Since ``g`` scales affinely in ``1/B`` for a fixed table, one
+        memoized pricing kernel serves the whole vector; per rate the
+        Alg. 2 crossing is one ``np.searchsorted`` over ``f - g`` and
+        the exact two-type split one matrix kernel
+        (:func:`~repro.core.joint.jps_line_fast`). Output is
+        bit-identical to calling :meth:`plan` once per bandwidth with an
+        equivalently framed channel — the sweep harnesses and the
+        gateway go through here to amortize cache lookups to one
+        content-addressed key per model.
+
+        ``wrap_frontier=False`` returns the raw line-shaped schedules on
+        frontier tables (method ``"JPS"``), matching what the experiment
+        harnesses historically recorded; the default matches
+        :meth:`plan`'s ``"JPS-frontier"`` wrapping with concrete cuts.
+        """
+        network = self.resolve(model)
+        rates = [float(rate) for rate in uplink_bps]
+        with self.tracer.span(
+            "engine/plan_batch",
+            lane=("engine", "plans"),
+            model=network.name,
+            n=n,
+            scheme=scheme,
+            cells=len(rates),
+        ):
+            return self._plan_batch(
+                network,
+                n,
+                rates,
+                scheme,
+                structure,
+                split,
+                predictor,
+                predictor_key,
+                setup_latency,
+                header_bytes,
+                protocol_overhead,
+                wrap_frontier,
+            )
+
+    def _plan_batch(
+        self,
+        network: Network,
+        n: int,
+        rates: list[float],
+        scheme: str,
+        structure: str | Structure,
+        split: str | SplitMode,
+        predictor: LayerPredictor | None,
+        predictor_key,
+        setup_latency: float,
+        header_bytes: float,
+        protocol_overhead: float,
+        wrap_frontier: bool,
+    ) -> list[Schedule]:
+        chosen = self._resolve_structure(network, structure)
+        if chosen is Structure.PATHS:
+            # Alg. 3's path conversion is channel-coupled; no batched kernel
+            return [
+                self._plan(
+                    network,
+                    n,
+                    Channel(
+                        shaper=TrafficShaper(uplink_bps=rate, downlink_bps=2 * rate),
+                        setup_latency=setup_latency,
+                        header_bytes=int(header_bytes),
+                        protocol_overhead=protocol_overhead,
+                    ),
+                    scheme,
+                    chosen,
+                    split,
+                    predictor,
+                    predictor_key,
+                )
+                for rate in rates
+            ]
+        if scheme not in BASELINES and scheme != "JPS":
+            raise ValueError(
+                f"unknown scheme {scheme!r} (use 'JPS', 'LO', 'CO' or 'PO')"
+            )
+        kernel = self._pricing_kernel(
+            network,
+            chosen,
+            setup_latency,
+            header_bytes,
+            protocol_overhead,
+            predictor,
+            predictor_key,
+        )
+        schedules: list[Schedule] = []
+        for rate in rates:
+            table = kernel.table_at(rate)
+            if scheme in BASELINES:
+                schedules.append(BASELINES[scheme](table, n))
+                continue
+            schedule = jps_line_fast(table, n, split=split)
+            if chosen is Structure.FRONTIER and wrap_frontier:
+                assert kernel.cuts is not None
+                schedule = _wrap_frontier_schedule(network.name, schedule, kernel.cuts)
+            schedules.append(schedule)
+        return schedules
+
+    # ------------------------------------------------------------------
     # planning
     # ------------------------------------------------------------------
     def _alg3_plans(
@@ -429,20 +742,7 @@ class PlanningEngine:
         if chosen is Structure.FRONTIER:
             frontier = self.frontier_table(network, channel, predictor, predictor_key)
             schedule = jps_line(frontier.table, n, split=split)
-            jobs = tuple(
-                replace(
-                    plan,
-                    model=network.name,
-                    mobile_nodes=frontier.cut_at(plan.cut_position).mobile,
-                )
-                for plan in schedule.jobs
-            )
-            return Schedule(
-                jobs=jobs,
-                makespan=schedule.makespan,
-                method="JPS-frontier",
-                metadata={**schedule.metadata, "num_pareto_cuts": len(frontier.cuts)},
-            )
+            return _wrap_frontier_schedule(network.name, schedule, frontier.cuts)
         from repro.core.general import alg3_schedule_from_plans
 
         path_plans, info = self._alg3_plans(network, channel, predictor, predictor_key)
@@ -472,6 +772,7 @@ class PlanningEngine:
             "line_tables": self._tables,
             "frontier_tables": self._frontier_tables,
             "alg3_plans": self._alg3,
+            "pricing_kernels": self._pricing,
         }
         return {
             name: {**cache.stats.as_dict(), "entries": len(cache)}
@@ -521,6 +822,7 @@ class PlanningEngine:
             self._tables,
             self._frontier_tables,
             self._alg3,
+            self._pricing,
         ):
             cache.clear()
         self._is_line.clear()

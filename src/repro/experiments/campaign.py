@@ -48,8 +48,10 @@ def run_campaign(
         "quick": quick,
         "n_jobs": n,
     }
-    # one phase span per figure/table; env.tracer also records a span
-    # per (model, bandwidth, scheme) cell inside each phase
+    # one phase span per figure/table; inside each phase env.tracer
+    # records a span per (model, bandwidth, scheme) cell on the per-cell
+    # path and one experiment/batch span per (model, scheme) vector on
+    # the batched grid path
     with env.tracer.span("campaign/fig4", lane=("campaign", "phases")):
         document["fig4"] = [asdict(row) for row in fig4.run(env)]
     with env.tracer.span("campaign/fig11", lane=("campaign", "phases")):

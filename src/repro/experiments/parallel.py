@@ -25,7 +25,7 @@ from repro.experiments.runner import SCHEMES, ExperimentEnv
 from repro.net.bandwidth import BandwidthPreset
 from repro.profiling.device import DeviceModel
 
-__all__ = ["GridCell", "plan_grid", "resolve_jobs"]
+__all__ = ["GridCell", "plan_grid", "evaluate_cells", "resolve_jobs"]
 
 #: Per-process environment installed by the pool initializer.
 _WORKER_ENV: ExperimentEnv | None = None
@@ -57,13 +57,36 @@ def _eval_cells(cells: list[GridCell]) -> list[dict[str, Schedule]]:
     global _WORKER_ENV
     if _WORKER_ENV is None:  # spawn start-method without initializer
         _WORKER_ENV = ExperimentEnv()
-    return [
-        {
-            scheme: _WORKER_ENV.run_scheme(cell.model, cell.bandwidth, cell.n, scheme)
-            for scheme in cell.schemes
+    return evaluate_cells(cells, _WORKER_ENV)
+
+
+def evaluate_cells(
+    cells: list[GridCell], env: ExperimentEnv
+) -> list[dict[str, Schedule]]:
+    """Evaluate cells through the engine's batched bandwidth sweep.
+
+    The shared kernel of both the serial path and every pool worker:
+    cells group by (model, n, schemes) so each group's bandwidth vector
+    prices one memoized kernel via
+    :meth:`~repro.experiments.runner.ExperimentEnv.run_scheme_batch`,
+    then results scatter back in input order. Output is bit-identical to
+    per-cell ``run_scheme`` calls (``tests/test_vectorized_parity.py``),
+    so serial, parallel, and pre-batch campaign documents all diff
+    clean against each other.
+    """
+    results: list[dict[str, Schedule] | None] = [None] * len(cells)
+    groups: dict[tuple, list[int]] = {}
+    for index, cell in enumerate(cells):
+        groups.setdefault((cell.model, cell.n, cell.schemes), []).append(index)
+    for (model, n, schemes), indices in groups.items():
+        bandwidths = [cells[i].bandwidth for i in indices]
+        columns = {
+            scheme: env.run_scheme_batch(model, bandwidths, n, scheme)
+            for scheme in schemes
         }
-        for cell in cells
-    ]
+        for offset, index in enumerate(indices):
+            results[index] = {scheme: columns[scheme][offset] for scheme in schemes}
+    return results  # type: ignore[return-value]
 
 
 def _model_chunks(cells: list[GridCell], workers: int) -> list[list[int]]:
@@ -125,10 +148,4 @@ def plan_grid(
 def _serial_grid(
     cells: list[GridCell], env: ExperimentEnv
 ) -> list[dict[str, Schedule]]:
-    return [
-        {
-            scheme: env.run_scheme(cell.model, cell.bandwidth, cell.n, scheme)
-            for scheme in cell.schemes
-        }
-        for cell in cells
-    ]
+    return evaluate_cells(cells, env)

@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.baselines import cloud_only, local_only, partition_only
 from repro.core.joint import jps_line
 from repro.core.plans import Schedule
+from repro.engine import PlanningEngine
 from repro.dag.cuts import Cut, enumerate_frontier_cuts, prune_dominated
 from repro.dag.transform import collapse_clusterable_blocks
 from repro.net.bandwidth import BandwidthPreset, TrafficShaper
@@ -62,6 +63,21 @@ class ExperimentEnv:
         self._networks: dict[str, Network] = {}
         self._is_line: dict[str, bool] = {}
         self._frontier: dict[str, _FrontierStructure] = {}
+        self._engine: PlanningEngine | None = None
+
+    @property
+    def engine(self) -> PlanningEngine:
+        """A lazily-built planning engine on this env's device pair.
+
+        Backs the batched sweep path (:meth:`run_scheme_batch`); its
+        tables are bit-identical to :meth:`cost_table`, so batched and
+        per-cell results interchange freely.
+        """
+        if self._engine is None:
+            self._engine = PlanningEngine(
+                mobile=self.mobile, cloud=self.cloud, tracer=self.tracer
+            )
+        return self._engine
 
     # ------------------------------------------------------------------
     def network(self, name: str) -> Network:
@@ -76,6 +92,12 @@ class ExperimentEnv:
         return Channel(
             shaper=TrafficShaper(uplink_bps=mbps(bandwidth), downlink_bps=mbps(2 * bandwidth))
         )
+
+    def uplink_bps_of(self, bandwidth: BandwidthPreset | float) -> float:
+        """The raw uplink rate :meth:`channel` would price with."""
+        if isinstance(bandwidth, BandwidthPreset):
+            return bandwidth.uplink_bps
+        return mbps(bandwidth)
 
     def treats_as_line(self, name: str) -> bool:
         """True if virtual-block clustering linearizes the model (§3.2)."""
@@ -165,6 +187,37 @@ class ExperimentEnv:
         if scheme == "JPS-ratio":
             return jps_line(table, n, split="ratio")
         raise ValueError(f"unknown scheme {scheme!r}")
+
+    def run_scheme_batch(
+        self,
+        name: str,
+        bandwidths: list[BandwidthPreset | float],
+        n: int,
+        scheme: str,
+    ) -> list[Schedule]:
+        """One scheme across a whole bandwidth vector, vectorized.
+
+        Routes through :meth:`PlanningEngine.plan_batch`, so the whole
+        vector prices one cached bandwidth-independent kernel and each
+        rate pays only the ``searchsorted`` crossing + matrix split.
+        Bit-identical to calling :meth:`run_scheme` per bandwidth
+        (``wrap_frontier=False`` keeps the harnesses' historical plain
+        ``"JPS"`` schedules on frontier tables).
+        """
+        rates = [self.uplink_bps_of(b) for b in bandwidths]
+        with self.tracer.span(
+            "experiment/batch",
+            lane=("experiments", scheme),
+            model=name,
+            n=n,
+            scheme=scheme,
+            cells=len(rates),
+        ):
+            split = "ratio" if scheme == "JPS-ratio" else "exact"
+            chosen = "JPS" if scheme == "JPS-ratio" else scheme
+            return self.engine.plan_batch(
+                name, n, rates, scheme=chosen, split=split, wrap_frontier=False
+            )
 
     def scheme_grid(
         self,

@@ -21,13 +21,12 @@ gateway's JSON report.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.baselines import single_job_optimal_cut
-from repro.core.joint import Structure
 from repro.core.plans import JobPlan
-from repro.core.scheduling import johnson_order
 from repro.engine import PlanningEngine
 from repro.extensions.online import OnlineJpsScheduler
 from repro.net.timeline import BandwidthTimeline
@@ -70,6 +69,76 @@ class _Ticket:
     compute_window: tuple[float, float] | None = None
     comm_window: tuple[float, float] | None = None
     cloud_window: tuple[float, float] | None = None
+
+
+class _HeadIndex:
+    """Incremental Johnson/FIFO/expiry index over the queue heads.
+
+    Four lazy-deletion heaps replace the per-event rebuild of the
+    ``heads`` list: S1 (communication-heavy heads by ascending ``f``)
+    and S2 (computation-heavy by descending ``g``) realize Johnson's
+    rule as two peeks, ``fifo`` orders heads by arrival for the
+    baselines, and ``expiry`` surfaces the earliest deadline so a burst
+    of expiries drains in O(drops · log clients) instead of
+    O(drops × clients). Entries are pushed once — when a ticket becomes
+    its queue's head — and go stale when it stops being the head; stale
+    entries are detected against the live queues on peek and popped
+    exactly once, so ties never compare tickets (a sequence number
+    breaks them first) and the index never needs rebuilding, not even on
+    re-plans (queued tickets keep their admission-time plans).
+    """
+
+    def __init__(
+        self, queues: dict[str, deque[_Ticket]], client_pos: dict[str, int]
+    ) -> None:
+        self._queues = queues
+        self._client_pos = client_pos
+        self._seq = 0
+        self._s1: list[tuple[float, int, int, _Ticket]] = []
+        self._s2: list[tuple[float, int, int, _Ticket]] = []
+        self._fifo: list[tuple[float, int, int, _Ticket]] = []
+        self._expiry: list[tuple[float, int, _Ticket]] = []
+
+    def push(self, ticket: _Ticket) -> None:
+        """Index a ticket that just became its queue's head."""
+        self._seq += 1
+        seq = self._seq
+        pos = self._client_pos[ticket.request.client_id]
+        f, g = ticket.plan.stages
+        if f < g:
+            heapq.heappush(self._s1, (f, pos, seq, ticket))
+        else:
+            heapq.heappush(self._s2, (-g, pos, seq, ticket))
+        heapq.heappush(
+            self._fifo,
+            (ticket.request.arrival, ticket.request.request_id, seq, ticket),
+        )
+        if ticket.request.expiry != float("inf"):
+            heapq.heappush(self._expiry, (ticket.request.expiry, seq, ticket))
+
+    def _is_head(self, ticket: _Ticket) -> bool:
+        queue = self._queues.get(ticket.request.client_id)
+        return bool(queue) and queue[0] is ticket
+
+    def _peek(self, heap: list) -> _Ticket | None:
+        while heap and not self._is_head(heap[0][-1]):
+            heapq.heappop(heap)
+        return heap[0][-1] if heap else None
+
+    def johnson_head(self) -> _Ticket | None:
+        """The head Johnson's rule runs next: S1 by (f, client), else S2."""
+        head = self._peek(self._s1)
+        return head if head is not None else self._peek(self._s2)
+
+    def fifo_head(self) -> _Ticket | None:
+        return self._peek(self._fifo)
+
+    def expired_head(self, now: float) -> _Ticket | None:
+        """The earliest-deadline head, if it has already expired."""
+        head = self._peek(self._expiry)
+        if head is not None and head.request.expiry < now:
+            return head
+        return None
 
 
 @dataclass(frozen=True)
@@ -142,6 +211,8 @@ class Gateway:
         self._models: dict[str, _ModelState] = {}
         self._queues: dict[str, deque[_Ticket]] = {}
         self._client_order: list[str] = []
+        self._client_pos: dict[str, int] = {}
+        self._index = _HeadIndex(self._queues, self._client_pos)
         self._records: list[ServedRecord] = []
         self._engine = Engine()
         self._mobile = Resource(self._engine, "mobile-cpu")
@@ -154,20 +225,17 @@ class Gateway:
     # planning state
     # ------------------------------------------------------------------
     def _build_model_state(self, model: str) -> _ModelState:
-        channel = self.estimator.channel()
-        if self.planner.structure_of(model) is Structure.LINE:
-            table = self.planner.line_table(model, channel)
-            payloads = tuple(table.transfer_bytes_at(i) for i in range(table.k))
-        else:
-            frontier = self.planner.frontier_table(model, channel)
-            table = frontier.table
-            # a priced g of 0 marks the full cut (nothing crosses the link)
-            payloads = tuple(
-                cut.transfer_bytes if table.g[i] > 0 else 0.0
-                for i, cut in enumerate(frontier.cuts)
-            )
-        mix = OnlineJpsScheduler(table, nominal_burst=self.nominal_burst).cut_mix
-        return _ModelState(table=table, payloads=payloads, mix=mix)
+        # priced from the engine's bandwidth-independent pricing kernel:
+        # a re-plan costs one cached lookup + one g column, not a table build
+        priced = self.planner.priced_table(
+            model,
+            self.estimator.estimate_bps,
+            setup_latency=self.estimator.setup_latency,
+            header_bytes=self.estimator.header_bytes,
+            protocol_overhead=self.estimator.protocol_overhead,
+        )
+        mix = OnlineJpsScheduler(priced.table, nominal_burst=self.nominal_burst).cut_mix
+        return _ModelState(table=priced.table, payloads=priced.payloads, mix=mix)
 
     def _state_of(self, model: str) -> _ModelState:
         if model not in self._models:
@@ -219,6 +287,7 @@ class Gateway:
         self.metrics.counter("arrived").increment()
         if request.client_id not in self._queues:
             self._queues[request.client_id] = deque()
+            self._client_pos[request.client_id] = len(self._client_order)
             self._client_order.append(request.client_id)
         queue = self._queues[request.client_id]
         if len(queue) >= self.max_queue_depth:
@@ -255,6 +324,8 @@ class Gateway:
             admitted_at=self._engine.now,
         )
         queue.append(ticket)
+        if len(queue) == 1:
+            self._index.push(ticket)
         self.metrics.counter("admitted").increment()
         self.metrics.histogram("queue_depth").observe(len(queue))
         self._dispatch()
@@ -262,47 +333,52 @@ class Gateway:
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    def _pick(self, heads: list[_Ticket]) -> _Ticket:
-        if self.scheme == "JPS":
-            stages = [t.plan.stages for t in heads]
-            return heads[johnson_order(stages)[0]]
-        return min(heads, key=lambda t: (t.request.arrival, t.request.request_id))
+    def _pop_head(self, ticket: _Ticket) -> None:
+        """Remove a head from its queue and index the promoted successor."""
+        queue = self._queues[ticket.request.client_id]
+        queue.popleft()
+        if queue:
+            self._index.push(queue[0])
 
     def _dispatch(self) -> None:
         if self._cpu_claimed:
             return
         now = self._engine.now
+        # drain every expired head (including heads promoted by a drop)
+        # straight off the expiry heap: O(log clients) per drop, however
+        # many clients are idle
         while True:
-            heads = [self._queues[c][0] for c in self._client_order if self._queues[c]]
-            if not heads:
-                return
-            expired = [t for t in heads if t.request.expiry < now]
-            if expired:
-                for ticket in expired:
-                    self._queues[ticket.request.client_id].popleft()
-                    self.metrics.counter("dropped").increment()
-                    self.metrics.counter("dropped_deadline").increment()
-                    self.tracer.instant(
-                        "gateway/drop",
-                        timestamp=now,
-                        lane=("gateway", "events"),
-                        request_id=ticket.request.request_id,
-                        client=ticket.request.client_id,
-                        reason="deadline",
-                    )
-                    self._records.append(
-                        ServedRecord(
-                            ticket.request.request_id,
-                            ticket.request.client_id,
-                            "expired",
-                            None,
-                        )
-                    )
-                continue
-            ticket = self._pick(heads)
-            self._queues[ticket.request.client_id].popleft()
-            self._start(ticket)
+            expired = self._index.expired_head(now)
+            if expired is None:
+                break
+            self._pop_head(expired)
+            self.metrics.counter("dropped").increment()
+            self.metrics.counter("dropped_deadline").increment()
+            self.tracer.instant(
+                "gateway/drop",
+                timestamp=now,
+                lane=("gateway", "events"),
+                request_id=expired.request.request_id,
+                client=expired.request.client_id,
+                reason="deadline",
+            )
+            self._records.append(
+                ServedRecord(
+                    expired.request.request_id,
+                    expired.request.client_id,
+                    "expired",
+                    None,
+                )
+            )
+        ticket = (
+            self._index.johnson_head()
+            if self.scheme == "JPS"
+            else self._index.fifo_head()
+        )
+        if ticket is None:
             return
+        self._pop_head(ticket)
+        self._start(ticket)
 
     def _start(self, ticket: _Ticket) -> None:
         self._cpu_claimed = True

@@ -203,3 +203,60 @@ def test_stats_snapshot_empty_engine():
     totals = PlanningEngine().stats_snapshot()["totals"]
     assert totals["hits"] == totals["misses"] == 0
     assert totals["hit_rate"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# bandwidth-vectorized pricing: priced_table / plan_batch
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["alexnet", "googlenet"])
+def test_priced_table_matches_cost_table(engine, name):
+    for uplink_mbps in (1.0, 8.0, 40.0):
+        channel = make_channel(uplink_mbps)
+        via_channel = engine.cost_table(name, channel)
+        priced = engine.priced_table(name, mbps(uplink_mbps))
+        assert priced.table.model_name == via_channel.model_name
+        assert priced.table.positions == via_channel.positions
+        assert (priced.table.f == via_channel.f).all()
+        assert (priced.table.g == via_channel.g).all()
+        assert (priced.table.cloud == via_channel.cloud).all()
+
+
+def test_priced_table_rejects_paths_structure(engine):
+    with pytest.raises(ValueError, match="per-path tables"):
+        engine.priced_table("alexnet", mbps(8.0), structure="paths")
+
+
+@pytest.mark.parametrize("scheme", ["LO", "CO", "PO", "JPS"])
+def test_plan_batch_matches_per_call_plan(engine, scheme):
+    rates = [mbps(b) for b in (0.8, 4.0, 18.88, 65.0)]
+    for name in ("alexnet", "googlenet"):
+        batch = engine.plan_batch(name, 10, rates, scheme=scheme)
+        assert len(batch) == len(rates)
+        for uplink_bps, ours in zip(rates, batch):
+            channel = make_channel(uplink_bps / 1e6)
+            theirs = engine.plan(name, 10, channel, scheme=scheme)
+            assert_same_schedule(ours, theirs)
+
+
+def test_plan_batch_wrap_frontier_flag(engine):
+    rates = [mbps(10.0)]
+    wrapped = engine.plan_batch("googlenet", 6, rates)[0]
+    plain = engine.plan_batch("googlenet", 6, rates, wrap_frontier=False)[0]
+    assert wrapped.method == "JPS-frontier"
+    assert plain.method == "JPS"
+    assert wrapped.makespan == plain.makespan
+    assert all(p.mobile_nodes is not None for p in wrapped.jobs)
+    assert all(p.mobile_nodes is None for p in plain.jobs)
+
+
+def test_plan_batch_prices_one_kernel_per_model(engine):
+    rates = [mbps(b) for b in (1.0, 5.0, 25.0, 80.0)]
+    engine.plan_batch("alexnet", 10, rates)
+    first = engine.stats()["pricing_kernels"]
+    assert first["misses"] == 1
+    assert first["entries"] == 1
+    engine.plan_batch("alexnet", 10, [mbps(b) for b in (2.0, 60.0)])
+    second = engine.stats()["pricing_kernels"]
+    assert second["misses"] == 1
+    assert second["hits"] >= 1

@@ -165,3 +165,32 @@ def test_schedule_jobs_wraps_plans():
 def test_brute_force_order_cap():
     with pytest.raises(ValueError, match="factorial"):
         best_order_brute_force([(1.0, 1.0)] * 10)
+
+
+# ----------------------------------------------------------------------
+# empty- and single-job guards
+# ----------------------------------------------------------------------
+
+def test_completion_times_empty_sequence():
+    assert flow_shop_completion_times([]) == []
+    assert flow_shop_makespan([]) == 0.0
+
+
+def test_completion_times_single_job():
+    """One job trivially pipelines: C1 = f, C2 = f + g."""
+    assert flow_shop_completion_times([(2.0, 3.0)]) == [(2.0, 5.0)]
+    assert flow_shop_makespan([(2.0, 3.0)]) == 5.0
+    assert flow_shop_completion_times([(0.0, 0.0)]) == [(0.0, 0.0)]
+
+
+def test_proposition_4_1_empty_and_single_guards():
+    assert proposition_4_1_makespan([]) == 0.0
+    # a single job has no overlap to account for: exactly f + g
+    assert proposition_4_1_makespan([(2.0, 3.0)]) == 5.0
+    assert proposition_4_1_makespan([(4.0, 0.0)]) == flow_shop_makespan([(4.0, 0.0)])
+
+
+@settings(max_examples=100, deadline=None)
+@given(stage)
+def test_proposition_4_1_single_job_matches_recurrence(pair):
+    assert proposition_4_1_makespan([pair]) == flow_shop_makespan([pair])

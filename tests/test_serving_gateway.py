@@ -247,3 +247,32 @@ def test_scenario_config_validation():
             bandwidth_steps=((0.0, 8.0),),
             schemes=("JPS", "EDF"),
         )
+
+
+def test_mass_expiry_burst_drains_every_queued_head():
+    """Regression for the quadratic expiry drain: one dispatch pass after
+    the anchor job completes must drop every expired head straight off
+    the expiry heap, with exact accounting across many clients."""
+    clients = 40
+    requests = [
+        Request(
+            client_id=f"c{i}",
+            request_id=i,
+            model="alexnet",
+            arrival=0.0,
+            deadline=None if i == 0 else 0.05,
+        )
+        for i in range(clients)
+    ]
+    gateway = Gateway(flat_timeline(), scheme="JPS", max_queue_depth=4)
+    result = gateway.run(requests)
+    counters = result.metrics.snapshot()["counters"]
+    assert counters["arrived"] == clients
+    # c0 (no deadline) runs; every other client's lone request expires
+    # while the CPU is busy, long before its turn comes up
+    assert counters["served"] == 1
+    assert counters["dropped_deadline"] == clients - 1
+    assert counters["served"] + counters["dropped"] == counters["arrived"]
+    expired = {r.client_id for r in result.records if r.outcome == "expired"}
+    assert expired == {f"c{i}" for i in range(1, clients)}
+    assert result.pending == 0
