@@ -29,7 +29,9 @@ pipeline), ``repro.runtime`` (system prototype), ``repro.experiments``
 (beyond-the-paper features), ``repro.serving`` (multi-client offload
 gateway with adaptive re-planning and metrics), ``repro.obs`` (unified
 tracing & telemetry: spans, Chrome-trace export, Prometheus
-exposition — see ``docs/observability.md``).
+exposition — see ``docs/observability.md``), ``repro.faults`` (seeded
+fault injection, gateway resilience policies, and the differential
+oracle — see ``docs/robustness.md``).
 """
 
 __version__ = "1.1.0"
@@ -72,6 +74,21 @@ _API_EXPORTS = frozenset(
         "default_scenario",
         "run_scenario",
         "BandwidthTimeline",
+        # fault injection + resilience (repro.faults)
+        "FaultPlan",
+        "FaultInjector",
+        "ResiliencePolicy",
+        "Blackout",
+        "RateSpike",
+        "TransferCorruption",
+        "ClientOutage",
+        "CostMisestimation",
+        "default_fault_scenario",
+        "run_fault_scenario",
+        "accounting_violations",
+        "MonotoneClockMonitor",
+        "check_instance",
+        "exhaustive_optimal",
         # observability (repro.obs)
         "Tracer",
         "NullTracer",

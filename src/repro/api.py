@@ -29,6 +29,22 @@ from repro.extensions.online import (
     clairvoyant_makespan,
     offline_lower_bound,
 )
+from repro.faults import (
+    Blackout,
+    ClientOutage,
+    CostMisestimation,
+    FaultInjector,
+    FaultPlan,
+    MonotoneClockMonitor,
+    RateSpike,
+    ResiliencePolicy,
+    TransferCorruption,
+    accounting_violations,
+    check_instance,
+    default_fault_scenario,
+    exhaustive_optimal,
+    run_fault_scenario,
+)
 from repro.net.bandwidth import (
     FOUR_G,
     PRESETS,
@@ -91,6 +107,21 @@ __all__ = [
     "default_scenario",
     "run_scenario",
     "BandwidthTimeline",
+    # fault injection + resilience (repro.faults)
+    "FaultPlan",
+    "FaultInjector",
+    "ResiliencePolicy",
+    "Blackout",
+    "RateSpike",
+    "TransferCorruption",
+    "ClientOutage",
+    "CostMisestimation",
+    "default_fault_scenario",
+    "run_fault_scenario",
+    "accounting_violations",
+    "MonotoneClockMonitor",
+    "check_instance",
+    "exhaustive_optimal",
     # observability (repro.obs)
     "Tracer",
     "NullTracer",

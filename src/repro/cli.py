@@ -12,7 +12,10 @@ compare MODEL [-n N] [--mbps X] [--json]
 serve [--clients N] [--rate R] [--horizon T] [--model M] [--mbps X]
       [--drop-mbps Y] [--drop-at T] [--deadline D] [--scheme S ...]
       [--seed K] [--queue-depth Q] [--json PATH]
-                               multi-client offload gateway scenario
+      [--faults] [--blackout-start T] [--blackout-duration D]
+                               multi-client offload gateway scenario;
+                               --faults runs the blackout fault scenario
+                               (resilience policy vs no policy) instead
 experiment NAME [--jobs J]     regenerate a paper artifact
                                (fig4 | fig11 | fig12 | fig13 | fig14 | table1
                                 | serving)
@@ -114,6 +117,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", metavar="PATH",
         help="write the full metrics report as JSON ('-' for stdout)",
+    )
+    p.add_argument(
+        "--faults", action="store_true",
+        help="run the blackout fault scenario: the resilience policy "
+             "(degrade to local-only, probe, recover) vs no policy on the "
+             "identical stream (see docs/robustness.md)",
+    )
+    p.add_argument(
+        "--blackout-start", type=float, default=8.0,
+        help="uplink blackout start (s; --faults only)",
+    )
+    p.add_argument(
+        "--blackout-duration", type=float, default=2.0,
+        help="uplink blackout length (s; --faults only)",
     )
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -293,6 +310,57 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {point.label:<40s} {point.per_job_latency * 1e3:8.1f} ms "
                   f"{point.per_job_energy:7.2f} J")
         return 0
+
+    if args.command == "serve" and args.faults:
+        from pathlib import Path
+
+        from repro.faults import default_fault_scenario, run_fault_scenario
+        from repro.utils.rng import DEFAULT_SEED
+
+        config = default_fault_scenario(
+            clients=args.clients,
+            rate=args.rate,
+            horizon=args.horizon,
+            model=args.model,
+            seed=args.seed if args.seed is not None else DEFAULT_SEED,
+            blackout_start=args.blackout_start,
+            blackout_duration=args.blackout_duration,
+            deadline=args.deadline if args.deadline is not None else 1.0,
+            mbps=args.mbps,
+        )
+        report = run_fault_scenario(config)
+        if args.json == "-":
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return 0
+        comparison = report["comparison"]
+        deadline = config.clients[0].deadline
+        print(
+            f"{args.model}: {args.clients} clients x {config.clients[0].rate:g} "
+            f"req/s over {args.horizon:g}s, blackout "
+            f"{args.blackout_start:g}s +{args.blackout_duration:g}s, "
+            f"deadline {deadline:g}s ({report['arrivals']} arrivals)"
+        )
+        print(f"{'side':<10s} {'in-deadline':>12s} {'completed':>10s} {'dropped':>8s}")
+        for side in ("policy", "no_policy"):
+            data = report[side]
+            print(
+                f"{side:<10s} {data['within_deadline']:>12d} "
+                f"{data['completed']:>10d} "
+                f"{data['report']['counters'].get('dropped', 0):>8d}"
+            )
+        violations = len(report["policy"]["violations"]) + len(
+            report["no_policy"]["violations"]
+        )
+        print(
+            f"degradations {comparison['degradations']}, "
+            f"recovery replans {comparison['recovery_replans']}, "
+            f"within-deadline gain {comparison['within_deadline_gain']:+d}, "
+            f"accounting violations {violations}"
+        )
+        if args.json:
+            Path(args.json).write_text(json.dumps(report, indent=2, sort_keys=True))
+            print(f"fault scenario report written to {args.json}")
+        return 0 if violations == 0 else 1
 
     if args.command == "serve":
         import dataclasses

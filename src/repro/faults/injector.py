@@ -1,0 +1,111 @@
+"""Runtime fault oracle: the gateway's view of an executing fault plan.
+
+A :class:`FaultInjector` answers the point questions the serving stack
+asks while a run executes — *is this client reachable right now?*, *did
+this transfer attempt arrive intact?*, *how long does this planned
+compute stage actually take?* — and nothing else. Every answer is a
+pure function of ``(plan.seed, question)``: corruption draws come from
+a per-``(request, attempt)`` stream and misestimation noise from a
+per-request stream (:func:`repro.utils.rng.stream_rng`), so answers do
+not depend on the order the gateway happens to ask in. Two runs over
+the same request stream with the same plan see byte-identical faults
+even when their retry histories differ.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultPlan
+from repro.utils.rng import stream_rng
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Deterministic per-run executor of one :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.corruptions = 0
+        self.disconnect_drops = 0
+        self._compute_factors: dict[int, float] = {}
+        self._payload_factors: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # channel
+    # ------------------------------------------------------------------
+    def corrupted(self, request_id: int, attempt: int, at: float) -> bool:
+        """Was transfer ``attempt`` (0-based) of this request corrupted?"""
+        spec = self.plan.corruption
+        if spec is None or spec.probability == 0.0:
+            return False
+        if not spec.start <= at < spec.end:
+            return False
+        draw = stream_rng(
+            self.plan.seed, f"faults/corruption/{request_id}/{attempt}"
+        ).random()
+        hit = bool(draw < spec.probability)
+        if hit:
+            self.corruptions += 1
+        return hit
+
+    def blackout_at(self, t: float) -> bool:
+        return self.plan.blackout_at(t)
+
+    # ------------------------------------------------------------------
+    # clients
+    # ------------------------------------------------------------------
+    def disconnected(self, client_id: str, at: float) -> bool:
+        """True when the client's uplink to the gateway is down at ``at``."""
+        down = any(
+            o.client_id == client_id and o.start <= at < o.end
+            for o in self.plan.outages
+        )
+        if down:
+            self.disconnect_drops += 1
+        return down
+
+    # ------------------------------------------------------------------
+    # cost-model misestimation
+    # ------------------------------------------------------------------
+    def _factor(
+        self, cache: dict[int, float], kind: str, request_id: int, scale: float
+    ) -> float:
+        spec = self.plan.misestimation
+        if request_id not in cache:
+            jitter = spec.jitter if spec else 0.0
+            noise = (
+                stream_rng(
+                    self.plan.seed, f"faults/misestimation/{kind}/{request_id}"
+                ).lognormal(0.0, jitter)
+                if jitter
+                else 1.0
+            )
+            cache[request_id] = scale * noise
+        return cache[request_id]
+
+    def compute_factor(self, request_id: int) -> float:
+        """Executed / planned ratio for this request's mobile compute."""
+        spec = self.plan.misestimation
+        if spec is None or spec.is_noop:
+            return 1.0
+        return self._factor(
+            self._compute_factors, "compute", request_id, spec.compute_scale
+        )
+
+    def payload_factor(self, request_id: int) -> float:
+        """Executed / planned ratio for this request's upload bytes."""
+        spec = self.plan.misestimation
+        if spec is None or spec.is_noop:
+            return 1.0
+        return self._factor(
+            self._payload_factors, "payload", request_id, spec.payload_scale
+        )
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe injector tally for the run report."""
+        return {
+            "plan": self.plan.as_dict(),
+            "corruptions": self.corruptions,
+            "disconnect_drops": self.disconnect_drops,
+        }

@@ -1,0 +1,93 @@
+"""Accounting and clock invariants that must survive every fault plan.
+
+The gateway's guarantees under faults are deliberately boring: whatever
+the channel does, (1) every arrived request reaches exactly one
+terminal state — ``served + degraded + dropped + pending == arrived`` —
+(2) queue depths and wait times never go negative, and (3) the event
+engine's virtual clock never runs backwards. :func:`accounting_violations`
+audits (1) and (2) from a gateway report; :class:`MonotoneClockMonitor`
+hooks :attr:`repro.sim.engine.Engine.on_advance` to watch (3) live.
+Both return violation strings instead of raising, so a test can assert
+``== []`` and show every broken invariant at once.
+"""
+
+from __future__ import annotations
+
+__all__ = ["accounting_violations", "MonotoneClockMonitor"]
+
+#: Drop sub-counters that must tile the ``dropped`` total when present.
+DROP_REASONS = (
+    "dropped_queue_full",
+    "dropped_deadline",
+    "dropped_disconnected",
+    "dropped_transfer_failed",
+)
+
+
+def accounting_violations(report: dict) -> list[str]:
+    """Audit one gateway report; returns human-readable violations.
+
+    ``report`` is the dict :meth:`repro.serving.gateway.Gateway.report`
+    produces. An empty list means every accounting invariant held.
+    """
+    violations: list[str] = []
+    counters = report.get("counters", {})
+    arrived = counters.get("arrived", 0)
+    served = counters.get("served", 0)
+    degraded = counters.get("degraded", 0)
+    dropped = counters.get("dropped", 0)
+    pending = report.get("pending", 0)
+    terminal = served + degraded + dropped + pending
+    if terminal != arrived:
+        violations.append(
+            f"served+degraded+dropped+pending == {terminal} != arrived {arrived}"
+        )
+    reasons = sum(counters.get(reason, 0) for reason in DROP_REASONS)
+    if any(reason in counters for reason in DROP_REASONS) and reasons != dropped:
+        violations.append(
+            f"drop reasons sum to {reasons} but dropped == {dropped}"
+        )
+    admitted = counters.get("admitted", 0)
+    rejected = counters.get("dropped_queue_full", 0) + counters.get(
+        "dropped_disconnected", 0
+    )
+    if admitted + rejected != arrived:
+        violations.append(
+            f"admitted {admitted} + rejected-at-submit {rejected} != arrived {arrived}"
+        )
+    if pending < 0:
+        violations.append(f"pending {pending} is negative")
+    for name, histogram in report.get("histograms", {}).items():
+        if histogram.get("count", 0) and histogram.get("min", 0.0) < 0.0:
+            violations.append(f"histogram {name} observed {histogram['min']} < 0")
+    return violations
+
+
+class MonotoneClockMonitor:
+    """Live watcher asserting the DES clock is non-decreasing.
+
+    Attach to an engine before the run; read :attr:`violations` after.
+    Chains with any observer already installed on the engine.
+    """
+
+    def __init__(self, tolerance: float = 1e-12) -> None:
+        self.tolerance = tolerance
+        self.violations: list[str] = []
+        self.events = 0
+        self._last = float("-inf")
+
+    def attach(self, engine) -> "MonotoneClockMonitor":
+        previous = engine.on_advance
+
+        def observe(now: float) -> None:
+            if previous is not None:
+                previous(now)
+            self.events += 1
+            if now < self._last - self.tolerance:
+                self.violations.append(
+                    f"virtual time moved backwards: {now} after {self._last}"
+                )
+            self._last = max(self._last, now)
+
+        engine.on_advance = observe
+        return self

@@ -1,0 +1,201 @@
+"""Differential correctness oracle: exhaustive planning for small n.
+
+The planning stack carries three layers of cleverness — Theorem 5.3's
+two-cut structure, Johnson's rule, and the vectorized kernels — each of
+which could silently drift. This module is the machinery that proves
+they did not: a brute-force planner that enumerates **every** cut
+assignment times **every** execution order (no Johnson, no two-cut
+assumption, no shared code with the schemes under test) and the
+differential checks that cross-examine :func:`repro.core.joint.jps_line`
+and :func:`~repro.core.joint.jps_line_fast` against it.
+
+The exhaustive makespan uses the independent critical-path identity for
+a 2-machine permutation flow shop::
+
+    C_max = max_j ( sum_{i<=j} f_i  +  sum_{i>=j} g_i )
+
+evaluated as one vectorized pass per assignment over the whole
+permutation batch — deliberately *not* the recurrence the production
+kernels use, so the oracle cannot inherit their bugs.
+
+``tests/oracles/`` hosts the harness built on top: seeded random
+instances (dyadic-grid stage lengths, so scalar/vectorized parity is
+bit-exact), a committed zero-mismatch corpus, and a ``--fuzz-rounds``
+pytest knob for nightly-strength sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations_with_replacement, permutations
+
+import numpy as np
+
+from repro.core.joint import jps_line, jps_line_fast
+from repro.core.scheduling import best_order_brute_force
+from repro.profiling.latency import CostTable
+from repro.utils.rng import make_rng
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "OracleResult",
+    "InstanceCheck",
+    "exhaustive_optimal",
+    "check_instance",
+    "random_line_table",
+]
+
+#: Absolute tolerance for makespan comparisons. The random instances
+#: live on a dyadic grid, so true equalities are exact and anything
+#: beyond this is a real disagreement.
+TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """The exhaustive optimum over assignments x orders."""
+
+    makespan: float
+    assignment: tuple[int, ...]       # cut position per job, in execution order
+    evaluations: int                  # orders examined across all assignments
+
+
+def _order_makespans(stage_rows: np.ndarray) -> np.ndarray:
+    """Critical-path makespans of a (P, n, 2) batch of stage sequences."""
+    f = stage_rows[:, :, 0]
+    g = stage_rows[:, :, 1]
+    cum_f = np.cumsum(f, axis=1)
+    suffix_g = np.cumsum(g[:, ::-1], axis=1)[:, ::-1]
+    return (cum_f + suffix_g).max(axis=1)
+
+
+def exhaustive_optimal(
+    table: CostTable,
+    n: int,
+    positions: "list[int] | None" = None,
+    max_evaluations: int = 5_000_000,
+) -> OracleResult:
+    """Minimum makespan over all cut assignments x all execution orders.
+
+    Job identity does not matter, so assignments reduce to multisets of
+    cut positions; orders do matter to an oracle that refuses to trust
+    Johnson's rule, so every distinct permutation of every multiset is
+    priced. Factorial times combinatorial — keep ``n`` small (<= 6) and
+    the position set narrow (<= 8); ``max_evaluations`` guards against
+    accidental blow-ups.
+    """
+    require_positive(n, "n")
+    candidates = list(range(table.k)) if positions is None else sorted(set(positions))
+    if not candidates:
+        raise ValueError("no candidate positions to search")
+    stage_of = {p: table.stage_lengths(p) for p in candidates}
+
+    best = float("inf")
+    best_assignment: tuple[int, ...] | None = None
+    evaluations = 0
+    for combo in combinations_with_replacement(candidates, n):
+        orders = sorted(set(permutations(combo)))
+        evaluations += len(orders)
+        if evaluations > max_evaluations:
+            raise ValueError(
+                f"exhaustive search exceeded {max_evaluations} order evaluations "
+                f"(n={n}, positions={len(candidates)}); shrink the instance"
+            )
+        rows = np.array(
+            [[stage_of[p] for p in order] for order in orders], dtype=float
+        )
+        makespans = _order_makespans(rows)
+        index = int(np.argmin(makespans))
+        if makespans[index] < best - TOLERANCE:
+            best = float(makespans[index])
+            best_assignment = orders[index]
+    assert best_assignment is not None
+    return OracleResult(
+        makespan=best, assignment=best_assignment, evaluations=evaluations
+    )
+
+
+@dataclass(frozen=True)
+class InstanceCheck:
+    """One instance's differential verdict."""
+
+    n: int
+    k: int
+    jps_makespan: float
+    jps_fast_makespan: float
+    oracle_makespan: float
+    gap: float                        # jps - oracle, >= 0 when all is well
+    mismatches: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def check_instance(table: CostTable, n: int) -> InstanceCheck:
+    """Cross-examine JPS (scalar and fast) against the exhaustive oracle.
+
+    A *mismatch* is a genuine correctness violation, not a gap: the two
+    JPS implementations disagreeing with each other, JPS claiming a
+    makespan below the exhaustive optimum (impossible if both are
+    right), or Johnson's order being beaten on JPS's own cut choice. A
+    positive ``gap`` alone is legitimate — end effects let the optimum
+    beat the two-cut structure on some instances (cf. Fig. 11).
+    """
+    scalar = jps_line(table, n)
+    fast = jps_line_fast(table, n)
+    oracle = exhaustive_optimal(table, n)
+    mismatches: list[str] = []
+    if scalar.makespan != fast.makespan or [j.stages for j in scalar.jobs] != [
+        j.stages for j in fast.jobs
+    ]:
+        mismatches.append(
+            f"jps_line_fast diverged from jps_line: "
+            f"{fast.makespan!r} vs {scalar.makespan!r}"
+        )
+    if scalar.makespan < oracle.makespan - TOLERANCE:
+        mismatches.append(
+            f"jps beat the exhaustive optimum ({scalar.makespan!r} < "
+            f"{oracle.makespan!r}) — the oracle or the makespan math is broken"
+        )
+    johnson_best = best_order_brute_force([j.stages for j in scalar.jobs])
+    if johnson_best < scalar.makespan - TOLERANCE:
+        mismatches.append(
+            f"Johnson order suboptimal for JPS's own assignment: "
+            f"{johnson_best!r} < {scalar.makespan!r}"
+        )
+    return InstanceCheck(
+        n=n,
+        k=table.k,
+        jps_makespan=scalar.makespan,
+        jps_fast_makespan=fast.makespan,
+        oracle_makespan=oracle.makespan,
+        gap=scalar.makespan - oracle.makespan,
+        mismatches=tuple(mismatches),
+    )
+
+
+def random_line_table(
+    seed: "int | np.random.Generator", k: int, grid: int = 1024
+) -> CostTable:
+    """A random valid line cost table on a dyadic grid.
+
+    ``f`` non-decreasing from 0, ``g`` non-increasing to 0 (the LO
+    position exists, as on every real model), cloud identically 0 so the
+    2-stage oracle and the planner price the same problem. All values
+    are multiples of ``1/grid`` — exactly representable, so scalar and
+    vectorized plans must agree bit-for-bit, not just approximately.
+    """
+    require_positive(k, "k")
+    rng = make_rng(seed)
+    f_steps = rng.integers(0, 257, size=k - 1) if k > 1 else np.empty(0, dtype=int)
+    f = np.concatenate([[0.0], np.cumsum(f_steps)]) / grid
+    g_raw = np.sort(rng.integers(1, 1025, size=k - 1))[::-1] if k > 1 else []
+    g = np.concatenate([np.asarray(g_raw, dtype=float), [0.0]]) / grid
+    return CostTable(
+        model_name=f"oracle-random-k{k}",
+        positions=tuple(f"l{i}" for i in range(k)),
+        f=f,
+        g=g,
+        cloud=np.zeros(k),
+    )

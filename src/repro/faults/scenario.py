@@ -1,0 +1,188 @@
+"""The canonical fault scenario: blackout → degrade → recover.
+
+:func:`default_fault_scenario` builds the acceptance scenario from the
+PR issue — deadline-bound Poisson clients over a healthy uplink that
+goes dark for a 2 s window mid-run — and :func:`run_fault_scenario`
+serves the *identical* request stream twice over the faulted timeline:
+once with the configured :class:`~repro.faults.policy.ResiliencePolicy`
+(timeouts, bounded retries, degradation to local-only, recovery
+probing) and once with no policy at all (transfers stall through the
+blackout; queued requests expire). The comparison report counts
+completions within deadline on both sides and audits every accounting
+and clock invariant (:mod:`repro.faults.invariants`), which is exactly
+what the acceptance test and the CI ``fault-matrix`` job assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.plans import json_safe
+from repro.engine import PlanningEngine
+from repro.faults.invariants import MonotoneClockMonitor, accounting_violations
+from repro.faults.plan import Blackout, FaultPlan
+from repro.faults.policy import ResiliencePolicy
+from repro.obs.tracer import NullTracer, Tracer
+from repro.serving.estimator import AdaptiveChannelEstimator
+from repro.serving.gateway import Gateway
+from repro.serving.scenario import ScenarioConfig
+from repro.serving.workload import ClientSpec, generate_requests
+from repro.utils.rng import DEFAULT_SEED
+
+__all__ = ["default_fault_scenario", "run_fault_scenario"]
+
+
+def default_fault_scenario(
+    clients: int = 3,
+    rate: float = 2.5,
+    horizon: float = 20.0,
+    model: str = "alexnet",
+    seed: int = DEFAULT_SEED,
+    blackout_start: float = 8.0,
+    blackout_duration: float = 2.0,
+    deadline: float = 1.0,
+    mbps: float = 8.0,
+) -> ScenarioConfig:
+    """The issue's acceptance fault scenario, parameterized.
+
+    ``clients`` Poisson streams with a relative ``deadline`` over a flat
+    ``mbps`` uplink that blacks out for ``blackout_duration`` seconds at
+    ``blackout_start``. The paired policy is tuned so the blackout is
+    detected well inside the deadline: two timed-out attempts trigger
+    degradation, and quarter-second probes find the recovered channel
+    fast enough to replan within the run.
+    """
+    plan = FaultPlan(
+        seed=seed,
+        blackouts=(Blackout(blackout_start, blackout_start + blackout_duration),),
+        metadata={"scenario": "blackout-degrade-recover"},
+    )
+    policy = ResiliencePolicy(
+        max_retries=1,
+        backoff_base=0.05,
+        backoff_factor=2.0,
+        transfer_timeout=0.25,
+        degrade_after_failures=2,
+        local_fallback=True,
+        probe_interval=0.25,
+        probe_bytes=16 * 1024.0,
+    )
+    return ScenarioConfig(
+        clients=tuple(
+            ClientSpec(
+                name=f"client{i}",
+                model=model,
+                process="poisson",
+                rate=rate,
+                deadline=deadline,
+            )
+            for i in range(clients)
+        ),
+        bandwidth_steps=((0.0, mbps),),
+        horizon=horizon,
+        schemes=("JPS",),
+        seed=seed,
+        fault_plan=plan,
+        resilience=policy,
+    )
+
+
+def _event_kinds(replan_events: list[dict]) -> dict[str, int]:
+    kinds: dict[str, int] = {}
+    for event in replan_events:
+        kind = event.get("kind", "drift")
+        kinds[kind] = kinds.get(kind, 0) + 1
+    return kinds
+
+
+def _serve(
+    config: ScenarioConfig,
+    requests: list,
+    planner: PlanningEngine,
+    tracer: "Tracer | NullTracer",
+    policy: ResiliencePolicy | None,
+) -> dict:
+    """One gateway pass over the shared stream; returns its audit block."""
+    scheme = config.schemes[0]
+    gateway = Gateway(
+        timeline=config.timeline(),
+        planner=planner,
+        scheme=scheme,
+        estimator=AdaptiveChannelEstimator(
+            initial_bps=config.timeline().rates_bps[0],
+            alpha=config.ewma_alpha,
+            drift_threshold=config.drift_threshold,
+            setup_latency=config.setup_latency,
+            header_bytes=config.header_bytes,
+            protocol_overhead=config.protocol_overhead,
+        ),
+        max_queue_depth=config.max_queue_depth,
+        nominal_burst=config.nominal_burst,
+        include_cloud=config.include_cloud,
+        tracer=tracer,
+        resilience=policy,
+        faults=config.fault_plan,
+    )
+    clock = MonotoneClockMonitor().attach(gateway.engine)
+    result = gateway.run(requests)
+    report = gateway.report(result)
+    deadline = config.clients[0].deadline
+    completed = [r for r in result.records if r.latency is not None]
+    within = (
+        [r for r in completed if r.latency <= deadline]
+        if deadline is not None
+        else completed
+    )
+    return {
+        "report": report,
+        "completed": len(completed),
+        "within_deadline": len(within),
+        "events": _event_kinds(result.replan_events),
+        "violations": accounting_violations(report),
+        "clock_violations": clock.violations,
+    }
+
+
+def run_fault_scenario(
+    config: ScenarioConfig | None = None,
+    planner: PlanningEngine | None = None,
+    tracer: "Tracer | None" = None,
+) -> dict:
+    """Policy-on vs no-policy over one faulted stream; full audit report.
+
+    The optional ``tracer`` observes the policy run only (the golden
+    trace test pins its span structure). Both passes share one planner,
+    so the no-policy pass re-plans from warm structure caches.
+    """
+    config = config or default_fault_scenario()
+    if config.fault_plan is None:
+        raise ValueError("run_fault_scenario needs a config with a fault_plan")
+    if config.resilience is None:
+        raise ValueError("run_fault_scenario needs a config with a resilience policy")
+    if len(config.schemes) != 1:
+        raise ValueError("fault scenarios compare policies under a single scheme")
+    planner = planner or PlanningEngine()
+    obs = tracer or NullTracer()
+    requests = generate_requests(list(config.clients), config.horizon, config.seed)
+    with obs.span("faults/policy", lane=("scenario", "policy")):
+        policy_side = _serve(config, requests, planner, obs, config.resilience)
+    bare_side = _serve(
+        replace(config, resilience=None), requests, planner, NullTracer(), None
+    )
+    return json_safe(
+        {
+            "config": config.as_dict(),
+            "arrivals": len(requests),
+            "policy": policy_side,
+            "no_policy": bare_side,
+            "comparison": {
+                "within_deadline_policy": policy_side["within_deadline"],
+                "within_deadline_no_policy": bare_side["within_deadline"],
+                "within_deadline_gain": (
+                    policy_side["within_deadline"] - bare_side["within_deadline"]
+                ),
+                "degradations": policy_side["events"].get("degrade", 0),
+                "recovery_replans": policy_side["events"].get("recovery", 0),
+            },
+        }
+    )

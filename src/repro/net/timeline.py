@@ -64,6 +64,56 @@ class BandwidthTimeline:
         rates = tuple(r * 1e6 for _, r in steps)
         return cls(times=times, rates_bps=rates, **kwargs)
 
+    def with_rate_windows(
+        self,
+        windows: "list[tuple[float, float, float]]",
+        multiply: bool = False,
+    ) -> "BandwidthTimeline":
+        """A copy with rate windows overlaid on the base trace.
+
+        Each window is ``(start, end, value)``: on ``[start, end)`` the
+        rate becomes ``value`` bits/s (or ``base_rate * value`` when
+        ``multiply`` is true — bandwidth spikes/sags). Windows apply in
+        order, later windows winning where they overlap; framing
+        constants carry over unchanged. This is the plug-in point for
+        fault injection (:mod:`repro.faults`): blackouts and spikes
+        compose onto any ground-truth trace without the consumer — the
+        event engine's start-time-dependent transfer pricing — changing
+        at all.
+        """
+        if not windows:
+            return self
+        for start, end, value in windows:
+            require_non_negative(start, "window start")
+            if not end > start:
+                raise ValueError(f"window end {end} must be > start {start}")
+            if end == float("inf"):
+                raise ValueError("window end must be finite")
+            require_positive(value, "window value")
+        edges = {t for w in windows for t in w[:2]}
+        points = sorted({*self.times, *edges})
+        rates = []
+        for t in points:
+            rate = self.rate_at(t)
+            for start, end, value in windows:
+                if start <= t < end:
+                    rate = rate * value if multiply else value
+            rates.append(rate)
+        # merge runs of equal rates so repeated overlays stay compact
+        times_out = [points[0]]
+        rates_out = [rates[0]]
+        for t, r in zip(points[1:], rates[1:]):
+            if r != rates_out[-1]:
+                times_out.append(t)
+                rates_out.append(r)
+        return BandwidthTimeline(
+            times=tuple(times_out),
+            rates_bps=tuple(rates_out),
+            setup_latency=self.setup_latency,
+            header_bytes=self.header_bytes,
+            protocol_overhead=self.protocol_overhead,
+        )
+
     # ------------------------------------------------------------------
     def rate_at(self, t: float) -> float:
         """Instantaneous rate in bits/s at time ``t`` (>= 0)."""

@@ -23,12 +23,15 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.baselines import single_job_optimal_cut
 from repro.core.plans import JobPlan
 from repro.engine import PlanningEngine
 from repro.extensions.online import OnlineJpsScheduler
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import ResiliencePolicy
 from repro.net.timeline import BandwidthTimeline
 from repro.obs.tracer import NullTracer, Tracer
 from repro.profiling.latency import CostTable
@@ -43,6 +46,12 @@ __all__ = ["Gateway", "GatewayResult", "ServedRecord", "GATEWAY_SCHEMES"]
 #: Schemes the gateway can serve under. ``JPS`` adapts its cut mix on
 #: re-plans; the baselines' cut choices are bandwidth-invariant.
 GATEWAY_SCHEMES = ("JPS", "LO", "CO", "PO")
+
+#: Attempts per transfer the bare (no-policy) gateway retransmits a
+#: corrupted payload before the link layer gives up and the request is
+#: dropped — a safety valve, not a policy (with corruption probability
+#: p the chance of hitting it is p**100).
+MAX_BARE_RETRANSMITS = 100
 
 
 @dataclass
@@ -69,6 +78,12 @@ class _Ticket:
     compute_window: tuple[float, float] | None = None
     comm_window: tuple[float, float] | None = None
     cloud_window: tuple[float, float] | None = None
+    fallback_window: tuple[float, float] | None = None
+    # fault/resilience bookkeeping (inert on the fault-free path)
+    attempts: int = 0                 # transfer attempts so far
+    timed_out: bool = False           # last attempt hit the per-attempt timeout
+    degraded: bool = False            # completed (or will complete) locally
+    local_tail: float = 0.0           # mobile time of the layers past the cut
 
 
 class _HeadIndex:
@@ -143,12 +158,13 @@ class _HeadIndex:
 
 @dataclass(frozen=True)
 class ServedRecord:
-    """Terminal outcome of one request (served or dropped)."""
+    """Terminal outcome of one request (served, degraded, or dropped)."""
 
     request_id: int
     client_id: str
-    outcome: str                      # "served" | "rejected" | "expired"
-    latency: float | None             # completion - arrival, served only
+    # "served" | "degraded" | "rejected" | "expired" | "failed"
+    outcome: str
+    latency: float | None             # completion - arrival, completed only
 
 
 @dataclass
@@ -188,6 +204,8 @@ class Gateway:
         include_cloud: bool = True,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | NullTracer | None = None,
+        resilience: ResiliencePolicy | None = None,
+        faults: FaultInjector | FaultPlan | None = None,
     ) -> None:
         if scheme not in GATEWAY_SCHEMES:
             raise ValueError(f"unknown scheme {scheme!r} (use one of {GATEWAY_SCHEMES})")
@@ -220,6 +238,25 @@ class Gateway:
         self._cloud = Resource(self._engine, "cloud-gpu")
         self._cpu_claimed = False
         self._inflight = 0
+        # resilience + fault injection (both strictly opt-in: leaving them
+        # None keeps this gateway byte-identical to the policy-free path)
+        self.resilience = resilience
+        self.faults = faults.injector() if isinstance(faults, FaultPlan) else faults
+        self._degraded = False
+        self._consecutive_failures = 0
+        self._probe_pending = False
+        self._probe_timed_out = False
+
+    @property
+    def engine(self) -> Engine:
+        """The underlying event engine (read-only; invariant monitors
+        attach their clock observers here)."""
+        return self._engine
+
+    @property
+    def degraded_mode(self) -> bool:
+        """True while the gateway is serving local-only after a blackout."""
+        return self._degraded
 
     # ------------------------------------------------------------------
     # planning state
@@ -243,6 +280,10 @@ class Gateway:
         return self._models[model]
 
     def _next_position(self, state: _ModelState) -> int:
+        if self._degraded:
+            # degraded mode: everything runs on the device until a
+            # recovery probe brings the uplink back
+            return state.table.k - 1
         if self.scheme == "LO":
             return state.table.k - 1
         if self.scheme == "CO":
@@ -253,15 +294,29 @@ class Gateway:
         state.assigned += 1
         return position
 
-    def _replan(self) -> None:
-        old_bps = self.estimator.planned_bps
-        drift = self.estimator.drift
-        new_bps = self.estimator.rebase()
+    @property
+    def _fault_aware(self) -> bool:
+        """True when any opt-in fault machinery is installed.
+
+        Gates every new report/event field: a gateway constructed
+        without faults or a policy emits byte-identical output to the
+        pre-fault code, replan events included.
+        """
+        return self.resilience is not None or self.faults is not None
+
+    def _rebuild_plans(self) -> None:
         carried = {model: state.assigned for model, state in self._models.items()}
         self._models = {model: self._build_model_state(model) for model in self._models}
         for model, assigned in carried.items():
             self._models[model].assigned = assigned
+
+    def _replan(self, kind: str = "drift") -> None:
+        old_bps = self.estimator.planned_bps
+        drift = self.estimator.drift
+        new_bps = self.estimator.rebase()
+        self._rebuild_plans()
         self.metrics.counter("replans").increment()
+        tagged = {"kind": kind} if self._fault_aware else {}
         self.tracer.instant(
             "gateway/replan",
             timestamp=self._engine.now,
@@ -269,6 +324,7 @@ class Gateway:
             old_bps=old_bps,
             new_bps=new_bps,
             drift=drift,
+            **tagged,
         )
         self.replan_events.append(
             {
@@ -276,6 +332,7 @@ class Gateway:
                 "old_bps": old_bps,
                 "new_bps": new_bps,
                 "drift": drift,
+                **tagged,
             }
         )
 
@@ -285,6 +342,25 @@ class Gateway:
     def submit(self, request: Request) -> None:
         """Admit (or reject) one request at the current simulation time."""
         self.metrics.counter("arrived").increment()
+        if self.faults is not None and self.faults.disconnected(
+            request.client_id, self._engine.now
+        ):
+            # the client's link to the gateway is down: the request never
+            # reaches admission (it is not queued, so it cannot expire)
+            self.metrics.counter("dropped").increment()
+            self.metrics.counter("dropped_disconnected").increment()
+            self.tracer.instant(
+                "gateway/drop",
+                timestamp=self._engine.now,
+                lane=("gateway", "events"),
+                request_id=request.request_id,
+                client=request.client_id,
+                reason="disconnected",
+            )
+            self._records.append(
+                ServedRecord(request.request_id, request.client_id, "failed", None)
+            )
+            return
         if request.client_id not in self._queues:
             self._queues[request.client_id] = deque()
             self._client_pos[request.client_id] = len(self._client_order)
@@ -322,12 +398,19 @@ class Gateway:
             plan=plan,
             payload_bytes=state.payloads[position],
             admitted_at=self._engine.now,
+            # mobile time of the layers past the cut — what a local
+            # fallback must still execute after the transfer is abandoned
+            local_tail=max(0.0, state.table.local_only_time - f),
+            degraded=self._degraded,
         )
         queue.append(ticket)
         if len(queue) == 1:
             self._index.push(ticket)
         self.metrics.counter("admitted").increment()
         self.metrics.histogram("queue_depth").observe(len(queue))
+        if self._degraded:
+            # new work while degraded: make sure recovery probing runs
+            self._schedule_probe()
         self._dispatch()
 
     # ------------------------------------------------------------------
@@ -387,10 +470,34 @@ class Gateway:
         self.metrics.histogram("queue_wait").observe(
             self._engine.now - ticket.request.arrival
         )
-        label = f"req{ticket.request.request_id}"
+        rid = ticket.request.request_id
+        label = f"req{rid}"
+        policy = self.resilience
+        injector = self.faults
+        # executed (not planned) costs: cost-model misestimation makes the
+        # run diverge from the plan without the planner knowing
+        compute_time = ticket.plan.compute_time
+        wire_payload = ticket.payload_bytes
+        if injector is not None:
+            compute_time = compute_time * injector.compute_factor(rid)
+            wire_payload = wire_payload * injector.payload_factor(rid)
 
         def comm_duration(start: float) -> float:
-            return self.timeline.transfer_end(start, ticket.payload_bytes) - start
+            actual = self.timeline.transfer_end(start, wire_payload) - start
+            if (
+                policy is not None
+                and policy.transfer_timeout is not None
+                and actual > policy.transfer_timeout
+            ):
+                # abandon the attempt: release the uplink at the timeout
+                # instead of holding it for a (possibly unbounded) stall
+                ticket.timed_out = True
+                return policy.transfer_timeout
+            ticket.timed_out = False
+            return actual
+
+        def send() -> None:
+            self._uplink.acquire(f"{label}/comm", comm_duration, after_comm)
 
         def after_compute(start: float, end: float) -> None:
             ticket.compute_window = (start, end)
@@ -399,16 +506,91 @@ class Gateway:
             self._cpu_claimed = False
             self._dispatch()
             if ticket.payload_bytes > 0:
-                self._uplink.acquire(f"{label}/comm", comm_duration, after_comm)
+                send()
             else:
                 enter_cloud()
 
         def after_comm(start: float, end: float) -> None:
+            attempt = ticket.attempts
+            ticket.attempts += 1
+            if ticket.timed_out:
+                ticket.timed_out = False
+                transfer_failed("timeout")
+                return
+            if injector is not None and injector.corrupted(rid, attempt, start):
+                transfer_failed("corrupt")
+                return
             ticket.comm_window = (start, end)
+            self._consecutive_failures = 0
             self.estimator.observe(ticket.payload_bytes, end - start)
             if self.scheme == "JPS" and self.estimator.drifted():
                 self._replan()
             enter_cloud()
+
+        def transfer_failed(reason: str) -> None:
+            self.metrics.counter("transfer_failures").increment()
+            self.metrics.counter(
+                "transfer_timeouts" if reason == "timeout" else "transfer_corruptions"
+            ).increment()
+            self._consecutive_failures += 1
+            self.tracer.instant(
+                "gateway/transfer_failure",
+                timestamp=self._engine.now,
+                lane=("gateway", "events"),
+                request_id=rid,
+                reason=reason,
+                attempt=ticket.attempts - 1,
+            )
+            if policy is None:
+                # bare link layer: immediate retransmit until the safety
+                # valve trips (models TCP with no application policy)
+                if ticket.attempts >= MAX_BARE_RETRANSMITS:
+                    fail()
+                else:
+                    send()
+                return
+            if (
+                not self._degraded
+                and self._consecutive_failures >= policy.degrade_after_failures
+            ):
+                self._enter_degraded()
+            if ticket.attempts <= policy.max_retries:
+                self.metrics.counter("transfer_retries").increment()
+                self._engine.schedule(policy.backoff(ticket.attempts - 1), send)
+            elif policy.local_fallback:
+                local_fallback()
+            else:
+                fail()
+
+        def local_fallback() -> None:
+            # retries exhausted: run the remaining layers on the device
+            # instead of dropping the request
+            self.metrics.counter("local_fallbacks").increment()
+            ticket.degraded = True
+            if ticket.local_tail > 0:
+                self._mobile.acquire(f"{label}/fallback", ticket.local_tail, after_fallback)
+            else:
+                finish()
+
+        def after_fallback(start: float, end: float) -> None:
+            ticket.fallback_window = (start, end)
+            finish()
+
+        def fail() -> None:
+            self._inflight -= 1
+            self.metrics.counter("dropped").increment()
+            self.metrics.counter("dropped_transfer_failed").increment()
+            self.tracer.instant(
+                "gateway/drop",
+                timestamp=self._engine.now,
+                lane=("gateway", "events"),
+                request_id=rid,
+                client=ticket.request.client_id,
+                reason="transfer_failed",
+            )
+            self._records.append(
+                ServedRecord(rid, ticket.request.client_id, "failed", None)
+            )
 
         def enter_cloud() -> None:
             if self.include_cloud and ticket.plan.cloud_time > 0:
@@ -426,21 +608,20 @@ class Gateway:
             ticket.completed = self._engine.now
             self._inflight -= 1
             latency = ticket.completed - ticket.request.arrival
-            self.metrics.counter("served").increment()
+            outcome = "degraded" if ticket.degraded else "served"
+            self.metrics.counter(outcome).increment()
             self.metrics.histogram("latency").observe(latency)
             self._record_spans(ticket, latency)
             self._records.append(
                 ServedRecord(
-                    ticket.request.request_id,
+                    rid,
                     ticket.request.client_id,
-                    "served",
+                    outcome,
                     latency,
                 )
             )
 
-        self._mobile.acquire(
-            f"{label}/compute", ticket.plan.compute_time, after_compute
-        )
+        self._mobile.acquire(f"{label}/compute", compute_time, after_compute)
 
     def _record_spans(self, ticket: _Ticket, latency: float) -> None:
         """Retro-record one served request's lifecycle as tracer spans.
@@ -471,6 +652,7 @@ class Gateway:
             ("compute", "mobile-cpu", ticket.compute_window),
             ("transfer", "uplink", ticket.comm_window),
             ("cloud", "cloud-gpu", ticket.cloud_window),
+            ("fallback", "mobile-cpu", ticket.fallback_window),
         ):
             if window is None:
                 continue
@@ -482,6 +664,91 @@ class Gateway:
                 lane=(process, resource),
                 resource=resource,
             )
+
+    # ------------------------------------------------------------------
+    # degraded mode + recovery probing
+    # ------------------------------------------------------------------
+    def _has_work(self) -> bool:
+        return self._inflight > 0 or any(self._queues.values())
+
+    def _enter_degraded(self) -> None:
+        """Stop offloading: serve local-only and start probing the uplink."""
+        if self._degraded:
+            return
+        self._degraded = True
+        self.metrics.counter("degradations").increment()
+        self.tracer.instant(
+            "gateway/degrade",
+            timestamp=self._engine.now,
+            lane=("gateway", "events"),
+            consecutive_failures=self._consecutive_failures,
+        )
+        self.replan_events.append(
+            {
+                "time": self._engine.now,
+                "old_bps": self.estimator.planned_bps,
+                "new_bps": None,
+                "drift": self.estimator.drift,
+                "kind": "degrade",
+            }
+        )
+        self._schedule_probe()
+
+    def _recover(self) -> None:
+        """A probe returned in time: re-plan at the probed rate and resume."""
+        if not self._degraded:
+            return
+        self._degraded = False
+        self._consecutive_failures = 0
+        self.metrics.counter("recoveries").increment()
+        self.tracer.instant(
+            "gateway/recover",
+            timestamp=self._engine.now,
+            lane=("gateway", "events"),
+            estimate_bps=self.estimator.estimate_bps,
+        )
+        self._replan(kind="recovery")
+
+    def _schedule_probe(self) -> None:
+        """Arm the next recovery probe, if one is due and work remains.
+
+        Probes are only armed while the gateway has pending work: an
+        idle degraded gateway stops probing so ``Engine.run`` can drain
+        (a later :meth:`submit` re-arms probing).
+        """
+        if not self._degraded or self._probe_pending or self.resilience is None:
+            return
+        if not self._has_work():
+            return
+        self._probe_pending = True
+        self._engine.schedule(self.resilience.probe_interval, self._launch_probe)
+
+    def _launch_probe(self) -> None:
+        policy = self.resilience
+        if not self._degraded or policy is None:
+            self._probe_pending = False
+            return
+        timeout = policy.effective_probe_timeout
+
+        def probe_duration(start: float) -> float:
+            actual = self.timeline.transfer_end(start, policy.probe_bytes) - start
+            if timeout is not None and actual > timeout:
+                self._probe_timed_out = True
+                return timeout
+            self._probe_timed_out = False
+            return actual
+
+        def after_probe(start: float, end: float) -> None:
+            self._probe_pending = False
+            self.metrics.counter("probes").increment()
+            if self._probe_timed_out:
+                self._probe_timed_out = False
+                self._schedule_probe()
+                return
+            self.estimator.observe(policy.probe_bytes, end - start)
+            self._recover()
+
+        self._uplink.acquire("probe", probe_duration, after_probe)
 
     # ------------------------------------------------------------------
     # driving
@@ -520,7 +787,7 @@ class Gateway:
         snapshot = self.metrics.snapshot()
         counters = snapshot["counters"]
         horizon = max(result.makespan, 1e-12)
-        return {
+        report = {
             "scheme": result.scheme,
             "makespan": result.makespan,
             "counters": counters,
@@ -540,11 +807,24 @@ class Gateway:
             "throughput_rps": counters.get("served", 0) / horizon,
             "pending": result.pending,
             "balance_ok": (
-                counters.get("served", 0) + counters.get("dropped", 0) + result.pending
+                counters.get("served", 0)
+                + counters.get("degraded", 0)
+                + counters.get("dropped", 0)
+                + result.pending
                 == counters.get("arrived", 0)
             ),
             "engine_cache": self.planner.stats_snapshot()["totals"],
         }
+        # opt-in sections: absent on fault-free gateways so their reports
+        # stay byte-identical to the pre-fault code
+        if self.resilience is not None:
+            report["resilience"] = {
+                "policy": self.resilience.as_dict(),
+                "degraded_at_end": self._degraded,
+            }
+        if self.faults is not None:
+            report["faults"] = self.faults.snapshot()
+        return report
 
 
 def _submitter(gateway: Gateway, request: Request):

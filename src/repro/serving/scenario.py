@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 from repro.core.plans import json_safe
 from repro.engine import PlanningEngine
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import ResiliencePolicy
 from repro.net.channel import DEFAULT_HEADER_BYTES, DEFAULT_SETUP_LATENCY
 from repro.net.timeline import BandwidthTimeline
 from repro.obs.tracer import NullTracer, Tracer
@@ -50,6 +52,10 @@ class ScenarioConfig:
     setup_latency: float = DEFAULT_SETUP_LATENCY
     header_bytes: float = DEFAULT_HEADER_BYTES
     protocol_overhead: float = 1.05
+    # opt-in fault injection + resilience (see docs/robustness.md); when
+    # both are None the scenario report is byte-identical to pre-fault runs
+    fault_plan: FaultPlan | None = None
+    resilience: ResiliencePolicy | None = None
 
     def __post_init__(self) -> None:
         if not self.clients:
@@ -62,12 +68,16 @@ class ScenarioConfig:
             raise ValueError(f"unknown schemes {unknown} (use {GATEWAY_SCHEMES})")
 
     def timeline(self) -> BandwidthTimeline:
-        return BandwidthTimeline.steps_mbps(
+        """Ground-truth uplink, with the fault plan's windows overlaid."""
+        base = BandwidthTimeline.steps_mbps(
             list(self.bandwidth_steps),
             setup_latency=self.setup_latency,
             header_bytes=self.header_bytes,
             protocol_overhead=self.protocol_overhead,
         )
+        if self.fault_plan is None:
+            return base
+        return self.fault_plan.apply_to_timeline(base)
 
     def as_dict(self) -> dict:
         """JSON-safe config echo embedded in every report."""
@@ -94,6 +104,17 @@ class ScenarioConfig:
                 "include_cloud": self.include_cloud,
                 "ewma_alpha": self.ewma_alpha,
                 "drift_threshold": self.drift_threshold,
+                # present only when set, so fault-free echoes don't change
+                **(
+                    {"fault_plan": self.fault_plan.as_dict()}
+                    if self.fault_plan is not None
+                    else {}
+                ),
+                **(
+                    {"resilience": self.resilience.as_dict()}
+                    if self.resilience is not None
+                    else {}
+                ),
             }
         )
 
@@ -174,6 +195,10 @@ def run_scenario(
                 nominal_burst=config.nominal_burst,
                 include_cloud=config.include_cloud,
                 tracer=obs,
+                resilience=config.resilience,
+                # a FaultPlan here becomes a fresh injector per gateway, so
+                # schemes never share mutable fault state
+                faults=config.fault_plan,
             )
             with obs.span("scenario/scheme", lane=("scenario", scheme), scheme=scheme):
                 result = gateway.run(requests)

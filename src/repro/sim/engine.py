@@ -36,6 +36,12 @@ class Engine:
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = 0
         self.now = 0.0
+        #: Optional observer fired with the clock value before each event
+        #: callback. The fault-injection invariant monitor
+        #: (:class:`repro.faults.invariants.MonotoneClockMonitor`) hooks
+        #: here to assert virtual time never runs backwards under any
+        #: injected fault schedule; ``None`` costs nothing.
+        self.on_advance: Callable[[float], None] | None = None
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` at ``now + delay``."""
@@ -55,6 +61,8 @@ class Engine:
             if time < self.now - 1e-12:
                 raise SimulationError(f"event at {time} is before now={self.now}")
             self.now = max(self.now, time)
+            if self.on_advance is not None:
+                self.on_advance(self.now)
             callback()
         return self.now
 

@@ -13,6 +13,13 @@ the plan) so robustness can be measured:
   number of jobs; compares an *oblivious* device (keeps the stale cuts)
   against an *adaptive* one (replans the remaining jobs on the new cost
   table, as the AR example's re-planning loop does).
+
+Randomness follows the fault-injection stream convention
+(:func:`repro.utils.rng.stream_rng`): compute and communication jitter
+draw from independent named streams (``perturb/compute``,
+``perturb/comm``), so enabling one kind of jitter never shifts the
+other kind's draws — the same convention :mod:`repro.faults` uses for
+corruption and misestimation decisions.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from repro.core.joint import jps_line
 from repro.core.plans import JobPlan, Schedule
 from repro.core.scheduling import flow_shop_makespan, schedule_jobs
 from repro.profiling.latency import CostTable
-from repro.utils.rng import make_rng
+from repro.utils.rng import DEFAULT_SEED, spawn, stream_rng
 from repro.utils.validation import require_in_range, require_non_negative, require_positive
 
 __all__ = [
@@ -34,6 +41,23 @@ __all__ = [
     "executed_makespan",
     "two_phase_makespan",
 ]
+
+
+def _perturb_streams(
+    seed: int | np.random.Generator | None,
+) -> tuple[np.random.Generator, np.random.Generator]:
+    """(compute, comm) generators per the named-stream convention.
+
+    Integer (or default) seeds map to the ``perturb/compute`` and
+    ``perturb/comm`` streams; an existing generator is split into two
+    independent children so threading one through an experiment still
+    keeps the families decoupled.
+    """
+    if isinstance(seed, np.random.Generator):
+        compute_rng, comm_rng = spawn(seed, 2)
+        return compute_rng, comm_rng
+    base = DEFAULT_SEED if seed is None else seed
+    return stream_rng(base, "perturb/compute"), stream_rng(base, "perturb/comm")
 
 
 def perturbed_schedule(
@@ -48,18 +72,31 @@ def perturbed_schedule(
     ``*_jitter`` are log-normal sigmas (0 = exact); ``bandwidth_scale``
     multiplies every communication stage (0.5 = the link halved). The
     job order is preserved — the device already committed to it.
+
+    Compute and comm jitter draw from independent named streams, so a
+    run with only ``compute_jitter`` set executes the exact same compute
+    perturbations as a run that also jitters communication.
     """
     require_non_negative(compute_jitter, "compute_jitter")
     require_non_negative(comm_jitter, "comm_jitter")
     require_positive(bandwidth_scale, "bandwidth_scale")
-    rng = make_rng(seed)
+    if not schedule.jobs:
+        # same guard as the scheduling kernels: an empty schedule
+        # perturbs to an empty schedule (makespan 0), no draws consumed
+        return Schedule(
+            jobs=(),
+            makespan=0.0,
+            method=f"{schedule.method}/perturbed",
+            metadata={**schedule.metadata, "bandwidth_scale": bandwidth_scale},
+        )
+    compute_rng, comm_rng = _perturb_streams(seed)
     jobs = []
     for plan in schedule.jobs:
         compute = plan.compute_time * (
-            rng.lognormal(0.0, compute_jitter) if compute_jitter else 1.0
+            compute_rng.lognormal(0.0, compute_jitter) if compute_jitter else 1.0
         )
         comm = plan.comm_time / bandwidth_scale * (
-            rng.lognormal(0.0, comm_jitter) if comm_jitter else 1.0
+            comm_rng.lognormal(0.0, comm_jitter) if comm_jitter else 1.0
         )
         jobs.append(replace(plan, compute_time=compute, comm_time=comm))
     return Schedule(
@@ -75,6 +112,8 @@ def straggler_schedule(
 ) -> Schedule:
     """Inflate one job's computation stage by ``slowdown``x."""
     require_positive(slowdown, "slowdown")
+    if not schedule.jobs:
+        raise ValueError("cannot pick a straggler in an empty schedule")
     if not 0 <= job_index < len(schedule.jobs):
         raise IndexError(f"job_index {job_index} out of range")
     jobs = list(schedule.jobs)

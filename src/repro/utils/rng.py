@@ -10,6 +10,8 @@ reported tables.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 #: Seed used by experiment harnesses when the caller does not provide one.
@@ -28,6 +30,24 @@ def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generat
     if seed is None:
         seed = DEFAULT_SEED
     return np.random.default_rng(seed)
+
+
+def stream_rng(seed: int, stream: str) -> np.random.Generator:
+    """A named, independent random stream derived from ``(seed, stream)``.
+
+    The fault-injection convention: every stochastic decision family gets
+    its own stream keyed by a stable name (``"faults/corruption"``,
+    ``"perturb/compute"``, ...), so draws in one family never shift
+    another family's sequence — enabling a fault to be toggled without
+    perturbing the rest of a seeded run, and making replays with the
+    same seed bit-identical regardless of evaluation order. The stream
+    name is folded into the seed material via CRC-32, which numpy's
+    ``SeedSequence`` mixes with the base seed.
+    """
+    if not stream:
+        raise ValueError("stream name must be non-empty")
+    digest = zlib.crc32(stream.encode("utf-8"))
+    return np.random.default_rng([seed, digest])
 
 
 def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:

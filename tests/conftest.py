@@ -20,6 +20,23 @@ from repro.utils.units import mbps
 from tests.helpers import make_table
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-rounds",
+        type=int,
+        default=20,
+        help=(
+            "random instances per differential-oracle fuzz test "
+            "(CI's fault-matrix job raises this to 200)"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def fuzz_rounds(request) -> int:
+    return request.config.getoption("--fuzz-rounds")
+
+
 @pytest.fixture(scope="session")
 def mobile():
     return raspberry_pi_4()

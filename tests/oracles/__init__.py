@@ -1,0 +1,1 @@
+"""Differential-oracle harness package (see :mod:`tests.oracles.harness`)."""

@@ -1,0 +1,89 @@
+"""Instance generation + corpus management for the differential oracle.
+
+One seed deterministically expands to one small planning instance
+(``n`` jobs over a random dyadic-grid cost table), which
+:func:`repro.faults.oracle.check_instance` cross-examines against the
+exhaustive brute-force planner. Two consumers:
+
+* ``tests/test_oracle_differential.py`` fuzzes ``--fuzz-rounds`` fresh
+  seeds per run and replays the committed corpus exactly;
+* ``python -m tests.oracles.harness [count]`` regenerates
+  ``tests/data/oracle_corpus.json`` — scanning seeds for instances where
+  JPS *equals* the exhaustive optimum (gap 0), so the committed corpus
+  asserts exact agreement, not just no-worse-than.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.faults.oracle import InstanceCheck, check_instance, random_line_table
+from repro.profiling.latency import CostTable
+from repro.utils.rng import make_rng
+
+#: Instance bounds: small enough that the factorial oracle is fast,
+#: large enough to exercise multi-job Johnson interleavings.
+MAX_JOBS = 6
+MAX_POSITIONS = 8
+
+CORPUS_PATH = Path(__file__).resolve().parent.parent / "data" / "oracle_corpus.json"
+
+
+def instance_from_seed(seed: int) -> tuple[CostTable, int]:
+    """Deterministically expand one seed into ``(table, n)``."""
+    rng = make_rng(seed)
+    k = int(rng.integers(2, MAX_POSITIONS + 1))
+    n = int(rng.integers(2, MAX_JOBS + 1))
+    return random_line_table(rng, k), n
+
+
+def check_seed(seed: int) -> InstanceCheck:
+    table, n = instance_from_seed(seed)
+    return check_instance(table, n)
+
+
+def load_corpus() -> list[dict]:
+    return json.loads(CORPUS_PATH.read_text())
+
+
+def build_corpus(count: int = 24, start_seed: int = 0) -> list[dict]:
+    """Scan seeds from ``start_seed`` for gap-0 instances.
+
+    Only instances where JPS matches the exhaustive optimum exactly are
+    committed, so the corpus test can assert float-equality; the fuzz
+    test covers the gap>0 tail separately.
+    """
+    corpus: list[dict] = []
+    seed = start_seed
+    while len(corpus) < count:
+        result = check_seed(seed)
+        if result.mismatches:
+            raise AssertionError(
+                f"seed {seed} found a real divergence while building the "
+                f"corpus: {result.mismatches}"
+            )
+        if result.gap == 0.0:
+            corpus.append(
+                {
+                    "seed": seed,
+                    "n": result.n,
+                    "k": result.k,
+                    "makespan": result.jps_makespan,
+                }
+            )
+        seed += 1
+    return corpus
+
+
+def main(argv: list[str]) -> int:
+    count = int(argv[1]) if len(argv) > 1 else 24
+    corpus = build_corpus(count)
+    CORPUS_PATH.write_text(json.dumps(corpus, indent=1, sort_keys=True) + "\n")
+    print(f"{len(corpus)} gap-0 instances -> {CORPUS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration entry point
+    sys.exit(main(sys.argv))

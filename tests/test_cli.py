@@ -142,6 +142,36 @@ def test_serve_json_to_stdout(capsys):
     assert payload["arrivals"] > 0
 
 
+def test_serve_faults_command(capsys, tmp_path):
+    import json
+
+    artifact = tmp_path / "faults.json"
+    out = run_cli(
+        capsys, "serve", "--faults", "--clients", "2", "--rate", "1.5",
+        "--horizon", "10", "--blackout-start", "3", "--blackout-duration", "1.5",
+        "--json", str(artifact),
+    )
+    assert "blackout 3s +1.5s" in out
+    assert "policy" in out and "no_policy" in out
+    assert "accounting violations 0" in out
+    payload = json.loads(artifact.read_text())
+    assert payload["comparison"]["degradations"] >= 1
+    assert payload["policy"]["violations"] == []
+    assert payload["no_policy"]["violations"] == []
+
+
+def test_serve_faults_json_to_stdout(capsys):
+    import json
+
+    out = run_cli(
+        capsys, "serve", "--faults", "--clients", "2", "--rate", "1.5",
+        "--horizon", "10", "--json", "-",
+    )
+    payload = json.loads(out[out.index("{"):])
+    assert payload["config"]["fault_plan"]["blackouts"] == [[8.0, 10.0]]
+    assert payload["config"]["resilience"]["local_fallback"] is True
+
+
 def test_experiment_serving(capsys):
     out = run_cli(capsys, "experiment", "serving")
     assert "serving" in out.lower()

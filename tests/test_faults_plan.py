@@ -1,0 +1,233 @@
+"""Units for fault plans, the injector, policies, and invariants."""
+
+import pytest
+
+from repro.faults import (
+    BLACKOUT_BPS,
+    Blackout,
+    ClientOutage,
+    CostMisestimation,
+    FaultPlan,
+    MonotoneClockMonitor,
+    RateSpike,
+    ResiliencePolicy,
+    TransferCorruption,
+    accounting_violations,
+)
+from repro.net.timeline import BandwidthTimeline
+from repro.sim.engine import Engine
+
+
+# ----------------------------------------------------------------------
+# plan validation + timeline composition
+# ----------------------------------------------------------------------
+def test_fault_window_validation():
+    with pytest.raises(ValueError):
+        Blackout(2.0, 2.0)
+    with pytest.raises(ValueError):
+        Blackout(-1.0, 2.0)
+    with pytest.raises(ValueError):
+        RateSpike(0.0, 1.0, factor=0.0)
+    with pytest.raises(ValueError):
+        TransferCorruption(probability=1.5)
+    with pytest.raises(ValueError):
+        ClientOutage("", 0.0, 1.0)
+    with pytest.raises(ValueError):
+        CostMisestimation(compute_scale=0.0)
+
+
+def test_noop_plan_leaves_timeline_untouched():
+    base = BandwidthTimeline.constant(8e6, setup_latency=0.01)
+    plan = FaultPlan()
+    assert plan.is_noop
+    assert plan.apply_to_timeline(base) is base
+
+
+def test_blackout_overlays_timeline():
+    base = BandwidthTimeline.constant(8e6)
+    plan = FaultPlan(blackouts=(Blackout(2.0, 4.0),))
+    faulted = plan.apply_to_timeline(base)
+    assert faulted.rate_at(1.0) == 8e6
+    assert faulted.rate_at(2.0) == BLACKOUT_BPS
+    assert faulted.rate_at(3.999) == BLACKOUT_BPS
+    assert faulted.rate_at(4.0) == 8e6
+    assert plan.blackout_at(3.0) and not plan.blackout_at(4.0)
+
+
+def test_transfer_stalls_through_blackout():
+    """A transfer started inside a blackout resumes after the window."""
+    base = BandwidthTimeline.constant(8e6)
+    faulted = FaultPlan(blackouts=(Blackout(2.0, 4.0),)).apply_to_timeline(base)
+    clean_duration = base.transfer_end(0.0, 100_000.0)
+    end = faulted.transfer_end(2.5, 100_000.0)
+    # essentially nothing moves during the blackout; the payload drains
+    # at the base rate once the window ends
+    assert end == pytest.approx(4.0 + clean_duration, abs=1e-6)
+
+
+def test_spike_multiplies_and_blackout_wins():
+    base = BandwidthTimeline.constant(8e6)
+    plan = FaultPlan(
+        blackouts=(Blackout(2.0, 3.0),),
+        spikes=(RateSpike(1.0, 5.0, factor=2.0),),
+    )
+    faulted = plan.apply_to_timeline(base)
+    assert faulted.rate_at(1.5) == 16e6
+    assert faulted.rate_at(2.5) == BLACKOUT_BPS   # blackout over spike
+    assert faulted.rate_at(4.0) == 16e6
+    assert faulted.rate_at(5.0) == 8e6
+
+
+def test_rate_windows_preserve_framing_constants():
+    base = BandwidthTimeline.constant(
+        8e6, setup_latency=0.02, header_bytes=64.0, protocol_overhead=1.1
+    )
+    faulted = base.with_rate_windows([(1.0, 2.0, 1e3)])
+    assert faulted.setup_latency == base.setup_latency
+    assert faulted.header_bytes == base.header_bytes
+    assert faulted.protocol_overhead == base.protocol_overhead
+
+
+def test_plan_as_dict_roundtrips_only_set_fields():
+    assert FaultPlan(seed=7).as_dict() == {"seed": 7}
+    full = FaultPlan(
+        blackouts=(Blackout(1.0, 2.0),),
+        corruption=TransferCorruption(0.5),
+        misestimation=CostMisestimation(compute_scale=1.2),
+    ).as_dict()
+    assert full["blackouts"] == [[1.0, 2.0]]
+    assert full["corruption"]["probability"] == 0.5
+    assert full["misestimation"]["compute_scale"] == 1.2
+
+
+# ----------------------------------------------------------------------
+# injector determinism
+# ----------------------------------------------------------------------
+def test_corruption_draws_are_per_attempt_and_replayable():
+    plan = FaultPlan(seed=11, corruption=TransferCorruption(0.5))
+    a, b = plan.injector(), plan.injector()
+    fates_a = [a.corrupted(rid, att, 1.0) for rid in range(20) for att in range(3)]
+    fates_b = [b.corrupted(rid, att, 1.0) for rid in range(20) for att in range(3)]
+    assert fates_a == fates_b
+    assert any(fates_a) and not all(fates_a)
+    assert a.corruptions == sum(fates_a)
+    # asking out of order does not change any answer
+    c = plan.injector()
+    assert c.corrupted(7, 1, 1.0) == fates_a[7 * 3 + 1]
+
+
+def test_corruption_respects_window_and_probability_edges():
+    windowed = FaultPlan(
+        seed=1, corruption=TransferCorruption(1.0, start=5.0, end=6.0)
+    ).injector()
+    assert not windowed.corrupted(0, 0, 4.9)
+    assert windowed.corrupted(0, 0, 5.0)
+    assert not windowed.corrupted(0, 0, 6.0)
+    never = FaultPlan(seed=1, corruption=TransferCorruption(0.0)).injector()
+    assert not never.corrupted(0, 0, 5.0)
+    clean = FaultPlan(seed=1).injector()
+    assert not clean.corrupted(0, 0, 5.0)
+
+
+def test_disconnect_windows_tally():
+    plan = FaultPlan(outages=(ClientOutage("c0", 1.0, 2.0),))
+    injector = plan.injector()
+    assert injector.disconnected("c0", 1.5)
+    assert not injector.disconnected("c0", 2.0)
+    assert not injector.disconnected("c1", 1.5)
+    assert injector.disconnect_drops == 1
+
+
+def test_misestimation_factors_deterministic_per_request():
+    plan = FaultPlan(
+        seed=3, misestimation=CostMisestimation(compute_scale=1.5, jitter=0.2)
+    )
+    a, b = plan.injector(), plan.injector()
+    assert a.compute_factor(4) == b.compute_factor(4)
+    assert a.compute_factor(4) == a.compute_factor(4)       # cached
+    assert a.compute_factor(4) != a.compute_factor(5)       # per-request noise
+    # compute and payload noise come from different streams
+    scale_free = FaultPlan(seed=3, misestimation=CostMisestimation(jitter=0.2))
+    injector = scale_free.injector()
+    assert injector.compute_factor(4) != injector.payload_factor(4)
+    assert FaultPlan(seed=3).injector().compute_factor(4) == 1.0
+
+
+# ----------------------------------------------------------------------
+# policy
+# ----------------------------------------------------------------------
+def test_policy_backoff_and_validation():
+    policy = ResiliencePolicy(backoff_base=0.1, backoff_factor=2.0)
+    assert policy.backoff(0) == pytest.approx(0.1)
+    assert policy.backoff(2) == pytest.approx(0.4)
+    assert ResiliencePolicy(transfer_timeout=0.5).effective_probe_timeout == 0.5
+    assert ResiliencePolicy(probe_timeout=0.2).effective_probe_timeout == 0.2
+    with pytest.raises(ValueError):
+        ResiliencePolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        ResiliencePolicy(transfer_timeout=0.0)
+    assert ResiliencePolicy().as_dict()["max_retries"] == 2
+
+
+# ----------------------------------------------------------------------
+# invariants
+# ----------------------------------------------------------------------
+def _report(**overrides):
+    counters = {
+        "arrived": 10,
+        "admitted": 8,
+        "served": 6,
+        "degraded": 1,
+        "dropped": 3,
+        "dropped_queue_full": 2,
+        "dropped_deadline": 1,
+    }
+    counters.update(overrides.pop("counters", {}))
+    report = {"counters": counters, "pending": 0, "histograms": {}}
+    report.update(overrides)
+    return report
+
+
+def test_accounting_clean_report_passes():
+    assert accounting_violations(_report()) == []
+
+
+def test_accounting_catches_lost_requests():
+    broken = _report(counters={"served": 5})
+    assert any("arrived" in v for v in accounting_violations(broken))
+
+
+def test_accounting_catches_bad_drop_tiling():
+    broken = _report(counters={"dropped_deadline": 0})
+    assert any("drop reasons" in v for v in accounting_violations(broken))
+
+
+def test_accounting_catches_negative_histogram():
+    broken = _report(histograms={"latency": {"count": 3, "min": -0.5}})
+    assert any("latency" in v for v in accounting_violations(broken))
+
+
+def test_monotone_clock_monitor_passes_and_chains():
+    engine = Engine()
+    seen = []
+    engine.on_advance = seen.append
+    monitor = MonotoneClockMonitor().attach(engine)
+    engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    engine.run()
+    assert monitor.violations == []
+    assert monitor.events == 2
+    assert seen == [1.0, 2.0]                     # previous observer still fires
+
+
+def test_monotone_clock_monitor_flags_regression():
+    monitor = MonotoneClockMonitor()
+
+    class _Fake:
+        on_advance = None
+
+    fake = _Fake()
+    monitor.attach(fake)
+    fake.on_advance(2.0)
+    fake.on_advance(1.0)
+    assert monitor.violations and "backwards" in monitor.violations[0]

@@ -1,0 +1,106 @@
+"""Differential fuzz: jps_line vs jps_line_fast vs the brute-force oracle.
+
+Two layers of defense: a seeded fuzz sweep over fresh random instances
+every run (``--fuzz-rounds`` controls the budget; CI's fault-matrix job
+runs 200), and an exact replay of the committed corpus in
+``tests/data/oracle_corpus.json`` — gap-0 instances where JPS must equal
+the exhaustive optimum to the last bit (regenerate with
+``python -m tests.oracles.harness``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults.oracle import (
+    TOLERANCE,
+    check_instance,
+    exhaustive_optimal,
+    random_line_table,
+)
+from tests.helpers import make_table
+from tests.oracles.harness import (
+    MAX_JOBS,
+    MAX_POSITIONS,
+    check_seed,
+    instance_from_seed,
+    load_corpus,
+)
+
+#: Fuzz seeds live far from the corpus scan (which starts at 0), so
+#: raising --fuzz-rounds never replays committed instances.
+FUZZ_SEED_BASE = 1_000_000
+
+
+def test_fuzz_differential(fuzz_rounds):
+    """No correctness mismatch on any random instance; gap never negative."""
+    gaps = []
+    for i in range(fuzz_rounds):
+        result = check_seed(FUZZ_SEED_BASE + i)
+        assert result.mismatches == (), (
+            f"seed {FUZZ_SEED_BASE + i} (n={result.n}, k={result.k}): "
+            f"{result.mismatches}"
+        )
+        assert result.gap >= -TOLERANCE
+        gaps.append(result.gap)
+    # the two-cut structure is near-optimal: most instances close the gap
+    assert sum(1 for g in gaps if g == 0.0) > 0
+
+
+def test_committed_corpus_is_exact():
+    corpus = load_corpus()
+    assert len(corpus) >= 24
+    for entry in corpus:
+        result = check_seed(entry["seed"])
+        assert result.mismatches == ()
+        assert result.n == entry["n"]
+        assert result.k == entry["k"]
+        # gap-0 corpus: JPS, its vectorized twin, and the exhaustive
+        # optimum agree bit-for-bit with the committed value
+        assert result.gap == 0.0
+        assert result.jps_makespan == entry["makespan"]
+        assert result.jps_fast_makespan == entry["makespan"]
+        assert result.oracle_makespan == entry["makespan"]
+
+
+def test_instance_expansion_is_deterministic_and_bounded():
+    table_a, n_a = instance_from_seed(123)
+    table_b, n_b = instance_from_seed(123)
+    assert n_a == n_b
+    assert np.array_equal(table_a.f, table_b.f)
+    assert np.array_equal(table_a.g, table_b.g)
+    assert 2 <= n_a <= MAX_JOBS
+    assert 2 <= table_a.k <= MAX_POSITIONS
+
+
+def test_oracle_hand_computed_instance():
+    """k=2: cut 0 = (0, 1), cut 1 = (0.5, 0). The optimum mixes cuts."""
+    table = make_table([0.0, 0.5], [1.0, 0.0])
+    result = exhaustive_optimal(table, 2)
+    assert result.makespan == pytest.approx(1.0)
+    assert sorted(result.assignment) == [0, 1]
+    # and the full differential check agrees with JPS on it
+    check = check_instance(table, 2)
+    assert check.mismatches == ()
+    assert check.gap == pytest.approx(0.0)
+
+
+def test_oracle_single_job_matches_min_cut():
+    table = make_table([0.0, 0.2, 0.6], [0.7, 0.3, 0.0])
+    result = exhaustive_optimal(table, 1)
+    assert result.makespan == pytest.approx(
+        min(f + g for f, g in (table.stage_lengths(p) for p in range(table.k)))
+    )
+
+
+def test_oracle_evaluation_guard():
+    table = random_line_table(0, 8)
+    with pytest.raises(ValueError, match="exhaustive search exceeded"):
+        exhaustive_optimal(table, 6, max_evaluations=100)
+
+
+def test_oracle_position_subset():
+    table = make_table([0.0, 0.2, 0.6], [0.7, 0.3, 0.0])
+    full = exhaustive_optimal(table, 2)
+    narrowed = exhaustive_optimal(table, 2, positions=[0, 2])
+    assert narrowed.makespan >= full.makespan - TOLERANCE
+    assert set(narrowed.assignment) <= {0, 2}

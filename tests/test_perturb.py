@@ -63,6 +63,47 @@ def test_perturbed_makespan_consistent(alexnet_table, jitter, scale, seed):
     assert all(p.compute_time >= 0 and p.comm_time >= 0 for p in shaken.jobs)
 
 
+def test_jitter_streams_are_independent(alexnet_table):
+    """Enabling comm jitter must not shift the compute draws (and vice
+    versa): the two families draw from independent named streams."""
+    schedule = jps_line(alexnet_table, 8)
+    compute_only = perturbed_schedule(schedule, seed=7, compute_jitter=0.2)
+    both = perturbed_schedule(
+        schedule, seed=7, compute_jitter=0.2, comm_jitter=0.3
+    )
+    for a, b in zip(compute_only.jobs, both.jobs):
+        assert a.compute_time == b.compute_time
+    comm_only = perturbed_schedule(schedule, seed=7, comm_jitter=0.3)
+    for a, b in zip(comm_only.jobs, both.jobs):
+        assert a.comm_time == b.comm_time
+
+
+def test_generator_seed_also_splits_streams(alexnet_table):
+    import numpy as np
+
+    schedule = jps_line(alexnet_table, 6)
+    a = perturbed_schedule(
+        schedule, seed=np.random.default_rng(5), compute_jitter=0.2
+    )
+    b = perturbed_schedule(
+        schedule, seed=np.random.default_rng(5), compute_jitter=0.2, comm_jitter=0.3
+    )
+    for x, y in zip(a.jobs, b.jobs):
+        assert x.compute_time == y.compute_time
+
+
+def test_empty_schedule_guards():
+    from repro.core.plans import Schedule
+
+    empty = Schedule(jobs=(), makespan=0.0, method="JPS")
+    shaken = perturbed_schedule(empty, seed=1, compute_jitter=0.5)
+    assert shaken.jobs == ()
+    assert shaken.makespan == 0.0
+    assert shaken.method.endswith("/perturbed")
+    with pytest.raises(ValueError, match="empty schedule"):
+        straggler_schedule(empty, job_index=0, slowdown=2.0)
+
+
 def test_straggler_inflates_makespan(alexnet_table):
     schedule = jps_line(alexnet_table, 8)
     slow = straggler_schedule(schedule, job_index=3, slowdown=5.0)
