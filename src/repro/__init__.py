@@ -27,14 +27,16 @@ models and estimators), ``repro.net`` (bandwidth/channel models),
 pipeline), ``repro.runtime`` (system prototype), ``repro.experiments``
 (per-figure harnesses + parallel campaign runner), ``repro.extensions``
 (beyond-the-paper features), ``repro.serving`` (multi-client offload
-gateway with adaptive re-planning and metrics), ``repro.obs`` (unified
+gateway with adaptive re-planning and metrics), ``repro.fleet``
+(multi-server fleet behind the unified ``SystemConfig``/``run_system``
+scenario API — see ``docs/serving.md``), ``repro.obs`` (unified
 tracing & telemetry: spans, Chrome-trace export, Prometheus
 exposition — see ``docs/observability.md``), ``repro.faults`` (seeded
 fault injection, gateway resilience policies, and the differential
 oracle — see ``docs/robustness.md``).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Facade names re-exported lazily from :mod:`repro.api` (PEP 562), so
 #: ``import repro`` stays light and experiment modules that import
@@ -74,6 +76,21 @@ _API_EXPORTS = frozenset(
         "default_scenario",
         "run_scenario",
         "BandwidthTimeline",
+        # fleet serving behind the unified scenario API (repro.fleet)
+        "SystemConfig",
+        "SystemReport",
+        "WorkloadConfig",
+        "ServerSpec",
+        "PlacementConfig",
+        "AdmissionConfig",
+        "ChannelConfig",
+        "FaultsConfig",
+        "ObservabilityConfig",
+        "FleetGateway",
+        "run_system",
+        "default_fleet",
+        "capacity_scenario",
+        "fleet_accounting_violations",
         # fault injection + resilience (repro.faults)
         "FaultPlan",
         "FaultInjector",

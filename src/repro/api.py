@@ -45,6 +45,22 @@ from repro.faults import (
     exhaustive_optimal,
     run_fault_scenario,
 )
+from repro.fleet import (
+    AdmissionConfig,
+    ChannelConfig,
+    FaultsConfig,
+    FleetGateway,
+    ObservabilityConfig,
+    PlacementConfig,
+    ServerSpec,
+    SystemConfig,
+    SystemReport,
+    WorkloadConfig,
+    capacity_scenario,
+    default_fleet,
+    fleet_accounting_violations,
+    run_system,
+)
 from repro.net.bandwidth import (
     FOUR_G,
     PRESETS,
@@ -107,6 +123,21 @@ __all__ = [
     "default_scenario",
     "run_scenario",
     "BandwidthTimeline",
+    # fleet serving behind the unified scenario API (repro.fleet)
+    "SystemConfig",
+    "SystemReport",
+    "WorkloadConfig",
+    "ServerSpec",
+    "PlacementConfig",
+    "AdmissionConfig",
+    "ChannelConfig",
+    "FaultsConfig",
+    "ObservabilityConfig",
+    "FleetGateway",
+    "run_system",
+    "default_fleet",
+    "capacity_scenario",
+    "fleet_accounting_violations",
     # fault injection + resilience (repro.faults)
     "FaultPlan",
     "FaultInjector",

@@ -16,9 +16,16 @@ serve [--clients N] [--rate R] [--horizon T] [--model M] [--mbps X]
                                multi-client offload gateway scenario;
                                --faults runs the blackout fault scenario
                                (resilience policy vs no policy) instead
+fleet [--servers N] [--clients C] [--rate R] [--horizon T] [--model M]
+      [--mbps X] [--deadline D] [--placement P] [--scheme S] [--seed K]
+      [--queue-depth Q] [--compare-single] [--json PATH]
+                               N-server fleet through the unified
+                               SystemConfig/run_system API: placement,
+                               admission, per-server audit; exit 1 on
+                               any accounting/clock violation
 experiment NAME [--jobs J]     regenerate a paper artifact
                                (fig4 | fig11 | fig12 | fig13 | fig14 | table1
-                                | serving)
+                                | serving | fleet)
 dot MODEL [--mbps X]           Graphviz DOT with the JPS cut highlighted
 energy MODEL [--radio R]       energy-latency Pareto frontier
 campaign OUT [--quick] [--compare OLD] [--tolerance T] [--jobs J]
@@ -34,12 +41,23 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 
 from repro.core.analysis import fractional_lower_bound, speedup_report
 from repro.core.joint import SplitMode, Structure
 from repro.core.plans import Schedule
-from repro.experiments import fig4, fig11, fig12, fig13, fig14, fig_serving, table1
+from repro.experiments import (
+    fig4,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig_fleet,
+    fig_serving,
+    table1,
+)
 from repro.experiments.runner import SCHEMES, ExperimentEnv
+from repro.fleet import PLACEMENT_POLICIES
 from repro.nn.zoo import MODELS
 from repro.serving.gateway import GATEWAY_SCHEMES
 from repro.sim.pipeline import simulate_schedule
@@ -133,10 +151,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="uplink blackout length (s; --faults only)",
     )
 
+    p = sub.add_parser("fleet", help="run an N-server fleet via run_system")
+    p.add_argument("--servers", type=int, default=4, help="number of fleet servers")
+    p.add_argument("--clients", type=int, default=32, help="number of Poisson clients")
+    p.add_argument("--rate", type=float, default=3.0, help="per-client req/s")
+    p.add_argument("--horizon", type=float, default=12.0, help="arrival window (s)")
+    p.add_argument("--model", choices=sorted(MODELS), default="alexnet")
+    p.add_argument("--mbps", type=float, default=8.0, help="per-server uplink rate")
+    p.add_argument(
+        "--deadline", type=float, default=1.0,
+        help="per-request relative deadline (s); <= 0 disables deadlines",
+    )
+    p.add_argument(
+        "--placement", choices=list(PLACEMENT_POLICIES), default="least_loaded",
+        help="client->server placement policy",
+    )
+    p.add_argument("--scheme", choices=list(GATEWAY_SCHEMES), default="JPS")
+    p.add_argument("--seed", type=int, default=None, help="workload seed")
+    p.add_argument("--queue-depth", type=int, default=64, help="per-client queue bound")
+    p.add_argument(
+        "--compare-single", action="store_true",
+        help="also serve the identical stream on one server and report the "
+             "within-deadline gain of the fleet",
+    )
+    p.add_argument(
+        "--json", metavar="PATH",
+        help="write the SystemReport as JSON ('-' for stdout)",
+    )
+
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument(
         "name",
-        choices=["fig4", "fig11", "fig12", "fig13", "fig14", "table1", "serving"],
+        choices=[
+            "fig4", "fig11", "fig12", "fig13", "fig14", "table1", "serving", "fleet",
+        ],
     )
     p.add_argument(
         "--jobs", type=int, default=None,
@@ -328,7 +376,10 @@ def main(argv: list[str] | None = None) -> int:
             deadline=args.deadline if args.deadline is not None else 1.0,
             mbps=args.mbps,
         )
-        report = run_fault_scenario(config)
+        with warnings.catch_warnings():
+            # the CLI keeps the legacy report shape on purpose
+            warnings.simplefilter("ignore", DeprecationWarning)
+            report = run_fault_scenario(config)
         if args.json == "-":
             print(json.dumps(report, indent=2, sort_keys=True))
             return 0
@@ -384,7 +435,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.seed is not None:
             config = dataclasses.replace(config, seed=args.seed)
         config = dataclasses.replace(config, max_queue_depth=args.queue_depth)
-        report = run_scenario(config)
+        with warnings.catch_warnings():
+            # the CLI keeps the legacy per-scheme report shape on purpose
+            warnings.simplefilter("ignore", DeprecationWarning)
+            report = run_scenario(config)
         if args.json == "-":
             print(json.dumps(report, indent=2, sort_keys=True))
             return 0
@@ -412,6 +466,84 @@ def main(argv: list[str] | None = None) -> int:
             Path(args.json).write_text(json.dumps(report, indent=2, sort_keys=True))
             print(f"metrics report written to {args.json}")
         return 0
+
+    if args.command == "fleet":
+        from pathlib import Path
+
+        from repro.engine import PlanningEngine
+        from repro.fleet import default_fleet, run_system
+        from repro.utils.rng import DEFAULT_SEED
+
+        seed = args.seed if args.seed is not None else DEFAULT_SEED
+        deadline = args.deadline if args.deadline > 0 else None
+        planner = PlanningEngine()
+
+        def _config(servers: int):
+            return default_fleet(
+                servers=servers,
+                clients=args.clients,
+                rate=args.rate,
+                horizon=args.horizon,
+                model=args.model,
+                mbps=args.mbps,
+                deadline=deadline,
+                seed=seed,
+                placement=args.placement,
+                scheme=args.scheme,
+                max_queue_depth=args.queue_depth,
+            )
+
+        report = run_system(_config(args.servers), planner=planner)
+        document = report.as_dict()
+        violations = len(report.violations) + len(report.clock_violations)
+        if args.compare_single and args.servers != 1:
+            single = run_system(_config(1), planner=planner)
+            violations += len(single.violations) + len(single.clock_violations)
+            document["single_server"] = single.as_dict()["fleet"]
+            document["fleet_gain_within_deadline"] = (
+                report.within_deadline - single.within_deadline
+            )
+        if args.json == "-":
+            print(json.dumps(document, indent=2, sort_keys=True))
+            return 0 if violations == 0 else 1
+        print(
+            f"{args.model}: {args.servers} servers ({args.scheme}, "
+            f"{args.placement}), {args.clients} clients x {args.rate:g} req/s "
+            f"over {args.horizon:g}s ({report.arrivals} arrivals, "
+            f"{report.offered_load_rps:.2f} req/s offered)"
+        )
+        print(
+            f"{'server':<10s} {'arrived':>8s} {'served':>7s} {'within':>7s} "
+            f"{'dropped':>8s} {'pending':>8s} {'replans':>8s}"
+        )
+        for name, block in report.servers.items():
+            counters = block["report"]["counters"]
+            print(
+                f"{name:<10s} {counters.get('arrived', 0):>8d} "
+                f"{counters.get('served', 0):>7d} {block['within_deadline']:>7d} "
+                f"{counters.get('dropped', 0):>8d} "
+                f"{block['report']['pending']:>8d} "
+                f"{len(block['report']['replans']):>8d}"
+            )
+        fleet = report.fleet
+        print(
+            f"fleet: served {fleet['served']}/{fleet['arrivals']}, "
+            f"within deadline {fleet['within_deadline']}, "
+            f"rejected at fleet {fleet['rejected_fleet']}, "
+            f"migrations {len(fleet['placement']['migrations'])}, "
+            f"violations {violations}"
+        )
+        if args.compare_single and args.servers != 1:
+            print(
+                f"vs single server: within-deadline "
+                f"{document['single_server']['within_deadline']} -> "
+                f"{fleet['within_deadline']} "
+                f"({document['fleet_gain_within_deadline']:+d})"
+            )
+        if args.json:
+            Path(args.json).write_text(json.dumps(document, indent=2, sort_keys=True))
+            print(f"system report written to {args.json}")
+        return 0 if violations == 0 else 1
 
     if args.command == "campaign":
         from repro.experiments.campaign import (
@@ -450,7 +582,9 @@ def main(argv: list[str] | None = None) -> int:
             config = default_scenario()
             if args.seed is not None:
                 config = dataclasses.replace(config, seed=args.seed)
-            report = run_scenario(config, tracer=tracer)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                report = run_scenario(config, tracer=tracer)
             # first scheme's report: gateway counters + engine cache gauges
             exposition = exposition_from_snapshot(
                 report["schemes"][config.schemes[0]]
@@ -482,6 +616,7 @@ def main(argv: list[str] | None = None) -> int:
             "fig14": lambda: fig14.render(fig14.run(env, n=100)),
             "table1": lambda: table1.render(table1.run(env, jobs=args.jobs)),
             "serving": lambda: fig_serving.render(fig_serving.run()),
+            "fleet": lambda: fig_fleet.render(fig_fleet.run()),
         }[args.name]
         print(harness())
         return 0

@@ -8,6 +8,7 @@ from repro.experiments import (
     fig12,
     fig13,
     fig14,
+    fig_fleet,
     fig_serving,
     noise,
     table1,
@@ -26,6 +27,7 @@ __all__ = [
     "fig12",
     "fig13",
     "fig14",
+    "fig_fleet",
     "fig_serving",
     "noise",
     "table1",

@@ -1,0 +1,120 @@
+"""fig_fleet: server-count × offered-load sweep of the federated fleet.
+
+The ROADMAP's capacity question, asked systematically: *how many
+servers does a given client swarm need before deadlines hold?* For
+every (servers, per-client rate) cell the **identical** seeded arrival
+stream (placement and server count never perturb workload generation)
+runs through :func:`repro.fleet.run_system`, and we record served /
+within-deadline counts, the fleet deadline-hit rate, and the invariant
+audit. The single-server column is exactly the old gateway — per-server
+dispatch is unchanged code — so the sweep doubles as a scaling study
+against the PR 4 capacity baseline.
+
+All cells share one :class:`~repro.engine.PlanningEngine`; with
+homogeneous servers every gateway prices from the same warm structure
+cache, so fleet size scales the event count, not the planning cost.
+"""
+
+from __future__ import annotations
+
+from repro.engine import PlanningEngine
+from repro.fleet import default_fleet, run_system
+from repro.utils.rng import DEFAULT_SEED
+
+__all__ = ["run", "render", "SERVER_COUNTS", "LOADS"]
+
+#: Fleet sizes swept on the y-axis.
+SERVER_COUNTS = (1, 2, 4)
+
+#: Per-client Poisson rates (req/s) swept on the x-axis.
+LOADS = (1.0, 2.0, 3.0)
+
+
+def run(
+    model: str = "alexnet",
+    clients: int = 16,
+    horizon: float = 8.0,
+    deadline: float = 1.0,
+    mbps: float = 8.0,
+    server_counts: tuple[int, ...] = SERVER_COUNTS,
+    loads: tuple[float, ...] = LOADS,
+    placement: str = "least_loaded",
+    seed: int = DEFAULT_SEED,
+    planner: PlanningEngine | None = None,
+) -> dict:
+    """Sweep the grid; returns a JSON-safe document."""
+    planner = planner or PlanningEngine()
+    cells: list[dict] = []
+    for load in loads:
+        for servers in server_counts:
+            config = default_fleet(
+                servers=servers,
+                clients=clients,
+                rate=load,
+                horizon=horizon,
+                model=model,
+                mbps=mbps,
+                deadline=deadline,
+                seed=seed,
+                placement=placement,
+            )
+            report = run_system(config, planner=planner)
+            cells.append(
+                {
+                    "servers": servers,
+                    "load_per_client": load,
+                    "offered_rps": report.offered_load_rps,
+                    "arrivals": report.arrivals,
+                    "served": report.served,
+                    "within_deadline": report.within_deadline,
+                    "deadline_rate": report.within_deadline / max(report.arrivals, 1),
+                    "migrations": len(report.fleet["placement"]["migrations"]),
+                    "violations": len(report.violations)
+                    + len(report.clock_violations),
+                }
+            )
+    return {
+        "model": model,
+        "clients": clients,
+        "horizon": horizon,
+        "deadline": deadline,
+        "mbps": mbps,
+        "placement": placement,
+        "cells": cells,
+        "engine_cache": planner.stats_snapshot()["totals"],
+    }
+
+
+def render(document: dict) -> str:
+    """ASCII table: one row per load, one column per fleet size."""
+    server_counts = sorted({cell["servers"] for cell in document["cells"]})
+    lines = [
+        f"fig_fleet — {document['model']}, {document['clients']} clients, "
+        f"horizon {document['horizon']:g}s, deadline {document['deadline']:g}s, "
+        f"{document['placement']} placement "
+        f"(cells: within-deadline/arrivals)",
+        f"{'load':>8s} " + " ".join(f"{f'{n} srv':>16s}" for n in server_counts),
+    ]
+    by_key = {
+        (cell["load_per_client"], cell["servers"]): cell
+        for cell in document["cells"]
+    }
+    loads = sorted({cell["load_per_client"] for cell in document["cells"]})
+    violations = 0
+    for load in loads:
+        row = f"{load:>6.1f}/s"
+        for servers in server_counts:
+            cell = by_key[(load, servers)]
+            violations += cell["violations"]
+            row += (
+                f" {cell['within_deadline']:>6d}/{cell['arrivals']:<5d}"
+                f"{cell['deadline_rate']:>4.0%}"
+            )
+        lines.append(row)
+    totals = document["engine_cache"]
+    lines.append(
+        f"invariant violations: {violations}; engine cache: "
+        f"{totals['hits']} hits / {totals['misses']} misses "
+        f"(hit rate {totals['hit_rate']:.2f})"
+    )
+    return "\n".join(lines)

@@ -224,3 +224,20 @@ class FaultPlan:
         if self.metadata:
             out["metadata"] = dict(self.metadata)
         return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`as_dict` (the ``SystemConfig`` wire format)."""
+        corruption = data.get("corruption")
+        misestimation = data.get("misestimation")
+        return cls(
+            seed=data.get("seed", DEFAULT_SEED),
+            blackouts=tuple(Blackout(*b) for b in data.get("blackouts", ())),
+            spikes=tuple(RateSpike(*s) for s in data.get("spikes", ())),
+            corruption=None if corruption is None else TransferCorruption(**corruption),
+            outages=tuple(ClientOutage(*o) for o in data.get("outages", ())),
+            misestimation=(
+                None if misestimation is None else CostMisestimation(**misestimation)
+            ),
+            metadata=dict(data.get("metadata", {})),
+        )

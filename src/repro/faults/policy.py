@@ -81,3 +81,8 @@ class ResiliencePolicy:
             "probe_bytes": self.probe_bytes,
             "probe_timeout": self.probe_timeout,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResiliencePolicy":
+        """Inverse of :meth:`as_dict` (the ``SystemConfig`` wire format)."""
+        return cls(**data)

@@ -11,22 +11,26 @@ blackout; queued requests expire). The comparison report counts
 completions within deadline on both sides and audits every accounting
 and clock invariant (:mod:`repro.faults.invariants`), which is exactly
 what the acceptance test and the CI ``fault-matrix`` job assert on.
+
+Since the fleet PR, :func:`run_fault_scenario` is a deprecated wrapper:
+it builds a single-server :class:`repro.fleet.SystemConfig` with a
+``FaultsConfig(compare_no_policy=True)`` block, delegates to
+:func:`repro.fleet.run_system`, and reassembles the historical report
+shape (locked byte-identical by ``tests/data/golden_system_compat.json``).
+New code should call ``run_system`` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+import warnings
 
 from repro.core.plans import json_safe
 from repro.engine import PlanningEngine
-from repro.faults.invariants import MonotoneClockMonitor, accounting_violations
 from repro.faults.plan import Blackout, FaultPlan
 from repro.faults.policy import ResiliencePolicy
-from repro.obs.tracer import NullTracer, Tracer
-from repro.serving.estimator import AdaptiveChannelEstimator
-from repro.serving.gateway import Gateway
+from repro.obs.tracer import Tracer
 from repro.serving.scenario import ScenarioConfig
-from repro.serving.workload import ClientSpec, generate_requests
+from repro.serving.workload import ClientSpec
 from repro.utils.rng import DEFAULT_SEED
 
 __all__ = ["default_fault_scenario", "run_fault_scenario"]
@@ -87,59 +91,16 @@ def default_fault_scenario(
     )
 
 
-def _event_kinds(replan_events: list[dict]) -> dict[str, int]:
-    kinds: dict[str, int] = {}
-    for event in replan_events:
-        kind = event.get("kind", "drift")
-        kinds[kind] = kinds.get(kind, 0) + 1
-    return kinds
-
-
-def _serve(
-    config: ScenarioConfig,
-    requests: list,
-    planner: PlanningEngine,
-    tracer: "Tracer | NullTracer",
-    policy: ResiliencePolicy | None,
-) -> dict:
-    """One gateway pass over the shared stream; returns its audit block."""
-    scheme = config.schemes[0]
-    gateway = Gateway(
-        timeline=config.timeline(),
-        planner=planner,
-        scheme=scheme,
-        estimator=AdaptiveChannelEstimator(
-            initial_bps=config.timeline().rates_bps[0],
-            alpha=config.ewma_alpha,
-            drift_threshold=config.drift_threshold,
-            setup_latency=config.setup_latency,
-            header_bytes=config.header_bytes,
-            protocol_overhead=config.protocol_overhead,
-        ),
-        max_queue_depth=config.max_queue_depth,
-        nominal_burst=config.nominal_burst,
-        include_cloud=config.include_cloud,
-        tracer=tracer,
-        resilience=policy,
-        faults=config.fault_plan,
-    )
-    clock = MonotoneClockMonitor().attach(gateway.engine)
-    result = gateway.run(requests)
-    report = gateway.report(result)
-    deadline = config.clients[0].deadline
-    completed = [r for r in result.records if r.latency is not None]
-    within = (
-        [r for r in completed if r.latency <= deadline]
-        if deadline is not None
-        else completed
-    )
+def _audit_block(report) -> dict:
+    """Reassemble one side's legacy audit block from a ``SystemReport``."""
+    block = report.servers["gateway"]
     return {
-        "report": report,
-        "completed": len(completed),
-        "within_deadline": len(within),
-        "events": _event_kinds(result.replan_events),
-        "violations": accounting_violations(report),
-        "clock_violations": clock.violations,
+        "report": block["report"],
+        "completed": block["completed"],
+        "within_deadline": block["within_deadline"],
+        "events": block["events"],
+        "violations": block["violations"],
+        "clock_violations": list(report.clock_violations),
     }
 
 
@@ -150,10 +111,27 @@ def run_fault_scenario(
 ) -> dict:
     """Policy-on vs no-policy over one faulted stream; full audit report.
 
+    .. deprecated::
+        ``run_fault_scenario`` is a thin wrapper over the unified entry
+        point: build a :class:`repro.fleet.SystemConfig` with a
+        ``FaultsConfig(compare_no_policy=True)`` block and call
+        :func:`repro.fleet.run_system`. The wrapper's report is locked
+        byte-identical to the pre-fleet implementation
+        (``tests/data/golden_system_compat.json``).
+
     The optional ``tracer`` observes the policy run only (the golden
     trace test pins its span structure). Both passes share one planner,
     so the no-policy pass re-plans from warm structure caches.
     """
+    warnings.warn(
+        "run_fault_scenario is deprecated: build a repro.fleet.SystemConfig "
+        "with FaultsConfig(compare_no_policy=True) and call "
+        "repro.fleet.run_system",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.fleet import SystemConfig, run_system
+
     config = config or default_fault_scenario()
     if config.fault_plan is None:
         raise ValueError("run_fault_scenario needs a config with a fault_plan")
@@ -161,28 +139,14 @@ def run_fault_scenario(
         raise ValueError("run_fault_scenario needs a config with a resilience policy")
     if len(config.schemes) != 1:
         raise ValueError("fault scenarios compare policies under a single scheme")
-    planner = planner or PlanningEngine()
-    obs = tracer or NullTracer()
-    requests = generate_requests(list(config.clients), config.horizon, config.seed)
-    with obs.span("faults/policy", lane=("scenario", "policy")):
-        policy_side = _serve(config, requests, planner, obs, config.resilience)
-    bare_side = _serve(
-        replace(config, resilience=None), requests, planner, NullTracer(), None
-    )
+    system = SystemConfig.from_scenario(config, compare_no_policy=True)
+    outcome = run_system(system, planner=planner, tracer=tracer)
     return json_safe(
         {
             "config": config.as_dict(),
-            "arrivals": len(requests),
-            "policy": policy_side,
-            "no_policy": bare_side,
-            "comparison": {
-                "within_deadline_policy": policy_side["within_deadline"],
-                "within_deadline_no_policy": bare_side["within_deadline"],
-                "within_deadline_gain": (
-                    policy_side["within_deadline"] - bare_side["within_deadline"]
-                ),
-                "degradations": policy_side["events"].get("degrade", 0),
-                "recovery_replans": policy_side["events"].get("recovery", 0),
-            },
+            "arrivals": outcome.arrivals,
+            "policy": _audit_block(outcome),
+            "no_policy": _audit_block(outcome.baseline),
+            "comparison": outcome.comparison,
         }
     )

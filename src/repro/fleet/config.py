@@ -1,0 +1,537 @@
+"""The unified scenario surface: one ``SystemConfig``, one entry point.
+
+The serving stack had accreted three overlapping ways to describe a
+run — ``serving.ScenarioConfig``/``run_scenario``, the fault-scenario
+knobs of ``faults.run_fault_scenario``, and the ``repro serve`` CLI
+flags. :class:`SystemConfig` collapses them into one JSON-round-trippable
+dataclass hierarchy and adds what none of them could express: a *fleet*
+of edge/cloud servers.
+
+The hierarchy mirrors the questions a run must answer:
+
+* :class:`WorkloadConfig` — who sends requests (clients, horizon, seed);
+* :class:`ServerSpec` — one edge/cloud server: its own uplink
+  :class:`~repro.net.timeline.BandwidthTimeline`, heterogeneous device
+  speedups, queue bounds, and optional per-uplink
+  :class:`~repro.faults.plan.FaultPlan` /
+  :class:`~repro.faults.policy.ResiliencePolicy`;
+* :class:`PlacementConfig` — how clients map to servers (least-loaded,
+  sticky affinity with migration, estimated-finish-time);
+* :class:`AdmissionConfig` — fleet-level admission control;
+* :class:`ChannelConfig` — estimator/framing constants shared by every
+  uplink;
+* :class:`FaultsConfig` — the old ``run_fault_scenario`` knobs as a
+  sub-config: a fleet-wide fault plan + resilience policy and the
+  policy-vs-no-policy comparison switch;
+* :class:`ObservabilityConfig` — per-server trace lanes and fleet
+  placement/migration instant events.
+
+:func:`repro.fleet.run_system` executes a :class:`SystemConfig` and
+returns a :class:`~repro.fleet.fleet.SystemReport`. The old entry
+points remain as thin deprecated wrappers (byte-identical outputs,
+test-locked against ``tests/data/golden_system_compat.json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import ResiliencePolicy
+from repro.net.channel import DEFAULT_HEADER_BYTES, DEFAULT_SETUP_LATENCY
+from repro.net.timeline import BandwidthTimeline
+from repro.serving.gateway import GATEWAY_SCHEMES
+from repro.serving.workload import ClientSpec
+from repro.utils.rng import DEFAULT_SEED
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "PLACEMENT_POLICIES",
+    "WorkloadConfig",
+    "ServerSpec",
+    "PlacementConfig",
+    "AdmissionConfig",
+    "ChannelConfig",
+    "FaultsConfig",
+    "ObservabilityConfig",
+    "SystemConfig",
+    "default_fleet",
+    "capacity_scenario",
+]
+
+#: Client→server placement policies :mod:`repro.fleet.placement` knows.
+PLACEMENT_POLICIES = ("least_loaded", "affinity", "eft")
+
+
+def _client_as_dict(client: ClientSpec) -> dict:
+    return {
+        "name": client.name,
+        "model": client.model,
+        "process": client.process,
+        "rate": client.rate,
+        "burst_size": client.burst_size,
+        "period": client.period,
+        "deadline": client.deadline,
+    }
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """The request side of a system run: clients, horizon, and seed."""
+
+    clients: tuple[ClientSpec, ...]
+    horizon: float = 60.0
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "clients", tuple(self.clients))
+        if not self.clients:
+            raise ValueError("need at least one client")
+        require_positive(self.horizon, "horizon")
+
+    def as_dict(self) -> dict:
+        return {
+            "clients": [_client_as_dict(c) for c in self.clients],
+            "horizon": self.horizon,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadConfig":
+        return cls(
+            clients=tuple(ClientSpec(**c) for c in data["clients"]),
+            horizon=data.get("horizon", 60.0),
+            seed=data.get("seed", DEFAULT_SEED),
+        )
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Estimator + framing constants shared by every server uplink."""
+
+    ewma_alpha: float = 0.3
+    drift_threshold: float = 0.25
+    setup_latency: float = DEFAULT_SETUP_LATENCY
+    header_bytes: float = DEFAULT_HEADER_BYTES
+    protocol_overhead: float = 1.05
+
+    def as_dict(self) -> dict:
+        return {
+            "ewma_alpha": self.ewma_alpha,
+            "drift_threshold": self.drift_threshold,
+            "setup_latency": self.setup_latency,
+            "header_bytes": self.header_bytes,
+            "protocol_overhead": self.protocol_overhead,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChannelConfig":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """One edge/cloud server of the fleet.
+
+    ``bandwidth_steps`` is this server's own uplink trace (so PR 5
+    fault plans compose *per link*); ``mobile_speedup``/``cloud_speedup``
+    scale the calibrated device profiles
+    (:meth:`repro.profiling.device.DeviceModel.scaled`) for
+    heterogeneous hardware. ``fault_plan``/``resilience`` override the
+    fleet-wide :class:`FaultsConfig` for this uplink only.
+    """
+
+    name: str
+    bandwidth_steps: tuple[tuple[float, float], ...] = ((0.0, 8.0),)
+    mobile_speedup: float = 1.0
+    cloud_speedup: float = 1.0
+    max_queue_depth: int = 64
+    nominal_burst: int = 8
+    include_cloud: bool = True
+    fault_plan: FaultPlan | None = None
+    resilience: ResiliencePolicy | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("server name must be non-empty")
+        object.__setattr__(
+            self, "bandwidth_steps", tuple(tuple(s) for s in self.bandwidth_steps)
+        )
+        if not self.bandwidth_steps:
+            raise ValueError("need at least one bandwidth step")
+        require_positive(self.mobile_speedup, "mobile_speedup")
+        require_positive(self.cloud_speedup, "cloud_speedup")
+        require_positive(self.max_queue_depth, "max_queue_depth")
+        require_positive(self.nominal_burst, "nominal_burst")
+
+    def as_dict(self) -> dict:
+        out: dict = {
+            "name": self.name,
+            "bandwidth_steps": [list(s) for s in self.bandwidth_steps],
+            "mobile_speedup": self.mobile_speedup,
+            "cloud_speedup": self.cloud_speedup,
+            "max_queue_depth": self.max_queue_depth,
+            "nominal_burst": self.nominal_burst,
+            "include_cloud": self.include_cloud,
+        }
+        if self.fault_plan is not None:
+            out["fault_plan"] = self.fault_plan.as_dict()
+        if self.resilience is not None:
+            out["resilience"] = self.resilience.as_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServerSpec":
+        plan = data.get("fault_plan")
+        policy = data.get("resilience")
+        return cls(
+            name=data["name"],
+            bandwidth_steps=tuple(tuple(s) for s in data["bandwidth_steps"]),
+            mobile_speedup=data.get("mobile_speedup", 1.0),
+            cloud_speedup=data.get("cloud_speedup", 1.0),
+            max_queue_depth=data.get("max_queue_depth", 64),
+            nominal_burst=data.get("nominal_burst", 8),
+            include_cloud=data.get("include_cloud", True),
+            fault_plan=None if plan is None else FaultPlan.from_dict(plan),
+            resilience=None if policy is None else ResiliencePolicy.from_dict(policy),
+        )
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """How clients map to servers, and when a binding migrates.
+
+    ``least_loaded`` and ``eft`` place every request independently
+    (fewest outstanding requests / smallest estimated finish time
+    through :meth:`~repro.engine.PlanningEngine.priced_table`).
+    ``affinity`` binds each client to one server on first contact and
+    keeps the binding sticky; a binding migrates when its server has
+    held ``migration_backlog`` or more outstanding requests for at
+    least ``migration_patience`` seconds, or — when
+    ``migrate_on_degraded`` — the instant the server's resilience
+    policy degrades it to local-only serving.
+    """
+
+    policy: str = "least_loaded"
+    migration_backlog: int | None = None
+    migration_patience: float = 2.0
+    migrate_on_degraded: bool = True
+
+    def __post_init__(self) -> None:
+        if self.policy not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {self.policy!r} (use {PLACEMENT_POLICIES})"
+            )
+        if self.migration_backlog is not None:
+            require_positive(self.migration_backlog, "migration_backlog")
+        require_positive(self.migration_patience, "migration_patience")
+
+    def as_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "migration_backlog": self.migration_backlog,
+            "migration_patience": self.migration_patience,
+            "migrate_on_degraded": self.migrate_on_degraded,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlacementConfig":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Fleet-level admission control, ahead of any per-server queue.
+
+    ``max_fleet_outstanding`` caps the total admitted-but-unfinished
+    requests across all servers; arrivals beyond it are rejected at the
+    fleet boundary (they never reach a server, so per-server accounting
+    still tiles: per-server arrivals + fleet rejects == fleet arrivals).
+    """
+
+    max_fleet_outstanding: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_fleet_outstanding is not None:
+            require_positive(self.max_fleet_outstanding, "max_fleet_outstanding")
+
+    def as_dict(self) -> dict:
+        return {"max_fleet_outstanding": self.max_fleet_outstanding}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AdmissionConfig":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultsConfig:
+    """The old ``run_fault_scenario`` knobs as a ``SystemConfig`` block.
+
+    ``plan`` applies to every uplink that does not carry its own
+    per-server plan; ``resilience`` likewise. ``compare_no_policy``
+    reruns the identical arrival stream with every resilience policy
+    stripped and attaches the baseline + comparison to the report —
+    exactly what ``run_fault_scenario`` produced.
+    """
+
+    plan: FaultPlan | None = None
+    resilience: ResiliencePolicy | None = None
+    compare_no_policy: bool = False
+
+    def as_dict(self) -> dict:
+        out: dict = {"compare_no_policy": self.compare_no_policy}
+        if self.plan is not None:
+            out["plan"] = self.plan.as_dict()
+        if self.resilience is not None:
+            out["resilience"] = self.resilience.as_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultsConfig":
+        plan = data.get("plan")
+        policy = data.get("resilience")
+        return cls(
+            plan=None if plan is None else FaultPlan.from_dict(plan),
+            resilience=None if policy is None else ResiliencePolicy.from_dict(policy),
+            compare_no_policy=data.get("compare_no_policy", False),
+        )
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """What the fleet emits into a live tracer.
+
+    ``per_server_lanes`` names each gateway so its request/event lanes
+    read ``<server>/req N`` in the exported trace; ``fleet_events``
+    adds ``fleet/migrate`` and ``fleet/reject`` instant markers. Both
+    are off on the legacy-wrapper path so single-gateway traces stay
+    byte-identical to the pre-fleet code.
+    """
+
+    per_server_lanes: bool = True
+    fleet_events: bool = True
+
+    def as_dict(self) -> dict:
+        return {
+            "per_server_lanes": self.per_server_lanes,
+            "fleet_events": self.fleet_events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ObservabilityConfig":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One reproducible run of the whole system (see module docstring)."""
+
+    workload: WorkloadConfig
+    servers: tuple[ServerSpec, ...]
+    scheme: str = "JPS"
+    placement: PlacementConfig = field(default_factory=PlacementConfig)
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    channel: ChannelConfig = field(default_factory=ChannelConfig)
+    faults: FaultsConfig | None = None
+    observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "servers", tuple(self.servers))
+        if not self.servers:
+            raise ValueError("need at least one server")
+        names = [s.name for s in self.servers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"server names must be unique, got {names}")
+        if self.scheme not in GATEWAY_SCHEMES:
+            raise ValueError(f"unknown scheme {self.scheme!r} (use {GATEWAY_SCHEMES})")
+
+    # ------------------------------------------------------------------
+    # effective per-server settings (spec overrides the fleet-wide block)
+    # ------------------------------------------------------------------
+    def fault_plan_for(self, spec: ServerSpec) -> FaultPlan | None:
+        if spec.fault_plan is not None:
+            return spec.fault_plan
+        return self.faults.plan if self.faults is not None else None
+
+    def resilience_for(self, spec: ServerSpec) -> ResiliencePolicy | None:
+        if spec.resilience is not None:
+            return spec.resilience
+        return self.faults.resilience if self.faults is not None else None
+
+    def timeline_for(self, spec: ServerSpec) -> BandwidthTimeline:
+        """One server's ground-truth uplink, fault windows overlaid."""
+        base = BandwidthTimeline.steps_mbps(
+            list(spec.bandwidth_steps),
+            setup_latency=self.channel.setup_latency,
+            header_bytes=self.channel.header_bytes,
+            protocol_overhead=self.channel.protocol_overhead,
+        )
+        plan = self.fault_plan_for(spec)
+        return base if plan is None else plan.apply_to_timeline(base)
+
+    def without_resilience(self) -> "SystemConfig":
+        """The no-policy twin ``compare_no_policy`` runs as baseline."""
+        servers = tuple(replace(s, resilience=None) for s in self.servers)
+        faults = (
+            None
+            if self.faults is None
+            else replace(self.faults, resilience=None, compare_no_policy=False)
+        )
+        return replace(self, servers=servers, faults=faults)
+
+    # ------------------------------------------------------------------
+    # wire format
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        out = {
+            "workload": self.workload.as_dict(),
+            "servers": [s.as_dict() for s in self.servers],
+            "scheme": self.scheme,
+            "placement": self.placement.as_dict(),
+            "admission": self.admission.as_dict(),
+            "channel": self.channel.as_dict(),
+            "observability": self.observability.as_dict(),
+        }
+        if self.faults is not None:
+            out["faults"] = self.faults.as_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemConfig":
+        faults = data.get("faults")
+        return cls(
+            workload=WorkloadConfig.from_dict(data["workload"]),
+            servers=tuple(ServerSpec.from_dict(s) for s in data["servers"]),
+            scheme=data.get("scheme", "JPS"),
+            placement=PlacementConfig.from_dict(data.get("placement", {})),
+            admission=AdmissionConfig.from_dict(data.get("admission", {})),
+            channel=ChannelConfig.from_dict(data.get("channel", {})),
+            faults=None if faults is None else FaultsConfig.from_dict(faults),
+            observability=ObservabilityConfig.from_dict(data.get("observability", {})),
+        )
+
+    @classmethod
+    def from_scenario(
+        cls,
+        config,
+        scheme: str | None = None,
+        compare_no_policy: bool = False,
+        server_name: str = "gateway",
+    ) -> "SystemConfig":
+        """A single-server system equivalent to a legacy ``ScenarioConfig``.
+
+        ``config`` is duck-typed (any object with the ``ScenarioConfig``
+        attributes) so this module never imports the serving scenario —
+        the legacy wrappers import *us*.
+        """
+        faults = None
+        if config.fault_plan is not None or config.resilience is not None:
+            faults = FaultsConfig(
+                plan=config.fault_plan,
+                resilience=config.resilience,
+                compare_no_policy=compare_no_policy,
+            )
+        return cls(
+            workload=WorkloadConfig(
+                clients=tuple(config.clients),
+                horizon=config.horizon,
+                seed=config.seed,
+            ),
+            servers=(
+                ServerSpec(
+                    name=server_name,
+                    bandwidth_steps=tuple(config.bandwidth_steps),
+                    max_queue_depth=config.max_queue_depth,
+                    nominal_burst=config.nominal_burst,
+                    include_cloud=config.include_cloud,
+                ),
+            ),
+            scheme=scheme if scheme is not None else config.schemes[0],
+            channel=ChannelConfig(
+                ewma_alpha=config.ewma_alpha,
+                drift_threshold=config.drift_threshold,
+                setup_latency=config.setup_latency,
+                header_bytes=config.header_bytes,
+                protocol_overhead=config.protocol_overhead,
+            ),
+            faults=faults,
+            # legacy traces carry no server names or fleet markers
+            observability=ObservabilityConfig(
+                per_server_lanes=False, fleet_events=False
+            ),
+        )
+
+
+def default_fleet(
+    servers: int = 4,
+    clients: int = 32,
+    rate: float = 3.0,
+    horizon: float = 12.0,
+    model: str = "alexnet",
+    mbps: float = 8.0,
+    deadline: float | None = 1.0,
+    seed: int = DEFAULT_SEED,
+    placement: str = "least_loaded",
+    scheme: str = "JPS",
+    max_queue_depth: int = 64,
+    speedups: tuple[float, ...] | None = None,
+) -> SystemConfig:
+    """A homogeneous N-server fleet under a Poisson client swarm.
+
+    ``speedups`` (cycled over servers) makes the fleet heterogeneous:
+    server ``i`` runs its mobile stage ``speedups[i % len]`` times the
+    calibrated profile's speed.
+    """
+    require_positive(servers, "servers")
+    require_positive(clients, "clients")
+    return SystemConfig(
+        workload=WorkloadConfig(
+            clients=tuple(
+                ClientSpec(
+                    name=f"client{i}",
+                    model=model,
+                    process="poisson",
+                    rate=rate,
+                    deadline=deadline,
+                )
+                for i in range(clients)
+            ),
+            horizon=horizon,
+            seed=seed,
+        ),
+        servers=tuple(
+            ServerSpec(
+                name=f"server{i}",
+                bandwidth_steps=((0.0, mbps),),
+                max_queue_depth=max_queue_depth,
+                mobile_speedup=(
+                    1.0 if speedups is None else speedups[i % len(speedups)]
+                ),
+            )
+            for i in range(servers)
+        ),
+        scheme=scheme,
+        placement=PlacementConfig(policy=placement),
+    )
+
+
+def capacity_scenario(
+    servers: int = 4, clients: int = 32, seed: int = DEFAULT_SEED
+) -> SystemConfig:
+    """The capacity-bound acceptance scenario (ROADMAP "multi-server fleet").
+
+    At 32 deadline-bound clients a single gateway is capacity-bound —
+    its one mobile CPU saturates and most requests expire — so an
+    N-server fleet on the *identical* arrival stream must serve
+    strictly more within deadline. The capacity acceptance test runs
+    this config at ``servers=1`` and ``servers=4`` and asserts exactly
+    that, plus zero accounting/clock violations.
+    """
+    return default_fleet(
+        servers=servers,
+        clients=clients,
+        rate=3.0,
+        horizon=8.0,
+        deadline=1.0,
+        seed=seed,
+    )

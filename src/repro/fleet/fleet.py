@@ -1,0 +1,368 @@
+"""The federated fleet: N gateways, one clock, one entry point.
+
+A :class:`FleetGateway` instantiates one
+:class:`~repro.serving.gateway.Gateway` per
+:class:`~repro.fleet.config.ServerSpec`, all sharing a single
+:class:`~repro.sim.engine.Engine` (one virtual clock; per-server
+``_HeadIndex`` heaps keep dispatch exactly the single-gateway code), and
+routes every arriving request through fleet admission → placement →
+``server.submit``. Each server keeps its own uplink timeline, channel
+estimator, fault injector, and resilience policy, so a blackout on one
+uplink degrades one server while the rest keep offloading — and the
+affinity placement policy migrates clients away from it.
+
+:func:`run_system` is the single entry point the ROADMAP asked for: it
+executes a :class:`~repro.fleet.config.SystemConfig` end to end
+(workload generation, fleet run, invariant audit) and returns a
+:class:`SystemReport`. The legacy ``run_scenario`` /
+``run_fault_scenario`` entry points are thin deprecated wrappers over
+it, test-locked byte-identical to their pre-fleet output.
+
+Accounting is exact by construction: a request is either rejected at
+the fleet boundary (never reaching a server) or submitted to exactly
+one server, so per-server ``arrived`` counters plus fleet rejects tile
+the fleet's arrivals — :func:`repro.fleet.invariants.fleet_accounting_violations`
+audits exactly that, on top of every server's own conservation law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.plans import json_safe
+from repro.engine import PlanningEngine
+from repro.faults.invariants import MonotoneClockMonitor, accounting_violations
+from repro.fleet.config import ServerSpec, SystemConfig
+from repro.fleet.invariants import fleet_accounting_violations
+from repro.fleet.placement import Placer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NullTracer, Tracer
+from repro.serving.estimator import AdaptiveChannelEstimator
+from repro.serving.gateway import Gateway, GatewayResult, ServedRecord
+from repro.serving.workload import Request, generate_requests
+from repro.sim.engine import Engine
+
+__all__ = [
+    "FleetGateway",
+    "FleetResult",
+    "SystemReport",
+    "events_by_kind",
+    "run_system",
+]
+
+#: Trace lane of fleet-level instants (rejects, migrations).
+FLEET_LANE = ("fleet", "events")
+
+
+def events_by_kind(events: list[dict]) -> dict[str, int]:
+    """Histogram of replan-event kinds (untagged events count as drift)."""
+    out: dict[str, int] = {}
+    for event in events:
+        kind = event.get("kind", "drift")
+        out[kind] = out.get(kind, 0) + 1
+    return out
+
+
+@dataclass
+class FleetResult:
+    """What one fleet run produced, before reporting."""
+
+    makespan: float
+    arrivals: int
+    requests: list[Request]
+    results: dict[str, GatewayResult]
+    records: list[ServedRecord]        # fleet-boundary rejects only
+
+
+class FleetGateway:
+    """Admission + placement over named gateways on one shared engine."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        planner: PlanningEngine | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
+    ) -> None:
+        self.config = config
+        self.planner = planner or PlanningEngine()
+        self.tracer = tracer or NullTracer()
+        self.engine = Engine()
+        self.metrics = MetricsRegistry()
+        self.records: list[ServedRecord] = []
+        self.per_server_arrivals: dict[str, int] = {}
+        self.servers: dict[str, Gateway] = {}
+        named = config.observability.per_server_lanes
+        for spec in config.servers:
+            self.servers[spec.name] = self._build_server(spec, named)
+            self.per_server_arrivals[spec.name] = 0
+        self.placer = Placer(config.placement, self.servers)
+
+    def _planner_for(self, spec: ServerSpec) -> PlanningEngine:
+        if spec.mobile_speedup == 1.0 and spec.cloud_speedup == 1.0:
+            # homogeneous servers share the fleet planner: one warm
+            # structure cache prices every re-plan on every server
+            return self.planner
+        return PlanningEngine(
+            mobile=self.planner.mobile.scaled(spec.mobile_speedup),
+            cloud=self.planner.cloud.scaled(spec.cloud_speedup),
+            max_entries=self.planner.max_entries,
+            tracer=self.planner.tracer,
+        )
+
+    def _build_server(self, spec: ServerSpec, named: bool) -> Gateway:
+        config = self.config
+        timeline = config.timeline_for(spec)
+        return Gateway(
+            timeline=timeline,
+            planner=self._planner_for(spec),
+            scheme=config.scheme,
+            estimator=AdaptiveChannelEstimator(
+                initial_bps=timeline.rates_bps[0],
+                alpha=config.channel.ewma_alpha,
+                drift_threshold=config.channel.drift_threshold,
+                setup_latency=config.channel.setup_latency,
+                header_bytes=config.channel.header_bytes,
+                protocol_overhead=config.channel.protocol_overhead,
+            ),
+            max_queue_depth=spec.max_queue_depth,
+            nominal_burst=spec.nominal_burst,
+            include_cloud=spec.include_cloud,
+            tracer=self.tracer,
+            resilience=config.resilience_for(spec),
+            # a FaultPlan becomes a fresh injector per gateway, so servers
+            # (and reruns) never share mutable fault state
+            faults=config.fault_plan_for(spec),
+            engine=self.engine,
+            name=spec.name if named else None,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Admitted-but-unfinished requests across the whole fleet."""
+        return sum(server.outstanding for server in self.servers.values())
+
+    def submit(self, request: Request) -> None:
+        """Route one arriving request: fleet admission, then placement."""
+        self.metrics.counter("arrived").increment()
+        limit = self.config.admission.max_fleet_outstanding
+        if limit is not None and self.outstanding >= limit:
+            self.metrics.counter("rejected_fleet").increment()
+            self.records.append(
+                ServedRecord(request.request_id, request.client_id, "rejected", None)
+            )
+            if self.config.observability.fleet_events:
+                self.tracer.instant(
+                    "fleet/reject",
+                    timestamp=self.engine.now,
+                    lane=FLEET_LANE,
+                    request_id=request.request_id,
+                    client=request.client_id,
+                    outstanding=self.outstanding,
+                )
+            return
+        migrations_before = len(self.placer.migrations)
+        name = self.placer.place(request, self.engine.now)
+        if (
+            self.config.observability.fleet_events
+            and len(self.placer.migrations) > migrations_before
+        ):
+            self.tracer.instant(
+                "fleet/migrate",
+                timestamp=self.engine.now,
+                lane=FLEET_LANE,
+                **self.placer.migrations[-1],
+            )
+        self.per_server_arrivals[name] += 1
+        self.servers[name].submit(request)
+
+    def _submitter(self, request: Request):
+        return lambda: self.submit(request)
+
+    def run(self, requests: list[Request], until: float | None = None) -> FleetResult:
+        """Serve a request stream; drains fully unless ``until`` is set."""
+        for request in sorted(requests, key=lambda r: (r.arrival, r.request_id)):
+            self.engine.schedule(
+                request.arrival - self.engine.now, self._submitter(request)
+            )
+        makespan = self.engine.run(until=until)
+        return FleetResult(
+            makespan=makespan,
+            arrivals=len(requests),
+            requests=list(requests),
+            results={
+                name: server.collect(makespan)
+                for name, server in self.servers.items()
+            },
+            records=self.records,
+        )
+
+    # ------------------------------------------------------------------
+    def report(self, result: FleetResult) -> dict:
+        """The system document: per-server audit blocks + fleet totals."""
+        deadlines = {r.request_id: r.deadline for r in result.requests}
+        servers: dict[str, dict] = {}
+        totals = {"served": 0, "degraded": 0, "dropped": 0, "pending": 0}
+        arrived_servers = completed_total = within_total = 0
+        for name, res in result.results.items():
+            gateway = self.servers[name]
+            raw = gateway.report(res)
+            counters = raw["counters"]
+            completed = [rec for rec in res.records if rec.latency is not None]
+            within = sum(
+                1
+                for rec in completed
+                if deadlines.get(rec.request_id) is None
+                or rec.latency <= deadlines[rec.request_id]
+            )
+            servers[name] = {
+                "report": raw,
+                "completed": len(completed),
+                "within_deadline": within,
+                "events": events_by_kind(gateway.replan_events),
+                "violations": accounting_violations(raw),
+            }
+            for key in totals:
+                totals[key] += counters.get(key, 0) if key != "pending" else res.pending
+            arrived_servers += counters.get("arrived", 0)
+            completed_total += len(completed)
+            within_total += within
+        snapshot = self.metrics.snapshot()["counters"]
+        fleet = {
+            "arrivals": result.arrivals,
+            "arrived_servers": arrived_servers,
+            "rejected_fleet": snapshot.get("rejected_fleet", 0),
+            **totals,
+            "completed": completed_total,
+            "within_deadline": within_total,
+            "makespan": result.makespan,
+            "throughput_rps": totals["served"] / max(result.makespan, 1e-12),
+            "placement": {
+                "policy": self.config.placement.policy,
+                "assignments": dict(self.placer.assignments),
+                "per_server_arrivals": dict(self.per_server_arrivals),
+                "migrations": list(self.placer.migrations),
+            },
+        }
+        return {"servers": servers, "fleet": fleet}
+
+
+@dataclass(frozen=True)
+class SystemReport:
+    """Audited outcome of one :func:`run_system` execution.
+
+    ``servers`` maps server name → audit block (raw gateway report,
+    completion/deadline counts, replan-event census, per-server
+    accounting violations); ``fleet`` holds the tiled totals and the
+    placement record. ``baseline``/``comparison`` are present only when
+    :class:`~repro.fleet.config.FaultsConfig` asked for the no-policy
+    comparison run.
+    """
+
+    config: dict
+    arrivals: int
+    offered_load_rps: float
+    makespan: float
+    servers: dict
+    fleet: dict
+    violations: tuple[str, ...]
+    clock_violations: tuple[str, ...]
+    baseline: "SystemReport | None" = None
+    comparison: dict | None = field(default=None)
+
+    @property
+    def ok(self) -> bool:
+        """True when every accounting and clock invariant held."""
+        return not self.violations and not self.clock_violations
+
+    @property
+    def served(self) -> int:
+        return self.fleet["served"]
+
+    @property
+    def within_deadline(self) -> int:
+        return self.fleet["within_deadline"]
+
+    def as_dict(self) -> dict:
+        """JSON-safe document (what ``repro fleet --json`` writes)."""
+        out = {
+            "config": self.config,
+            "arrivals": self.arrivals,
+            "offered_load_rps": self.offered_load_rps,
+            "makespan": self.makespan,
+            "servers": self.servers,
+            "fleet": self.fleet,
+            "violations": list(self.violations),
+            "clock_violations": list(self.clock_violations),
+        }
+        if self.baseline is not None:
+            out["baseline"] = self.baseline.as_dict()
+        if self.comparison is not None:
+            out["comparison"] = self.comparison
+        return json_safe(out)
+
+
+def _run_once(
+    config: SystemConfig,
+    planner: PlanningEngine,
+    tracer: "Tracer | NullTracer | None",
+) -> SystemReport:
+    workload = config.workload
+    requests = generate_requests(
+        list(workload.clients), workload.horizon, workload.seed
+    )
+    fleet = FleetGateway(config, planner=planner, tracer=tracer)
+    clock = MonotoneClockMonitor().attach(fleet.engine)
+    result = fleet.run(requests)
+    document = fleet.report(result)
+    return SystemReport(
+        config=config.as_dict(),
+        arrivals=len(requests),
+        offered_load_rps=len(requests) / workload.horizon,
+        makespan=result.makespan,
+        servers=document["servers"],
+        fleet=document["fleet"],
+        violations=tuple(fleet_accounting_violations(document)),
+        clock_violations=tuple(clock.violations),
+    )
+
+
+def run_system(
+    config: SystemConfig,
+    planner: PlanningEngine | None = None,
+    tracer: "Tracer | NullTracer | None" = None,
+) -> SystemReport:
+    """Execute a :class:`SystemConfig` end to end (see module docstring).
+
+    ``planner`` is shared across servers and both comparison passes on
+    purpose — the bandwidth-independent structure caches are what make
+    fleet-scale re-planning affordable. When
+    ``config.faults.compare_no_policy`` is set, the identical arrival
+    stream is replayed with every resilience policy stripped (bare pass
+    untraced, exactly like the legacy fault scenario) and the report
+    carries the baseline plus a policy-vs-no-policy comparison.
+    """
+    planner = planner or PlanningEngine()
+    if config.faults is None or not config.faults.compare_no_policy:
+        return _run_once(config, planner, tracer)
+
+    # policy pass first (traced), then the stripped baseline untraced —
+    # the order and span the legacy fault scenario is golden-locked to
+    obs = tracer or NullTracer()
+    with obs.span("faults/policy", lane=("scenario", "policy")):
+        report = _run_once(config, planner, tracer)
+    bare = _run_once(config.without_resilience(), planner, None)
+
+    def _census(rep: SystemReport, kind: str) -> int:
+        return sum(block["events"].get(kind, 0) for block in rep.servers.values())
+
+    comparison = {
+        "within_deadline_policy": report.fleet["within_deadline"],
+        "within_deadline_no_policy": bare.fleet["within_deadline"],
+        "within_deadline_gain": (
+            report.fleet["within_deadline"] - bare.fleet["within_deadline"]
+        ),
+        "degradations": _census(report, "degrade"),
+        "recovery_replans": _census(report, "recovery"),
+    }
+    return replace(report, baseline=bare, comparison=comparison)

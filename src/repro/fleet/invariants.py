@@ -1,0 +1,67 @@
+"""Fleet-level conservation laws, audited on every ``run_system``.
+
+Single-gateway accounting (:func:`repro.faults.invariants.accounting_violations`)
+guarantees ``served + degraded + dropped + pending == arrived`` per
+server. The fleet adds a tiling law on top: every fleet arrival is
+either rejected at the fleet boundary or submitted to exactly one
+server, so the per-server sums must tile the fleet totals *exactly* —
+no request double-counted by a migration, none lost between admission
+and placement.
+"""
+
+from __future__ import annotations
+
+from repro.faults.invariants import accounting_violations
+
+__all__ = ["fleet_accounting_violations"]
+
+
+def fleet_accounting_violations(document: dict) -> list[str]:
+    """Every broken invariant in a fleet report document (empty == sound).
+
+    ``document`` is the ``{"servers": ..., "fleet": ...}`` mapping built
+    by :meth:`repro.fleet.fleet.FleetGateway.report`.
+    """
+    problems: list[str] = []
+    servers: dict = document["servers"]
+    fleet: dict = document["fleet"]
+    arrivals = fleet["arrivals"]
+    rejected = fleet.get("rejected_fleet", 0)
+
+    arrived_sum = 0
+    outcome_sum = 0
+    for name, block in servers.items():
+        raw = block["report"]
+        for violation in accounting_violations(raw):
+            problems.append(f"server {name}: {violation}")
+        counters = raw["counters"]
+        arrived_sum += counters.get("arrived", 0)
+        outcome_sum += (
+            counters.get("served", 0)
+            + counters.get("degraded", 0)
+            + counters.get("dropped", 0)
+            + raw.get("pending", 0)
+        )
+        if block["within_deadline"] > block["completed"]:
+            problems.append(
+                f"server {name}: within_deadline {block['within_deadline']} "
+                f"exceeds completed {block['completed']}"
+            )
+        placed = fleet["placement"]["per_server_arrivals"].get(name)
+        if placed is not None and placed != counters.get("arrived", 0):
+            problems.append(
+                f"server {name}: placement routed {placed} requests but the "
+                f"server counted {counters.get('arrived', 0)} arrivals"
+            )
+
+    if arrived_sum + rejected != arrivals:
+        problems.append(
+            f"fleet arrivals do not tile: {arrived_sum} reached servers + "
+            f"{rejected} rejected != {arrivals} arrived"
+        )
+    if outcome_sum + rejected != arrivals:
+        problems.append(
+            f"fleet outcomes do not tile: {outcome_sum} server outcomes + "
+            f"{rejected} rejected != {arrivals} arrived"
+        )
+    return problems

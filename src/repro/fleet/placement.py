@@ -1,0 +1,165 @@
+"""Client→server placement: which gateway serves the next request.
+
+Three policies, selected by :class:`~repro.fleet.config.PlacementConfig`:
+
+* ``least_loaded`` — every request goes to the server with the fewest
+  outstanding (queued + in-flight) requests; ties break by server
+  order. Stateless per request, the classic load balancer.
+* ``eft`` — every request goes to the server with the smallest
+  *estimated finish time*: each server prices the request's model at
+  its estimator's current rate through the shared
+  :meth:`~repro.engine.PlanningEngine.priced_table` kernel (a warm
+  cache lookup, not a table build), takes the single-job optimal cut,
+  and estimates ``outstanding × f + (f + g + cloud)`` — the backlog
+  serialized on the mobile stage plus one request's own pipeline.
+* ``affinity`` — each client binds to one server on first contact
+  (least-loaded at that instant) and the binding is sticky. A binding
+  *migrates* when its server has carried at least
+  ``migration_backlog`` outstanding requests for
+  ``migration_patience`` seconds of sustained overload, or the moment
+  the server's resilience policy degrades it to local-only serving
+  (``migrate_on_degraded``) — i.e. on sustained overload or uplink
+  degradation, never on transient blips.
+
+The placer only ever *reads* gateway state (``outstanding``,
+``degraded_mode``, estimator rates); submission stays with the fleet.
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import single_job_optimal_cut
+from repro.fleet.config import PlacementConfig
+from repro.serving.gateway import Gateway
+from repro.serving.workload import Request
+
+__all__ = ["Placer"]
+
+
+class Placer:
+    """Stateful placement + migration over a named set of gateways."""
+
+    def __init__(self, config: PlacementConfig, servers: dict[str, Gateway]) -> None:
+        self.config = config
+        self.servers = servers
+        self._order = list(servers)
+        #: last (or sticky) server per client — the report's assignment map
+        self.assignments: dict[str, str] = {}
+        #: migration audit: {"time", "client", "from", "to", "reason"}
+        self.migrations: list[dict] = []
+        # overload clocks: when each server's backlog first crossed the
+        # migration threshold (None while below it), sampled at arrivals
+        self._overloaded_since: dict[str, float | None] = {
+            name: None for name in servers
+        }
+
+    # ------------------------------------------------------------------
+    # scorers
+    # ------------------------------------------------------------------
+    def _least_loaded(self, exclude: str | None = None) -> str:
+        best = None
+        best_load = None
+        for name in self._order:
+            if name == exclude:
+                continue
+            load = self.servers[name].outstanding
+            if best_load is None or load < best_load:
+                best, best_load = name, load
+        assert best is not None
+        return best
+
+    def _finish_time(self, name: str, request: Request) -> float:
+        server = self.servers[name]
+        estimator = server.estimator
+        priced = server.planner.priced_table(
+            request.model,
+            estimator.estimate_bps,
+            setup_latency=estimator.setup_latency,
+            header_bytes=estimator.header_bytes,
+            protocol_overhead=estimator.protocol_overhead,
+        )
+        cut = single_job_optimal_cut(priced.table, include_cloud=server.include_cloud)
+        f, g = priced.table.stage_lengths(cut)
+        unit = f + g + priced.table.cloud_rest(cut)
+        # backlog serializes on the mobile stage; the new request then
+        # pays its own full pipeline
+        return server.outstanding * f + unit
+
+    def _eft(self, request: Request) -> str:
+        best = None
+        best_eft = None
+        for name in self._order:
+            eft = self._finish_time(name, request)
+            if best_eft is None or eft < best_eft:
+                best, best_eft = name, eft
+        assert best is not None
+        return best
+
+    # ------------------------------------------------------------------
+    # migration
+    # ------------------------------------------------------------------
+    def _update_overload_clocks(self, now: float) -> None:
+        threshold = self.config.migration_backlog
+        if threshold is None:
+            return
+        for name, server in self.servers.items():
+            if server.outstanding >= threshold:
+                if self._overloaded_since[name] is None:
+                    self._overloaded_since[name] = now
+            else:
+                self._overloaded_since[name] = None
+
+    def _migration_reason(self, name: str, now: float) -> str | None:
+        server = self.servers[name]
+        if self.config.migrate_on_degraded and server.degraded_mode:
+            return "degraded"
+        since = self._overloaded_since.get(name)
+        if since is not None and now - since >= self.config.migration_patience:
+            return "overload"
+        return None
+
+    # ------------------------------------------------------------------
+    # the one entry point
+    # ------------------------------------------------------------------
+    def place(self, request: Request, now: float) -> str:
+        """Pick the serving gateway for one arriving request."""
+        policy = self.config.policy
+        if policy == "least_loaded":
+            name = self._least_loaded()
+        elif policy == "eft":
+            name = self._eft(request)
+        else:  # affinity
+            name = self._place_affinity(request, now)
+        self.assignments[request.client_id] = name
+        return name
+
+    def _place_affinity(self, request: Request, now: float) -> str:
+        self._update_overload_clocks(now)
+        bound = self.assignments.get(request.client_id)
+        if bound is None:
+            return self._least_loaded()
+        if len(self.servers) == 1:
+            return bound
+        reason = self._migration_reason(bound, now)
+        if reason is None:
+            return bound
+        target = self._least_loaded(exclude=bound)
+        healthy = not (
+            self.config.migrate_on_degraded and self.servers[target].degraded_mode
+        )
+        # only move when the destination is actually better off —
+        # fleet-wide overload must not trigger migration storms
+        if healthy and (
+            reason == "degraded"
+            or self.servers[target].outstanding < self.servers[bound].outstanding
+        ):
+            self.migrations.append(
+                {
+                    "time": now,
+                    "client": request.client_id,
+                    "from": bound,
+                    "to": target,
+                    "reason": reason,
+                }
+            )
+            return target
+        return bound

@@ -56,6 +56,25 @@ class DeviceModel:
         """Effective FLOP/s for a layer kind."""
         return self.kind_throughput.get(kind, self.default_throughput)
 
+    def scaled(self, factor: float) -> "DeviceModel":
+        """A uniformly ``factor``-times-faster (or slower) device.
+
+        Throughputs and memory bandwidth multiply by ``factor`` and the
+        per-layer overhead divides by it, so every layer time scales by
+        exactly ``1 / factor`` — how the fleet layer models
+        heterogeneous server hardware off one calibrated profile.
+        """
+        require_positive(factor, "factor")
+        if factor == 1.0:
+            return self
+        return DeviceModel(
+            name=f"{self.name}-x{factor:g}",
+            default_throughput=self.default_throughput * factor,
+            kind_throughput={k: v * factor for k, v in self.kind_throughput.items()},
+            memory_bandwidth=self.memory_bandwidth * factor,
+            layer_overhead=self.layer_overhead / factor,
+        )
+
     def layer_time(self, node: LayerNode) -> float:
         """Predicted execution time of one placed layer, in seconds.
 

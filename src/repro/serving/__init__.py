@@ -11,14 +11,14 @@ executed on the mobile-CPU/uplink/cloud chain, and measured.
 Modules: :mod:`~repro.serving.workload` (clients + arrival processes),
 :mod:`~repro.serving.gateway` (admission, dispatch, re-planning),
 :mod:`~repro.serving.estimator` (EWMA channel tracking + drift),
-:mod:`~repro.serving.metrics` (counters + streaming histograms),
 :mod:`~repro.serving.scenario` (end-to-end runs + the JSON report).
-See ``docs/serving.md``.
+Metrics live in :mod:`repro.obs.metrics`; multi-server serving in
+:mod:`repro.fleet`. See ``docs/serving.md``.
 """
 
+from repro.obs.metrics import Counter, MetricsRegistry, StreamingHistogram
 from repro.serving.estimator import AdaptiveChannelEstimator
 from repro.serving.gateway import GATEWAY_SCHEMES, Gateway, GatewayResult, ServedRecord
-from repro.serving.metrics import Counter, MetricsRegistry, StreamingHistogram
 from repro.serving.scenario import ScenarioConfig, default_scenario, run_scenario
 from repro.serving.workload import (
     ClientSpec,

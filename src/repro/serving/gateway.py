@@ -15,7 +15,7 @@ threshold the gateway re-prices cost tables through the shared
 :class:`~repro.engine.PlanningEngine` (a warm structure cache makes
 this a per-rate table build, not a re-enumeration) and subsequent
 admissions draw cuts from the new mix. Everything observable lands in a
-:class:`~repro.serving.metrics.MetricsRegistry` whose snapshot is the
+:class:`~repro.obs.metrics.MetricsRegistry` whose snapshot is the
 gateway's JSON report.
 """
 
@@ -36,7 +36,7 @@ from repro.net.timeline import BandwidthTimeline
 from repro.obs.tracer import NullTracer, Tracer
 from repro.profiling.latency import CostTable
 from repro.serving.estimator import AdaptiveChannelEstimator
-from repro.serving.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry
 from repro.serving.workload import Request
 from repro.sim.engine import Engine, Resource
 from repro.utils.validation import require_positive
@@ -206,6 +206,8 @@ class Gateway:
         tracer: Tracer | NullTracer | None = None,
         resilience: ResiliencePolicy | None = None,
         faults: FaultInjector | FaultPlan | None = None,
+        engine: Engine | None = None,
+        name: str | None = None,
     ) -> None:
         if scheme not in GATEWAY_SCHEMES:
             raise ValueError(f"unknown scheme {scheme!r} (use one of {GATEWAY_SCHEMES})")
@@ -232,7 +234,13 @@ class Gateway:
         self._client_pos: dict[str, int] = {}
         self._index = _HeadIndex(self._queues, self._client_pos)
         self._records: list[ServedRecord] = []
-        self._engine = Engine()
+        # a fleet passes a shared engine (one virtual clock across all
+        # servers) and a name (per-server trace lanes); standalone
+        # gateways own their engine and keep the historical lane names
+        self.name = name
+        self._events_lane = ("gateway", "events") if name is None else (name, "events")
+        self._lane_prefix = "" if name is None else f"{name}/"
+        self._engine = engine if engine is not None else Engine()
         self._mobile = Resource(self._engine, "mobile-cpu")
         self._uplink = Resource(self._engine, "uplink")
         self._cloud = Resource(self._engine, "cloud-gpu")
@@ -257,6 +265,15 @@ class Gateway:
     def degraded_mode(self) -> bool:
         """True while the gateway is serving local-only after a blackout."""
         return self._degraded
+
+    @property
+    def outstanding(self) -> int:
+        """Admitted-but-unfinished work (queued + in flight).
+
+        This is the load signal fleet placement policies balance on;
+        reading it never mutates dispatch state.
+        """
+        return sum(len(q) for q in self._queues.values()) + self._inflight
 
     # ------------------------------------------------------------------
     # planning state
@@ -320,7 +337,7 @@ class Gateway:
         self.tracer.instant(
             "gateway/replan",
             timestamp=self._engine.now,
-            lane=("gateway", "events"),
+            lane=self._events_lane,
             old_bps=old_bps,
             new_bps=new_bps,
             drift=drift,
@@ -352,7 +369,7 @@ class Gateway:
             self.tracer.instant(
                 "gateway/drop",
                 timestamp=self._engine.now,
-                lane=("gateway", "events"),
+                lane=self._events_lane,
                 request_id=request.request_id,
                 client=request.client_id,
                 reason="disconnected",
@@ -372,7 +389,7 @@ class Gateway:
             self.tracer.instant(
                 "gateway/drop",
                 timestamp=self._engine.now,
-                lane=("gateway", "events"),
+                lane=self._events_lane,
                 request_id=request.request_id,
                 client=request.client_id,
                 reason="queue_full",
@@ -440,7 +457,7 @@ class Gateway:
             self.tracer.instant(
                 "gateway/drop",
                 timestamp=now,
-                lane=("gateway", "events"),
+                lane=self._events_lane,
                 request_id=expired.request.request_id,
                 client=expired.request.client_id,
                 reason="deadline",
@@ -536,7 +553,7 @@ class Gateway:
             self.tracer.instant(
                 "gateway/transfer_failure",
                 timestamp=self._engine.now,
-                lane=("gateway", "events"),
+                lane=self._events_lane,
                 request_id=rid,
                 reason=reason,
                 attempt=ticket.attempts - 1,
@@ -583,7 +600,7 @@ class Gateway:
             self.tracer.instant(
                 "gateway/drop",
                 timestamp=self._engine.now,
-                lane=("gateway", "events"),
+                lane=self._events_lane,
                 request_id=rid,
                 client=ticket.request.client_id,
                 reason="transfer_failed",
@@ -633,7 +650,7 @@ class Gateway:
         track per stage, mirroring :func:`repro.sim.trace.pipeline_spans`.
         """
         rid = ticket.request.request_id
-        process = f"req {rid}"
+        process = f"{self._lane_prefix}req {rid}"
         parent = self.tracer.record(
             f"request {rid}",
             ticket.request.arrival,
@@ -680,7 +697,7 @@ class Gateway:
         self.tracer.instant(
             "gateway/degrade",
             timestamp=self._engine.now,
-            lane=("gateway", "events"),
+            lane=self._events_lane,
             consecutive_failures=self._consecutive_failures,
         )
         self.replan_events.append(
@@ -704,7 +721,7 @@ class Gateway:
         self.tracer.instant(
             "gateway/recover",
             timestamp=self._engine.now,
-            lane=("gateway", "events"),
+            lane=self._events_lane,
             estimate_bps=self.estimator.estimate_bps,
         )
         self._replan(kind="recovery")
@@ -760,12 +777,20 @@ class Gateway:
                 request.arrival - self._engine.now, _submitter(self, request)
             )
         makespan = self._engine.run(until=until)
+        return self.collect(makespan)
+
+    def collect(self, makespan: float | None = None) -> GatewayResult:
+        """Assemble the result of a run someone else drove.
+
+        A fleet drives many gateways on one shared engine and calls this
+        after draining it; ``makespan`` defaults to the engine clock.
+        """
         # a drained run leaves empty queues (dispatch fires on every CPU
         # idle); anything counted here means the run was truncated
         pending = sum(len(q) for q in self._queues.values()) + self._inflight
         return GatewayResult(
             scheme=self.scheme,
-            makespan=makespan,
+            makespan=self._engine.now if makespan is None else makespan,
             records=self._records,
             metrics=self.metrics,
             replan_events=self.replan_events,

@@ -1,28 +1,15 @@
-"""Deprecated location — metrics moved to :mod:`repro.obs.metrics`.
+"""Removed — metrics live in :mod:`repro.obs.metrics`.
 
 The serving-only registry grew into the cross-stack telemetry substrate
 of :mod:`repro.obs` (gauges, labeled counters, histogram merge,
-Prometheus exposition). This module remains as a backward-compatible
-shim so ``from repro.serving.metrics import MetricsRegistry`` keeps
-working; new code should import from :mod:`repro.obs.metrics` (or the
-:mod:`repro.obs` package) directly. The shim re-exports, it does not
-fork: both paths hand out the *same* classes, so registries built
-through either are interchangeable. See ``docs/observability.md`` for
-the deprecation path.
+Prometheus exposition) two PRs ago; this module shimmed the old import
+path through one deprecation cycle and is now gone. Importing it fails
+loudly (below) instead of silently forking the classes.
 """
 
-from repro.obs.metrics import (
-    SNAPSHOT_QUANTILES,
-    Counter,
-    Gauge,
-    MetricsRegistry,
-    StreamingHistogram,
+raise ImportError(
+    "repro.serving.metrics was removed: import Counter, Gauge, "
+    "MetricsRegistry, StreamingHistogram, and SNAPSHOT_QUANTILES from "
+    "repro.obs.metrics (or the repro.obs package) instead. "
+    "See docs/observability.md for the migration notes."
 )
-
-__all__ = [
-    "Counter",
-    "Gauge",
-    "StreamingHistogram",
-    "MetricsRegistry",
-    "SNAPSHOT_QUANTILES",
-]

@@ -13,10 +13,18 @@ uploads as an artifact.
 three Poisson clients over a trace with a mid-run rate drop, sized so
 the drop drives at least one adaptive re-plan and the JPS gateway's
 tail latency beats the all-mobile and all-cloud baselines.
+
+Since the fleet PR, :func:`run_scenario` is a deprecated wrapper: it
+builds a single-server :class:`repro.fleet.SystemConfig` per scheme and
+delegates to :func:`repro.fleet.run_system`, reassembling the report in
+the historical shape (locked byte-identical by
+``tests/data/golden_system_compat.json``). New code should call
+``run_system`` directly.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.core.plans import json_safe
@@ -26,9 +34,8 @@ from repro.faults.policy import ResiliencePolicy
 from repro.net.channel import DEFAULT_HEADER_BYTES, DEFAULT_SETUP_LATENCY
 from repro.net.timeline import BandwidthTimeline
 from repro.obs.tracer import NullTracer, Tracer
-from repro.serving.estimator import AdaptiveChannelEstimator
-from repro.serving.gateway import GATEWAY_SCHEMES, Gateway
-from repro.serving.workload import ClientSpec, generate_requests
+from repro.serving.gateway import GATEWAY_SCHEMES
+from repro.serving.workload import ClientSpec
 from repro.utils.rng import DEFAULT_SEED
 from repro.utils.validation import require_positive
 
@@ -165,51 +172,48 @@ def run_scenario(
 ) -> dict:
     """Serve the scenario under every scheme; returns the full report.
 
+    .. deprecated::
+        ``run_scenario`` is a thin wrapper over the unified entry point:
+        build a :class:`repro.fleet.SystemConfig` (see
+        :meth:`~repro.fleet.SystemConfig.from_scenario`) and call
+        :func:`repro.fleet.run_system`. The wrapper's report is locked
+        byte-identical to the pre-fleet implementation
+        (``tests/data/golden_system_compat.json``).
+
     Pass a :class:`~repro.obs.tracer.Tracer` to collect request
     lifecycle spans and re-plan instant events across every scheme's
     gateway (each scheme wrapped in a ``scenario/scheme`` span); the
     shared ``planner`` inherits the same tracer for the run, so plan
     and table-build spans land in the same trace.
     """
+    warnings.warn(
+        "run_scenario is deprecated: build a repro.fleet.SystemConfig "
+        "(SystemConfig.from_scenario) and call repro.fleet.run_system",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.fleet import SystemConfig, run_system
+
     planner = planner or PlanningEngine()
-    requests = generate_requests(list(config.clients), config.horizon, config.seed)
     obs = tracer or NullTracer()
     previous_planner_tracer = planner.tracer
     planner.tracer = obs
     reports: dict[str, dict] = {}
+    arrivals = 0
     try:
         for scheme in config.schemes:
-            gateway = Gateway(
-                timeline=config.timeline(),
-                planner=planner,
-                scheme=scheme,
-                estimator=AdaptiveChannelEstimator(
-                    initial_bps=config.timeline().rates_bps[0],
-                    alpha=config.ewma_alpha,
-                    drift_threshold=config.drift_threshold,
-                    setup_latency=config.setup_latency,
-                    header_bytes=config.header_bytes,
-                    protocol_overhead=config.protocol_overhead,
-                ),
-                max_queue_depth=config.max_queue_depth,
-                nominal_burst=config.nominal_burst,
-                include_cloud=config.include_cloud,
-                tracer=obs,
-                resilience=config.resilience,
-                # a FaultPlan here becomes a fresh injector per gateway, so
-                # schemes never share mutable fault state
-                faults=config.fault_plan,
-            )
+            system = SystemConfig.from_scenario(config, scheme=scheme)
             with obs.span("scenario/scheme", lane=("scenario", scheme), scheme=scheme):
-                result = gateway.run(requests)
-            reports[scheme] = gateway.report(result)
+                outcome = run_system(system, planner=planner, tracer=obs)
+            reports[scheme] = outcome.servers["gateway"]["report"]
+            arrivals = outcome.arrivals
     finally:
         planner.tracer = previous_planner_tracer
     return json_safe(
         {
             "config": config.as_dict(),
-            "arrivals": len(requests),
-            "offered_load_rps": len(requests) / config.horizon,
+            "arrivals": arrivals,
+            "offered_load_rps": arrivals / config.horizon,
             "schemes": reports,
         }
     )

@@ -176,3 +176,48 @@ def test_experiment_serving(capsys):
     out = run_cli(capsys, "experiment", "serving")
     assert "serving" in out.lower()
     assert "JPS" in out
+
+
+def test_fleet_command_with_single_server_comparison(capsys):
+    out = run_cli(
+        capsys, "fleet", "--servers", "2", "--clients", "4", "--rate", "2",
+        "--horizon", "6", "--compare-single",
+    )
+    assert "2 servers" in out and "within deadline" in out
+    assert "violations 0" in out
+    assert "vs single server" in out
+
+
+def test_fleet_json_to_stdout(capsys):
+    import json
+
+    out = run_cli(
+        capsys, "fleet", "--servers", "2", "--clients", "4", "--rate", "2",
+        "--horizon", "6", "--json", "-",
+    )
+    payload = json.loads(out[out.index("{"):])
+    assert payload["violations"] == [] and payload["clock_violations"] == []
+    fleet = payload["fleet"]
+    assert fleet["arrivals"] > 0
+    assert set(payload["servers"]) == {"server0", "server1"}
+    assert fleet["arrived_servers"] + fleet["rejected_fleet"] == fleet["arrivals"]
+
+
+def test_fleet_json_artifact(capsys, tmp_path):
+    import json
+
+    artifact = tmp_path / "fleet.json"
+    out = run_cli(
+        capsys, "fleet", "--servers", "2", "--clients", "2", "--rate", "1",
+        "--horizon", "6", "--placement", "eft", "--json", str(artifact),
+    )
+    assert "system report written to" in out
+    payload = json.loads(artifact.read_text())
+    assert payload["config"]["placement"]["policy"] == "eft"
+    assert payload["violations"] == []
+
+
+def test_experiment_fleet(capsys):
+    out = run_cli(capsys, "experiment", "fleet")
+    assert "fig_fleet" in out
+    assert "invariant violations: 0" in out

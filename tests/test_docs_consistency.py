@@ -94,6 +94,25 @@ def test_cli_docstring_lists_all_commands():
         )
 
 
+def test_api_facade_names_are_documented():
+    """Every name `repro.api` exports is mentioned in docs/api.md."""
+    import repro.api
+
+    text = _read("docs/api.md")
+    missing = [name for name in repro.api.__all__ if name not in text]
+    assert not missing, f"docs/api.md misses facade exports: {missing}"
+
+
+def test_facade_lazy_exports_resolve_and_match_api():
+    """`repro.<name>` and `repro.api.<name>` hand out the same objects."""
+    import repro
+    import repro.api
+
+    for name in sorted(repro._API_EXPORTS):
+        assert getattr(repro, name) is getattr(repro.api, name), name
+    assert repro._API_EXPORTS <= set(repro.api.__all__)
+
+
 def test_costmodel_doc_constants_match_code():
     """docs/costmodel.md quotes the shipped device constants."""
     from repro.profiling.device import gtx1080_server, raspberry_pi_4

@@ -1,4 +1,4 @@
-"""Metrics substrate: gauges, labeled counters, histogram merge, shim.
+"""Metrics substrate: gauges, labeled counters, histogram merge.
 
 The merge test states the strongest useful property: folding shard B
 into shard A is *bit-identical* to having observed every sample in one
@@ -149,17 +149,13 @@ def test_unlabeled_snapshot_keeps_historical_wire_format():
 
 
 # ----------------------------------------------------------------------
-# the serving shim re-exports, it does not fork
+# the serving shim is gone: importing it fails loudly, pointing here
 # ----------------------------------------------------------------------
 
 
-def test_serving_metrics_shim_hands_out_the_same_classes():
-    import repro.obs.metrics as obs_metrics
-    import repro.serving.metrics as shim
+def test_serving_metrics_shim_is_removed_with_a_loud_pointer():
+    import sys
 
-    assert shim.MetricsRegistry is obs_metrics.MetricsRegistry
-    assert shim.Counter is obs_metrics.Counter
-    assert shim.Gauge is obs_metrics.Gauge
-    assert shim.StreamingHistogram is obs_metrics.StreamingHistogram
-    assert shim.SNAPSHOT_QUANTILES is obs_metrics.SNAPSHOT_QUANTILES
-    assert "repro.obs.metrics" in (shim.__doc__ or "")  # deprecation pointer
+    sys.modules.pop("repro.serving.metrics", None)
+    with pytest.raises(ImportError, match="repro.obs.metrics"):
+        import repro.serving.metrics  # noqa: F401

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.serving.metrics import Counter, MetricsRegistry, StreamingHistogram
+from repro.obs.metrics import Counter, MetricsRegistry, StreamingHistogram
 
 
 def test_counter_monotone():
