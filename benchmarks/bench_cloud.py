@@ -1,0 +1,176 @@
+"""Cloud batching benchmark → ``BENCH_cloud.json``.
+
+Quantifies what the hold-and-batch subsystem buys on the contended
+32-client capacity scenario (4 gateways sharing one GPU 50x slower
+than the planner believes) and locks its two contracts:
+
+* **parity** — a bijective serve-now pool (one GPU per server, batch
+  size one, default model) produces the *byte-identical* per-server
+  report to the unbatched fleet on the identical stream; batching is
+  strictly opt-in;
+* **throughput** — ``batch`` and ``adaptive`` dispatch serve strictly
+  more requests within deadline than ``serve_now`` on the identical
+  arrival stream, with zero accounting/clock violations.
+
+The artifact also records the analytic throughput curve of the
+calibrated ``CloudGpuModel`` (items/s vs batch size). Run as a CLI::
+
+    python benchmarks/bench_cloud.py [--quick] [--check] [--out PATH]
+
+``--quick`` trims the horizon for CI smoke; ``--check`` exits non-zero
+when parity breaks or batching fails to beat serve-now.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.cloud import BATCHING_POLICIES, CloudConfig, CloudGpuModel
+from repro.engine import PlanningEngine
+from repro.fleet import capacity_scenario, contended_cloud_scenario, run_system
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUT = REPO_ROOT / "BENCH_cloud.json"
+
+
+def bench_parity() -> dict:
+    """Serve-now bijective pool == unbatched fleet, byte for byte."""
+    base = capacity_scenario(servers=4)
+    mirrored = replace(
+        base,
+        cloud=CloudConfig(
+            gpus=len(base.servers),
+            max_batch=1,
+            max_wait=0.0,
+            policy="serve_now",
+            model=CloudGpuModel(),
+        ),
+    )
+    # fresh planners per side: a shared planner's cache gauges would
+    # differ between the first and second run
+    plain = run_system(base, planner=PlanningEngine()).as_dict()
+    cloudy = run_system(mirrored, planner=PlanningEngine()).as_dict()
+    servers_identical = json.dumps(plain["servers"], sort_keys=True) == json.dumps(
+        cloudy["servers"], sort_keys=True
+    )
+    fleet_rest = dict(cloudy["fleet"])
+    fleet_rest.pop("cloud", None)
+    fleet_identical = json.dumps(plain["fleet"], sort_keys=True) == json.dumps(
+        fleet_rest, sort_keys=True
+    )
+    return {
+        "servers_identical": servers_identical,
+        "fleet_identical_minus_cloud": fleet_identical,
+        "within_deadline": plain["fleet"]["within_deadline"],
+    }
+
+
+def bench_policies(horizon: float) -> dict:
+    """All three dispatch policies on the identical contended stream."""
+    policies = {}
+    for policy in BATCHING_POLICIES:
+        config = contended_cloud_scenario(policy=policy, horizon=horizon)
+        start = time.perf_counter()
+        report = run_system(config, planner=PlanningEngine())
+        elapsed = time.perf_counter() - start
+        stats = report.fleet["cloud"]["servers"]
+        batches = sum(gpu["batches"] for gpu in stats)
+        items = sum(gpu["batched_requests"] for gpu in stats)
+        policies[policy] = {
+            "arrivals": report.arrivals,
+            "served": report.served,
+            "within_deadline": report.within_deadline,
+            "p99_latency": report.p99_latency,
+            "sustained_rps": report.sustained_rps,
+            "mean_batch_size": items / batches if batches else 0.0,
+            "violations": len(report.violations) + len(report.clock_violations),
+            "wall_s": elapsed,
+        }
+    return policies
+
+
+def bench_curve() -> list[dict]:
+    """Analytic throughput curve of the calibrated batching model."""
+    model = CloudGpuModel.calibrate(model="alexnet")
+    solo = 0.010
+    return model.throughput_curve(solo, max_batch=16)
+
+
+def run(quick: bool = False) -> dict:
+    horizon = 3.0 if quick else 8.0
+    return {
+        "scenario": {
+            "name": "contended_cloud_scenario",
+            "servers": 4,
+            "clients": 32,
+            "gpus": 1,
+            "horizon": horizon,
+        },
+        "parity": bench_parity(),
+        "policies": bench_policies(horizon),
+        "throughput_curve": bench_curve(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when parity breaks or batching does not beat serve-now",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    document = run(quick=args.quick)
+    args.out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    parity = document["parity"]
+    print(
+        f"parity (serve-now bijective vs unbatched): servers "
+        f"{'==' if parity['servers_identical'] else '!='}, fleet "
+        f"{'==' if parity['fleet_identical_minus_cloud'] else '!='}"
+    )
+    for policy, stats in document["policies"].items():
+        print(
+            f"{policy:<10s} within {stats['within_deadline']:>4d}/"
+            f"{stats['arrivals']:<4d} p99 {stats['p99_latency']:6.2f}s "
+            f"sustained {stats['sustained_rps']:6.2f} req/s "
+            f"mean batch {stats['mean_batch_size']:5.2f} "
+            f"({stats['wall_s']:.2f}s wall, {stats['violations']} violations)"
+        )
+    curve = document["throughput_curve"]
+    print(
+        f"calibrated curve: {curve[0]['items_per_s']:,.0f} items/s at b=1 -> "
+        f"{curve[-1]['items_per_s']:,.0f} at b={curve[-1]['batch_size']}"
+    )
+    print(f"[artifact: {args.out}]")
+
+    failures = []
+    if not parity["servers_identical"] or not parity["fleet_identical_minus_cloud"]:
+        failures.append("serve-now bijective pool is not identical to unbatched")
+    policies = document["policies"]
+    for policy in ("batch", "adaptive"):
+        if (
+            policies[policy]["within_deadline"]
+            <= policies["serve_now"]["within_deadline"]
+        ):
+            failures.append(f"{policy} does not beat serve_now within deadline")
+    for policy, stats in policies.items():
+        if stats["violations"]:
+            failures.append(f"{policy}: {stats['violations']} invariant violations")
+
+    if args.check and failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,7 +29,9 @@ pipeline), ``repro.runtime`` (system prototype), ``repro.experiments``
 (beyond-the-paper features), ``repro.serving`` (multi-client offload
 gateway with adaptive re-planning and metrics), ``repro.fleet``
 (multi-server fleet behind the unified ``SystemConfig``/``run_system``
-scenario API — see ``docs/serving.md``), ``repro.obs`` (unified
+scenario API — see ``docs/serving.md``), ``repro.cloud`` (shared
+batching GPU model and hold-and-batch dispatch — see
+``docs/serving.md``), ``repro.obs`` (unified
 tracing & telemetry: spans, Chrome-trace export, Prometheus
 exposition — see ``docs/observability.md``), ``repro.faults`` (seeded
 fault injection, gateway resilience policies, and the differential
@@ -91,6 +93,12 @@ _API_EXPORTS = frozenset(
         "default_fleet",
         "capacity_scenario",
         "fleet_accounting_violations",
+        # cloud-side batching (repro.cloud)
+        "CloudGpuModel",
+        "BatchingServer",
+        "CloudConfig",
+        "BATCHING_POLICIES",
+        "contended_cloud_scenario",
         # fault injection + resilience (repro.faults)
         "FaultPlan",
         "FaultInjector",

@@ -20,6 +20,12 @@ keep working; this module only re-exports, it does not move anything.
 
 from __future__ import annotations
 
+from repro.cloud import (
+    BATCHING_POLICIES,
+    BatchingServer,
+    CloudConfig,
+    CloudGpuModel,
+)
 from repro.core.joint import SplitMode, Structure, jps
 from repro.core.plans import JobPlan, Schedule
 from repro.engine import CacheStats, PlanningEngine
@@ -57,6 +63,7 @@ from repro.fleet import (
     SystemReport,
     WorkloadConfig,
     capacity_scenario,
+    contended_cloud_scenario,
     default_fleet,
     fleet_accounting_violations,
     run_system,
@@ -138,6 +145,12 @@ __all__ = [
     "default_fleet",
     "capacity_scenario",
     "fleet_accounting_violations",
+    # cloud-side batching (repro.cloud)
+    "CloudGpuModel",
+    "BatchingServer",
+    "CloudConfig",
+    "BATCHING_POLICIES",
+    "contended_cloud_scenario",
     # fault injection + resilience (repro.faults)
     "FaultPlan",
     "FaultInjector",

@@ -19,13 +19,17 @@ serve [--clients N] [--rate R] [--horizon T] [--model M] [--mbps X]
 fleet [--servers N] [--clients C] [--rate R] [--horizon T] [--model M]
       [--mbps X] [--deadline D] [--placement P] [--scheme S] [--seed K]
       [--queue-depth Q] [--compare-single] [--json PATH]
+      [--cloud-gpus K] [--max-batch B] [--max-wait S] [--cloud-policy P]
                                N-server fleet through the unified
                                SystemConfig/run_system API: placement,
                                admission, per-server audit; exit 1 on
-                               any accounting/clock violation
+                               any accounting/clock violation.
+                               --cloud-gpus > 0 routes all cloud stages
+                               through K shared hold-and-batch GPUs
+                               (repro.cloud) and reports batching stats
 experiment NAME [--jobs J]     regenerate a paper artifact
                                (fig4 | fig11 | fig12 | fig13 | fig14 | table1
-                                | serving | fleet)
+                                | serving | fleet | cloud)
 dot MODEL [--mbps X]           Graphviz DOT with the JPS cut highlighted
 energy MODEL [--radio R]       energy-latency Pareto frontier
 campaign OUT [--quick] [--compare OLD] [--tolerance T] [--jobs J]
@@ -43,6 +47,7 @@ import json
 import sys
 import warnings
 
+from repro.cloud import BATCHING_POLICIES
 from repro.core.analysis import fractional_lower_bound, speedup_report
 from repro.core.joint import SplitMode, Structure
 from repro.core.plans import Schedule
@@ -52,6 +57,7 @@ from repro.experiments import (
     fig12,
     fig13,
     fig14,
+    fig_cloud,
     fig_fleet,
     fig_serving,
     table1,
@@ -178,12 +184,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH",
         help="write the SystemReport as JSON ('-' for stdout)",
     )
+    p.add_argument(
+        "--cloud-gpus", type=int, default=0,
+        help="share K hold-and-batch cloud GPUs across the fleet "
+             "(0 = per-server private cloud, the default)",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=8,
+        help="GPU batch-size cap (with --cloud-gpus)",
+    )
+    p.add_argument(
+        "--max-wait", type=float, default=0.02,
+        help="hold-and-batch wait window in seconds (with --cloud-gpus)",
+    )
+    p.add_argument(
+        "--cloud-policy", choices=list(BATCHING_POLICIES), default="batch",
+        help="GPU dispatch policy (with --cloud-gpus)",
+    )
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument(
         "name",
         choices=[
-            "fig4", "fig11", "fig12", "fig13", "fig14", "table1", "serving", "fleet",
+            "fig4", "fig11", "fig12", "fig13", "fig14", "table1", "serving",
+            "fleet", "cloud",
         ],
     )
     p.add_argument(
@@ -470,6 +494,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "fleet":
         from pathlib import Path
 
+        import dataclasses
+
+        from repro.cloud import CloudConfig
         from repro.engine import PlanningEngine
         from repro.fleet import default_fleet, run_system
         from repro.utils.rng import DEFAULT_SEED
@@ -479,7 +506,7 @@ def main(argv: list[str] | None = None) -> int:
         planner = PlanningEngine()
 
         def _config(servers: int):
-            return default_fleet(
+            config = default_fleet(
                 servers=servers,
                 clients=args.clients,
                 rate=args.rate,
@@ -492,6 +519,17 @@ def main(argv: list[str] | None = None) -> int:
                 scheme=args.scheme,
                 max_queue_depth=args.queue_depth,
             )
+            if args.cloud_gpus > 0:
+                config = dataclasses.replace(
+                    config,
+                    cloud=CloudConfig(
+                        gpus=args.cloud_gpus,
+                        max_batch=args.max_batch,
+                        max_wait=args.max_wait,
+                        policy=args.cloud_policy,
+                    ),
+                )
+            return config
 
         report = run_system(_config(args.servers), planner=planner)
         document = report.as_dict()
@@ -533,6 +571,24 @@ def main(argv: list[str] | None = None) -> int:
             f"migrations {len(fleet['placement']['migrations'])}, "
             f"violations {violations}"
         )
+        print(
+            f"latency p50/p95/p99: {fleet['latency']['p50']:.3f}s / "
+            f"{fleet['latency']['p95']:.3f}s / {fleet['latency']['p99']:.3f}s, "
+            f"sustained {fleet['sustained_rps']:.2f} req/s"
+        )
+        if "cloud" in fleet:
+            batches = sum(gpu["batches"] for gpu in fleet["cloud"]["servers"])
+            items = sum(
+                gpu["batched_requests"] for gpu in fleet["cloud"]["servers"]
+            )
+            mean_batch = items / batches if batches else 0.0
+            print(
+                f"cloud: {fleet['cloud']['gpus']} GPU(s), policy "
+                f"{fleet['cloud']['policy']} (max-batch "
+                f"{fleet['cloud']['max_batch']}, max-wait "
+                f"{fleet['cloud']['max_wait']:g}s), {batches} batches / "
+                f"{items} requests, mean batch size {mean_batch:.2f}"
+            )
         if args.compare_single and args.servers != 1:
             print(
                 f"vs single server: within-deadline "
@@ -617,6 +673,7 @@ def main(argv: list[str] | None = None) -> int:
             "table1": lambda: table1.render(table1.run(env, jobs=args.jobs)),
             "serving": lambda: fig_serving.render(fig_serving.run()),
             "fleet": lambda: fig_fleet.render(fig_fleet.run()),
+            "cloud": lambda: fig_cloud.render(fig_cloud.run()),
         }[args.name]
         print(harness())
         return 0

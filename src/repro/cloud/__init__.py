@@ -1,0 +1,31 @@
+"""Cloud-side batching: shared GPU model, hold-and-batch server, config.
+
+The paper treats cloud compute as negligible; at fleet scale it is the
+bottleneck the cost model cannot see. This package models the cloud GPU
+as a *shared batching server*:
+
+* :class:`~repro.cloud.model.CloudGpuModel` — batch-size-dependent
+  latency curves (``latency(b) = fixed launch overhead + b × marginal
+  cost``), calibrated from the per-layer device profiles and
+  JSON-round-trippable like :class:`~repro.profiling.device.DeviceModel`;
+* :class:`~repro.cloud.server.BatchingServer` — a hold-and-batch queue
+  on the simulation engine (``max_batch`` / ``max_wait`` knobs, three
+  dispatch policies) with exact per-request span accounting;
+* :class:`~repro.cloud.config.CloudConfig` — the opt-in
+  ``SystemConfig`` block that makes N gateways contend for K GPUs.
+
+See docs/serving.md (cloud batching) and docs/costmodel.md (curve
+derivation). Batching is strictly opt-in: without a ``CloudConfig``
+every run is byte-identical to the pre-batching system.
+"""
+
+from repro.cloud.config import CloudConfig
+from repro.cloud.model import CloudGpuModel
+from repro.cloud.server import BATCHING_POLICIES, BatchingServer
+
+__all__ = [
+    "BATCHING_POLICIES",
+    "BatchingServer",
+    "CloudConfig",
+    "CloudGpuModel",
+]

@@ -1,0 +1,64 @@
+"""Cloud-side batching as a ``SystemConfig`` block.
+
+``SystemConfig.cloud`` is strictly opt-in: when it is ``None`` (the
+default) every gateway keeps its own free, infinitely parallel cloud
+GPU — the pre-batching behavior, byte-identical to the golden compat
+reports. When set, the fleet builds ``gpus`` shared
+:class:`~repro.cloud.server.BatchingServer` instances on the one fleet
+engine and wires gateway ``i`` to GPU ``i % gpus``, so N servers
+contend for K GPUs and the hold-and-batch knobs apply fleet-wide.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cloud.model import CloudGpuModel
+from repro.cloud.server import BATCHING_POLICIES
+from repro.utils.validation import require_positive
+
+__all__ = ["CloudConfig"]
+
+
+@dataclass(frozen=True)
+class CloudConfig:
+    """Shared batching cloud: pool size, hold knobs, GPU model."""
+
+    gpus: int = 1
+    max_batch: int = 8
+    max_wait: float = 0.02
+    policy: str = "batch"
+    model: CloudGpuModel = field(default_factory=CloudGpuModel)
+
+    def __post_init__(self) -> None:
+        require_positive(self.gpus, "gpus")
+        require_positive(self.max_batch, "max_batch")
+        if self.max_wait < 0 or not math.isfinite(self.max_wait):
+            raise ValueError(f"max_wait must be finite and >= 0, got {self.max_wait}")
+        if self.policy not in BATCHING_POLICIES:
+            raise ValueError(
+                f"unknown batching policy {self.policy!r} (use {BATCHING_POLICIES})"
+            )
+
+    def as_dict(self) -> dict:
+        return {
+            "gpus": self.gpus,
+            "max_batch": self.max_batch,
+            "max_wait": self.max_wait,
+            "policy": self.policy,
+            "model": self.model.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CloudConfig":
+        model = data.get("model")
+        return cls(
+            gpus=data.get("gpus", 1),
+            max_batch=data.get("max_batch", 8),
+            max_wait=data.get("max_wait", 0.02),
+            policy=data.get("policy", "batch"),
+            model=(
+                CloudGpuModel() if model is None else CloudGpuModel.from_dict(model)
+            ),
+        )

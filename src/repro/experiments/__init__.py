@@ -8,6 +8,7 @@ from repro.experiments import (
     fig12,
     fig13,
     fig14,
+    fig_cloud,
     fig_fleet,
     fig_serving,
     noise,
@@ -27,6 +28,7 @@ __all__ = [
     "fig12",
     "fig13",
     "fig14",
+    "fig_cloud",
     "fig_fleet",
     "fig_serving",
     "noise",

@@ -68,6 +68,8 @@ def run(
                     "served": report.served,
                     "within_deadline": report.within_deadline,
                     "deadline_rate": report.within_deadline / max(report.arrivals, 1),
+                    "latency_p99": report.p99_latency,
+                    "sustained_rps": report.sustained_rps,
                     "migrations": len(report.fleet["placement"]["migrations"]),
                     "violations": len(report.violations)
                     + len(report.clock_violations),
@@ -92,8 +94,8 @@ def render(document: dict) -> str:
         f"fig_fleet — {document['model']}, {document['clients']} clients, "
         f"horizon {document['horizon']:g}s, deadline {document['deadline']:g}s, "
         f"{document['placement']} placement "
-        f"(cells: within-deadline/arrivals)",
-        f"{'load':>8s} " + " ".join(f"{f'{n} srv':>16s}" for n in server_counts),
+        f"(cells: within-deadline/arrivals @ p99)",
+        f"{'load':>8s} " + " ".join(f"{f'{n} srv':>22s}" for n in server_counts),
     ]
     by_key = {
         (cell["load_per_client"], cell["servers"]): cell
@@ -109,6 +111,7 @@ def render(document: dict) -> str:
             row += (
                 f" {cell['within_deadline']:>6d}/{cell['arrivals']:<5d}"
                 f"{cell['deadline_rate']:>4.0%}"
+                f"@{cell['latency_p99']:>5.2f}s"
             )
         lines.append(row)
     totals = document["engine_cache"]

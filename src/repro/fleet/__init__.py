@@ -19,6 +19,7 @@ from repro.fleet.config import (
     SystemConfig,
     WorkloadConfig,
     capacity_scenario,
+    contended_cloud_scenario,
     default_fleet,
 )
 from repro.fleet.fleet import (
@@ -46,6 +47,7 @@ __all__ = [
     "SystemReport",
     "WorkloadConfig",
     "capacity_scenario",
+    "contended_cloud_scenario",
     "default_fleet",
     "events_by_kind",
     "fleet_accounting_violations",

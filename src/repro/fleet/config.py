@@ -23,6 +23,10 @@ The hierarchy mirrors the questions a run must answer:
 * :class:`FaultsConfig` — the old ``run_fault_scenario`` knobs as a
   sub-config: a fleet-wide fault plan + resilience policy and the
   policy-vs-no-policy comparison switch;
+* :class:`~repro.cloud.config.CloudConfig` — opt-in shared batching
+  cloud: N gateways contend for K hold-and-batch GPUs instead of each
+  getting a free private one (absent: pre-batching behavior, golden
+  byte-identical);
 * :class:`ObservabilityConfig` — per-server trace lanes and fleet
   placement/migration instant events.
 
@@ -36,6 +40,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.cloud.config import CloudConfig
+from repro.cloud.model import CloudGpuModel
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import ResiliencePolicy
 from repro.net.channel import DEFAULT_HEADER_BYTES, DEFAULT_SETUP_LATENCY
@@ -57,6 +63,7 @@ __all__ = [
     "SystemConfig",
     "default_fleet",
     "capacity_scenario",
+    "contended_cloud_scenario",
 ]
 
 #: Client→server placement policies :mod:`repro.fleet.placement` knows.
@@ -333,6 +340,7 @@ class SystemConfig:
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
     channel: ChannelConfig = field(default_factory=ChannelConfig)
     faults: FaultsConfig | None = None
+    cloud: CloudConfig | None = None
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
 
     def __post_init__(self) -> None:
@@ -394,11 +402,14 @@ class SystemConfig:
         }
         if self.faults is not None:
             out["faults"] = self.faults.as_dict()
+        if self.cloud is not None:
+            out["cloud"] = self.cloud.as_dict()
         return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "SystemConfig":
         faults = data.get("faults")
+        cloud = data.get("cloud")
         return cls(
             workload=WorkloadConfig.from_dict(data["workload"]),
             servers=tuple(ServerSpec.from_dict(s) for s in data["servers"]),
@@ -407,6 +418,7 @@ class SystemConfig:
             admission=AdmissionConfig.from_dict(data.get("admission", {})),
             channel=ChannelConfig.from_dict(data.get("channel", {})),
             faults=None if faults is None else FaultsConfig.from_dict(faults),
+            cloud=None if cloud is None else CloudConfig.from_dict(cloud),
             observability=ObservabilityConfig.from_dict(data.get("observability", {})),
         )
 
@@ -534,4 +546,55 @@ def capacity_scenario(
         horizon=8.0,
         deadline=1.0,
         seed=seed,
+    )
+
+
+def contended_cloud_scenario(
+    servers: int = 4,
+    clients: int = 32,
+    gpus: int = 1,
+    max_batch: int = 8,
+    max_wait: float = 0.25,
+    policy: str = "batch",
+    overhead_fraction: float = 0.9,
+    cloud_speedup: float = 0.02,
+    rate: float = 3.0,
+    horizon: float = 8.0,
+    deadline: float = 1.0,
+    seed: int = DEFAULT_SEED,
+) -> SystemConfig:
+    """The shared-cloud acceptance scenario: N gateways, K slow GPUs.
+
+    The 32-client capacity fleet, but the cloud is no longer free: all
+    ``servers`` gateways contend for ``gpus`` shared GPUs that execute
+    ``1 / cloud_speedup`` times slower than the planner's calibrated
+    profile believes (the contention the cost model cannot see), with
+    ``overhead_fraction`` of every solo inference being per-batch
+    launch cost. Serve-now saturates the GPU on launch overhead;
+    hold-and-batch amortizes it across the batch and must serve
+    strictly more within deadline on the identical arrival stream —
+    the ISSUE 7 acceptance criterion, test-locked in
+    ``tests/test_cloud_system.py``.
+    """
+    base = default_fleet(
+        servers=servers,
+        clients=clients,
+        rate=rate,
+        horizon=horizon,
+        deadline=deadline,
+        seed=seed,
+    )
+    return replace(
+        base,
+        cloud=CloudConfig(
+            gpus=gpus,
+            max_batch=max_batch,
+            max_wait=max_wait,
+            policy=policy,
+            model=CloudGpuModel(
+                name="contended-gpu",
+                overhead_fraction=overhead_fraction,
+                speedup=cloud_speedup,
+            ),
+        ),
     )

@@ -29,13 +29,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.cloud.server import BatchingServer
 from repro.core.plans import json_safe
 from repro.engine import PlanningEngine
 from repro.faults.invariants import MonotoneClockMonitor, accounting_violations
 from repro.fleet.config import ServerSpec, SystemConfig
 from repro.fleet.invariants import fleet_accounting_violations
 from repro.fleet.placement import Placer
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, StreamingHistogram
 from repro.obs.tracer import NullTracer, Tracer
 from repro.serving.estimator import AdaptiveChannelEstimator
 from repro.serving.gateway import Gateway, GatewayResult, ServedRecord
@@ -91,11 +92,38 @@ class FleetGateway:
         self.records: list[ServedRecord] = []
         self.per_server_arrivals: dict[str, int] = {}
         self.servers: dict[str, Gateway] = {}
+        # opt-in shared batching cloud: K hold-and-batch GPUs on the one
+        # fleet engine, gateway i riding GPU i % K (absent CloudConfig,
+        # every gateway keeps its private free GPU — golden-locked path)
+        self.cloud_pool: list[BatchingServer] = []
+        self.cloud_of: dict[str, BatchingServer] = {}
+        if config.cloud is not None:
+            self.cloud_pool = [
+                BatchingServer(
+                    self.engine,
+                    model=config.cloud.model,
+                    max_batch=config.cloud.max_batch,
+                    max_wait=config.cloud.max_wait,
+                    policy=config.cloud.policy,
+                    name=f"cloud-gpu{k}",
+                    tracer=self.tracer,
+                )
+                for k in range(config.cloud.gpus)
+            ]
         named = config.observability.per_server_lanes
-        for spec in config.servers:
-            self.servers[spec.name] = self._build_server(spec, named)
+        for index, spec in enumerate(config.servers):
+            cloud = (
+                self.cloud_pool[index % len(self.cloud_pool)]
+                if self.cloud_pool
+                else None
+            )
+            if cloud is not None:
+                self.cloud_of[spec.name] = cloud
+            self.servers[spec.name] = self._build_server(spec, named, cloud)
             self.per_server_arrivals[spec.name] = 0
-        self.placer = Placer(config.placement, self.servers)
+        self.placer = Placer(
+            config.placement, self.servers, cloud_of=self.cloud_of or None
+        )
 
     def _planner_for(self, spec: ServerSpec) -> PlanningEngine:
         if spec.mobile_speedup == 1.0 and spec.cloud_speedup == 1.0:
@@ -109,7 +137,12 @@ class FleetGateway:
             tracer=self.planner.tracer,
         )
 
-    def _build_server(self, spec: ServerSpec, named: bool) -> Gateway:
+    def _build_server(
+        self,
+        spec: ServerSpec,
+        named: bool,
+        cloud: BatchingServer | None = None,
+    ) -> Gateway:
         config = self.config
         timeline = config.timeline_for(spec)
         return Gateway(
@@ -134,6 +167,7 @@ class FleetGateway:
             faults=config.fault_plan_for(spec),
             engine=self.engine,
             name=spec.name if named else None,
+            cloud_server=cloud,
         )
 
     # ------------------------------------------------------------------
@@ -228,6 +262,12 @@ class FleetGateway:
             completed_total += len(completed)
             within_total += within
         snapshot = self.metrics.snapshot()["counters"]
+        # fleet-wide completion-latency distribution: the per-server
+        # DDSketch histograms share one bucket grid, so the merge keeps
+        # the same relative-error bound on p50/p95/p99
+        latency = StreamingHistogram(self.metrics.relative_accuracy)
+        for gateway in self.servers.values():
+            latency.merge(gateway.metrics.histogram("latency"))
         fleet = {
             "arrivals": result.arrivals,
             "arrived_servers": arrived_servers,
@@ -237,6 +277,11 @@ class FleetGateway:
             "within_deadline": within_total,
             "makespan": result.makespan,
             "throughput_rps": totals["served"] / max(result.makespan, 1e-12),
+            # sustained throughput under open arrivals: completions per
+            # second of the arrival window, the objective that matters
+            # once the cloud stage saturates (vs. one-shot makespan)
+            "sustained_rps": completed_total / self.config.workload.horizon,
+            "latency": latency.as_dict(),
             "placement": {
                 "policy": self.config.placement.policy,
                 "assignments": dict(self.placer.assignments),
@@ -244,6 +289,19 @@ class FleetGateway:
                 "migrations": list(self.placer.migrations),
             },
         }
+        if self.cloud_pool:
+            config = self.config.cloud
+            fleet["cloud"] = {
+                "gpus": len(self.cloud_pool),
+                "policy": config.policy,
+                "max_batch": config.max_batch,
+                "max_wait": config.max_wait,
+                "model": config.model.as_dict(),
+                "servers": [gpu.stats() for gpu in self.cloud_pool],
+                "assignment": {
+                    name: gpu.name for name, gpu in self.cloud_of.items()
+                },
+            }
         return {"servers": servers, "fleet": fleet}
 
 
@@ -282,6 +340,16 @@ class SystemReport:
     @property
     def within_deadline(self) -> int:
         return self.fleet["within_deadline"]
+
+    @property
+    def p99_latency(self) -> float:
+        """Fleet-wide p99 completion latency (merged server histograms)."""
+        return self.fleet["latency"]["p99"]
+
+    @property
+    def sustained_rps(self) -> float:
+        """Completions per second of the arrival window."""
+        return self.fleet["sustained_rps"]
 
     def as_dict(self) -> dict:
         """JSON-safe document (what ``repro fleet --json`` writes)."""

@@ -27,10 +27,15 @@ The placer only ever *reads* gateway state (``outstanding``,
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.baselines import single_job_optimal_cut
 from repro.fleet.config import PlacementConfig
 from repro.serving.gateway import Gateway
 from repro.serving.workload import Request
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.cloud.server import BatchingServer
 
 __all__ = ["Placer"]
 
@@ -38,9 +43,17 @@ __all__ = ["Placer"]
 class Placer:
     """Stateful placement + migration over a named set of gateways."""
 
-    def __init__(self, config: PlacementConfig, servers: dict[str, Gateway]) -> None:
+    def __init__(
+        self,
+        config: PlacementConfig,
+        servers: dict[str, Gateway],
+        cloud_of: "dict[str, BatchingServer] | None" = None,
+    ) -> None:
         self.config = config
         self.servers = servers
+        # server -> shared batching GPU, when the fleet runs a shared
+        # cloud: lets the EFT scorer price the GPU queue it would join
+        self.cloud_of = cloud_of or {}
         self._order = list(servers)
         #: last (or sticky) server per client — the report's assignment map
         self.assignments: dict[str, str] = {}
@@ -82,7 +95,15 @@ class Placer:
         unit = f + g + priced.table.cloud_rest(cut)
         # backlog serializes on the mobile stage; the new request then
         # pays its own full pipeline
-        return server.outstanding * f + unit
+        eft = server.outstanding * f + unit
+        cloud = self.cloud_of.get(name)
+        if cloud is not None:
+            # shared batching cloud: also pay the queue of formed-but-
+            # unfinished batches (plus the current hold) on this
+            # server's GPU — two servers tied on mobile backlog now
+            # split by how congested their cloud lane is
+            eft += cloud.queue_delay()
+        return eft
 
     def _eft(self, request: Request) -> str:
         best = None

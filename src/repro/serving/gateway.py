@@ -24,6 +24,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.core.baselines import single_job_optimal_cut
 from repro.core.plans import JobPlan
@@ -40,6 +41,9 @@ from repro.obs.metrics import MetricsRegistry
 from repro.serving.workload import Request
 from repro.sim.engine import Engine, Resource
 from repro.utils.validation import require_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.cloud.server import BatchingServer
 
 __all__ = ["Gateway", "GatewayResult", "ServedRecord", "GATEWAY_SCHEMES"]
 
@@ -208,6 +212,7 @@ class Gateway:
         faults: FaultInjector | FaultPlan | None = None,
         engine: Engine | None = None,
         name: str | None = None,
+        cloud_server: "BatchingServer | None" = None,
     ) -> None:
         if scheme not in GATEWAY_SCHEMES:
             raise ValueError(f"unknown scheme {scheme!r} (use one of {GATEWAY_SCHEMES})")
@@ -244,6 +249,10 @@ class Gateway:
         self._mobile = Resource(self._engine, "mobile-cpu")
         self._uplink = Resource(self._engine, "uplink")
         self._cloud = Resource(self._engine, "cloud-gpu")
+        # opt-in shared batching cloud (repro.cloud): when set, the cloud
+        # stage routes through the hold-and-batch server instead of the
+        # gateway's private GPU — strictly opt-in, like faults/resilience
+        self._cloud_server = cloud_server
         self._cpu_claimed = False
         self._inflight = 0
         # resilience + fault injection (both strictly opt-in: leaving them
@@ -611,9 +620,17 @@ class Gateway:
 
         def enter_cloud() -> None:
             if self.include_cloud and ticket.plan.cloud_time > 0:
-                self._cloud.acquire(
-                    f"{label}/cloud", ticket.plan.cloud_time, after_cloud
-                )
+                if self._cloud_server is not None:
+                    self._cloud_server.submit(
+                        f"{label}/cloud",
+                        ticket.plan.cloud_time,
+                        after_cloud,
+                        slack=ticket.request.expiry - self._engine.now,
+                    )
+                else:
+                    self._cloud.acquire(
+                        f"{label}/cloud", ticket.plan.cloud_time, after_cloud
+                    )
             else:
                 finish()
 
@@ -796,7 +813,14 @@ class Gateway:
             replan_events=self.replan_events,
             mobile=self._mobile,
             uplink=self._uplink,
-            cloud=self._cloud,
+            # under a shared batching cloud, utilization reports the
+            # shared GPU this gateway rides on (same object for every
+            # gateway wired to it)
+            cloud=(
+                self._cloud
+                if self._cloud_server is None
+                else self._cloud_server.resource
+            ),
             pending=pending,
         )
 

@@ -1,0 +1,110 @@
+"""Property suite: batching never loses, duplicates, or oversizes.
+
+Hypothesis drives randomized shared-cloud fleets — batching policy,
+batch-size cap, wait window, GPU count, per-uplink fault plans —
+through :class:`~repro.fleet.fleet.FleetGateway` directly (so the
+GPU pool is inspectable) and asserts the subsystem's load-bearing
+guarantees:
+
+* every request submitted to a GPU lands in **exactly one** completed
+  batch (the multiset of batch members equals the multiset of
+  submissions — nothing lost, nothing double-served);
+* no batch ever exceeds ``max_batch``;
+* the fleet accounting invariant still tiles exactly (served +
+  degraded + dropped + pending + fleet rejects == arrivals) and the
+  virtual clock never runs backwards, under any policy × fault plan.
+"""
+
+import warnings
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import BATCHING_POLICIES, CloudConfig, CloudGpuModel
+from repro.engine import PlanningEngine
+from repro.faults.invariants import MonotoneClockMonitor
+from repro.faults.plan import Blackout, FaultPlan
+from repro.fleet import (
+    FleetGateway,
+    ServerSpec,
+    SystemConfig,
+    WorkloadConfig,
+    fleet_accounting_violations,
+)
+from repro.serving.workload import ClientSpec, generate_requests
+
+# one warm planner across examples: structure caches make the suite fast
+PLANNER = PlanningEngine()
+
+
+@st.composite
+def cloud_configs(draw) -> SystemConfig:
+    n_servers = draw(st.integers(1, 3))
+    servers = []
+    for index in range(n_servers):
+        plan = None
+        if draw(st.booleans()):
+            start = draw(st.floats(0.0, 2.0))
+            plan = FaultPlan(blackouts=(Blackout(start, start + 1.0),))
+        servers.append(ServerSpec(name=f"s{index}", fault_plan=plan))
+    clients = tuple(
+        ClientSpec(
+            name=f"c{i}",
+            rate=draw(st.sampled_from([0.5, 2.0])),
+            deadline=draw(st.sampled_from([None, 1.0])),
+        )
+        for i in range(draw(st.integers(1, 4)))
+    )
+    return SystemConfig(
+        workload=WorkloadConfig(
+            clients=clients,
+            horizon=3.0,
+            seed=draw(st.integers(0, 2**31 - 1)),
+        ),
+        servers=tuple(servers),
+        cloud=CloudConfig(
+            gpus=draw(st.integers(1, 3)),
+            max_batch=draw(st.integers(1, 8)),
+            max_wait=draw(st.sampled_from([0.0, 0.02, 0.25])),
+            policy=draw(st.sampled_from(BATCHING_POLICIES)),
+            model=CloudGpuModel(
+                overhead_fraction=draw(st.sampled_from([0.0, 0.35, 0.9])),
+                speedup=draw(st.sampled_from([0.05, 1.0, 4.0])),
+            ),
+        ),
+    )
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(config=cloud_configs())
+def test_batches_partition_submissions_and_accounting_tiles(config):
+    workload = config.workload
+    requests = generate_requests(
+        list(workload.clients), workload.horizon, workload.seed
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)  # new API never warns
+        fleet = FleetGateway(config, planner=PLANNER)
+        clock = MonotoneClockMonitor().attach(fleet.engine)
+        result = fleet.run(requests)
+        document = fleet.report(result)
+
+    # fleet accounting + clock, unchanged by the shared cloud
+    assert fleet_accounting_violations(document) == []
+    assert clock.violations == []
+
+    assert len(fleet.cloud_pool) == config.cloud.gpus
+    for gpu in fleet.cloud_pool:
+        members = [
+            label for batch in gpu.batch_log for label in batch["requests"]
+        ]
+        # exactly-once: the multiset of batch members IS the multiset
+        # of submissions — nothing held forever, lost, or double-run
+        assert sorted(members) == sorted(gpu.submitted)
+        assert gpu.held == 0
+        assert all(batch["size"] <= config.cloud.max_batch for batch in gpu.batch_log)
+        assert all(batch["end"] >= batch["start"] for batch in gpu.batch_log)

@@ -1,0 +1,146 @@
+"""BatchingServer on the bare engine: hold, flush, and exact windows.
+
+Drives the hold-and-batch queue directly (no gateway, no fleet) so
+every flush path is exercised in isolation: immediate serve-now
+launches, timer flushes armed by the first held request, size flushes
+at ``max_batch``, the ``max_wait == 0`` degenerate case, and the
+adaptive policy's slack decision. Completion windows are checked
+against the analytic batch latency to the float.
+"""
+
+import math
+
+import pytest
+
+from repro.cloud import BatchingServer, CloudGpuModel
+from repro.sim.engine import Engine
+
+MODEL = CloudGpuModel(overhead_fraction=0.5)
+
+
+def _collect(done: list):
+    def on_done(start: float, end: float) -> None:
+        done.append((start, end))
+
+    return on_done
+
+
+def test_serve_now_launches_each_request_alone():
+    engine = Engine()
+    server = BatchingServer(engine, model=MODEL, policy="serve_now")
+    done: list = []
+    server.submit("a", 0.010, _collect(done))
+    server.submit("b", 0.010, _collect(done))
+    engine.run()
+    # two batches of one, back to back on the exclusive GPU
+    assert [batch["size"] for batch in server.batch_log] == [1, 1]
+    assert server.flush_reasons == {"now": 2}
+    assert done[0] == (0.0, pytest.approx(0.010))
+    assert done[1] == (pytest.approx(0.010), pytest.approx(0.020))
+
+
+def test_timer_flush_coalesces_the_hold():
+    engine = Engine()
+    server = BatchingServer(
+        engine, model=MODEL, max_batch=8, max_wait=0.05, policy="batch"
+    )
+    done: list = []
+    server.submit("a", 0.010, _collect(done))
+    engine.schedule(0.01, lambda: server.submit("b", 0.010, _collect(done)))
+    engine.run()
+    assert [batch["size"] for batch in server.batch_log] == [2]
+    assert server.flush_reasons == {"timer": 1}
+    # flush at the first request's max_wait, runs for the batch latency
+    latency = MODEL.batch_latency([0.010, 0.010])
+    assert done == [(pytest.approx(0.05), pytest.approx(0.05 + latency))] * 2
+    assert latency < 0.020  # strictly better than two solo inferences
+
+
+def test_size_flush_preempts_the_timer():
+    engine = Engine()
+    server = BatchingServer(
+        engine, model=MODEL, max_batch=2, max_wait=10.0, policy="batch"
+    )
+    done: list = []
+    server.submit("a", 0.010, _collect(done))
+    server.submit("b", 0.010, _collect(done))
+    server.submit("c", 0.010, _collect(done))
+    engine.run()
+    # first pair flushes on size at t=0; the stale timer must not
+    # double-flush; "c" waits for its own timer
+    assert [batch["size"] for batch in server.batch_log] == [2, 1]
+    assert server.flush_reasons == {"size": 1, "timer": 1}
+    assert engine.now == pytest.approx(10.0 + 0.010)
+
+
+def test_zero_max_wait_flushes_synchronously():
+    engine = Engine()
+    server = BatchingServer(
+        engine, model=MODEL, max_batch=8, max_wait=0.0, policy="batch"
+    )
+    done: list = []
+    server.submit("a", 0.010, _collect(done))
+    engine.run()
+    assert [batch["size"] for batch in server.batch_log] == [1]
+    assert server.flush_reasons == {"timer": 1}
+    assert done == [(0.0, pytest.approx(0.010))]
+
+
+def test_adaptive_holds_with_slack_and_flushes_without():
+    engine = Engine()
+    server = BatchingServer(
+        engine, model=MODEL, max_batch=8, max_wait=0.05, policy="adaptive"
+    )
+    done: list = []
+    # plenty of slack: worth holding for company
+    server.submit("relaxed", 0.010, _collect(done), slack=math.inf)
+    assert server.held == 1
+    # no slack: flush the hold (including "relaxed") immediately
+    server.submit("urgent", 0.010, _collect(done), slack=0.001)
+    assert server.held == 0
+    engine.run()
+    assert [batch["size"] for batch in server.batch_log] == [2]
+    assert server.flush_reasons == {"slack": 1}
+    assert done[0][0] == 0.0  # launched at submit time, not at max_wait
+
+
+def test_batch_log_partitions_submissions():
+    engine = Engine()
+    server = BatchingServer(
+        engine, model=MODEL, max_batch=3, max_wait=0.02, policy="batch"
+    )
+    labels = [f"r{i}" for i in range(10)]
+    for index, label in enumerate(labels):
+        engine.schedule(
+            0.005 * index, lambda lab=label: server.submit(lab, 0.010, lambda s, e: None)
+        )
+    engine.run()
+    flattened = [label for batch in server.batch_log for label in batch["requests"]]
+    assert sorted(flattened) == sorted(labels)  # exactly-once, no loss
+    assert all(batch["size"] <= 3 for batch in server.batch_log)
+    assert server.held == 0
+    assert server.backlog_seconds == pytest.approx(0.0)
+
+
+def test_queue_delay_tracks_hold_and_backlog():
+    engine = Engine()
+    server = BatchingServer(
+        engine, model=MODEL, max_batch=8, max_wait=0.05, policy="batch"
+    )
+    assert server.queue_delay() == 0.0
+    server.submit("a", 0.010, lambda s, e: None)
+    assert server.queue_delay() == pytest.approx(0.010)  # the held request
+    engine.run()
+    assert server.queue_delay() == 0.0
+
+
+def test_invalid_configuration_rejected():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        BatchingServer(engine, policy="bogus")
+    with pytest.raises(ValueError):
+        BatchingServer(engine, max_batch=0)
+    with pytest.raises(ValueError):
+        BatchingServer(engine, max_wait=-0.1)
+    with pytest.raises(ValueError):
+        BatchingServer(engine, max_wait=math.inf)

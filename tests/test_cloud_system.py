@@ -1,0 +1,155 @@
+"""Cloud batching through the fleet: parity, acceptance, reporting.
+
+Three locks from ISSUE 7:
+
+* **Parity** — a bijective serve-now cloud (one GPU per server, batch
+  size one, default model) is *byte-identical* to the unbatched fleet
+  on the identical stream: same per-server report JSON, same fleet
+  dict minus the ``cloud`` section. Batching is strictly opt-in.
+* **Acceptance** — on the contended scenario (N servers sharing one
+  slow GPU) hold-and-batch serves strictly more requests within
+  deadline than serve-now on the identical arrival stream, with zero
+  accounting/clock violations.
+* **Reporting** — ``SystemReport`` surfaces fleet-wide p99 latency,
+  sustained throughput, and per-GPU batching stats; ``SystemConfig``
+  round-trips the cloud block and omits it entirely when unset.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.cloud import CloudConfig, CloudGpuModel
+from repro.engine import PlanningEngine
+from repro.fleet import (
+    SystemConfig,
+    capacity_scenario,
+    contended_cloud_scenario,
+    run_system,
+)
+
+
+def test_cloud_config_round_trip():
+    config = contended_cloud_scenario(servers=2, clients=4)
+    assert config.cloud is not None
+    document = json.loads(json.dumps(config.as_dict()))
+    assert SystemConfig.from_dict(document) == config
+    assert "cloud" in document
+
+
+def test_as_dict_omits_cloud_when_unset():
+    config = capacity_scenario(servers=2)
+    assert config.cloud is None
+    assert "cloud" not in config.as_dict()
+    # golden byte-compat depends on this: absent, not null
+    assert SystemConfig.from_dict(config.as_dict()) == config
+
+
+def test_cloud_config_validation():
+    with pytest.raises(ValueError):
+        CloudConfig(gpus=0)
+    with pytest.raises(ValueError):
+        CloudConfig(max_batch=0)
+    with pytest.raises(ValueError):
+        CloudConfig(max_wait=-1.0)
+    with pytest.raises(ValueError):
+        CloudConfig(policy="nope")
+
+
+def test_serve_now_bijective_cloud_is_byte_identical_to_unbatched():
+    """One serve-now GPU per server == the private per-server cloud."""
+    base = capacity_scenario(servers=4)
+    mirrored = replace(
+        base,
+        cloud=CloudConfig(
+            gpus=len(base.servers),
+            max_batch=1,
+            max_wait=0.0,
+            policy="serve_now",
+            model=CloudGpuModel(),
+        ),
+    )
+    # fresh planners per run: a shared planner's cache gauges would
+    # differ between the first and second run
+    plain = run_system(base, planner=PlanningEngine()).as_dict()
+    cloudy = run_system(mirrored, planner=PlanningEngine()).as_dict()
+    assert json.dumps(plain["servers"], sort_keys=True) == json.dumps(
+        cloudy["servers"], sort_keys=True
+    )
+    cloud_section = cloudy["fleet"].pop("cloud")
+    assert json.dumps(plain["fleet"], sort_keys=True) == json.dumps(
+        cloudy["fleet"], sort_keys=True
+    )
+    # every GPU ran pure batches of one
+    assert all(gpu["max_batch_size"] <= 1 for gpu in cloud_section["servers"])
+
+
+def test_batching_beats_serve_now_on_contended_cloud():
+    """The ISSUE acceptance lock, on the shipped contended scenario."""
+    batch = run_system(contended_cloud_scenario(), planner=PlanningEngine())
+    serve_now = run_system(
+        contended_cloud_scenario(policy="serve_now"), planner=PlanningEngine()
+    )
+    assert batch.arrivals == serve_now.arrivals  # identical stream
+    assert batch.within_deadline > serve_now.within_deadline
+    for report in (batch, serve_now):
+        assert report.violations == () and report.clock_violations == ()
+    # batching actually coalesced work on the shared GPU
+    stats = batch.fleet["cloud"]["servers"]
+    assert sum(gpu["batches"] for gpu in stats) < sum(
+        gpu["batched_requests"] for gpu in stats
+    )
+
+
+def test_fleet_report_surfaces_p99_and_cloud_section():
+    report = run_system(
+        contended_cloud_scenario(servers=2, clients=8, horizon=4.0),
+        planner=PlanningEngine(),
+    )
+    latency = report.fleet["latency"]
+    assert latency["p50"] <= latency["p95"] <= latency["p99"]
+    assert report.p99_latency == latency["p99"]
+    assert report.sustained_rps == report.fleet["sustained_rps"]
+    assert report.sustained_rps > 0
+    cloud = report.fleet["cloud"]
+    assert cloud["gpus"] == 1
+    assert len(cloud["servers"]) == 1
+    assert cloud["servers"][0]["submitted"] > 0
+    # every fleet server is assigned to some pool GPU
+    assert set(cloud["assignment"]) == set(report.servers)
+    assert set(cloud["assignment"].values()) == {cloud["servers"][0]["name"]}
+
+
+def test_unbatched_report_has_latency_but_no_cloud():
+    report = run_system(
+        capacity_scenario(servers=2, clients=8),
+        planner=PlanningEngine(),
+    )
+    assert "cloud" not in report.fleet
+    assert report.fleet["latency"]["p99"] >= 0.0
+    assert report.sustained_rps > 0
+
+
+def test_eft_placement_prices_the_shared_cloud_queue():
+    config = replace(
+        contended_cloud_scenario(servers=2, clients=8, horizon=4.0),
+        placement=replace(contended_cloud_scenario().placement, policy="eft"),
+    )
+    report = run_system(config, planner=PlanningEngine())
+    assert report.violations == () and report.clock_violations == ()
+    assert report.served > 0
+
+
+@pytest.mark.parametrize("policy", ["serve_now", "batch", "adaptive"])
+def test_every_policy_keeps_fleet_accounting_exact(policy):
+    report = run_system(
+        contended_cloud_scenario(servers=2, clients=6, horizon=3.0, policy=policy),
+        planner=PlanningEngine(),
+    )
+    assert report.violations == () and report.clock_violations == ()
+    # the shared GPUs saw exactly-once submission: every completed
+    # batch member was submitted by some gateway
+    stats = report.fleet["cloud"]["servers"]
+    for gpu in stats:
+        assert gpu["batched_requests"] == gpu["submitted"]

@@ -113,6 +113,25 @@ def test_facade_lazy_exports_resolve_and_match_api():
     assert repro._API_EXPORTS <= set(repro.api.__all__)
 
 
+def test_cloud_names_reach_the_facade():
+    """The batching subsystem's public names ride every export path."""
+    import repro
+    import repro.api
+
+    names = (
+        "BATCHING_POLICIES",
+        "BatchingServer",
+        "CloudConfig",
+        "CloudGpuModel",
+        "contended_cloud_scenario",
+    )
+    for name in names:
+        assert name in repro.api.__all__, name
+        assert name in repro._API_EXPORTS, name
+    # the policy registry the CLI/docs quote is the real one
+    assert repro.api.BATCHING_POLICIES == ("serve_now", "batch", "adaptive")
+
+
 def test_costmodel_doc_constants_match_code():
     """docs/costmodel.md quotes the shipped device constants."""
     from repro.profiling.device import gtx1080_server, raspberry_pi_4
