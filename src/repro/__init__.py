@@ -93,6 +93,12 @@ _API_EXPORTS = frozenset(
         "default_fleet",
         "capacity_scenario",
         "fleet_accounting_violations",
+        "steady_fleet_scenario",
+        "blackout_fleet_scenario",
+        "with_slo_telemetry",
+        "slo_acceptance_scenario",
+        "SCENARIO_SLO",
+        "SLO_SCENARIOS",
         # cloud-side batching (repro.cloud)
         "CloudGpuModel",
         "BatchingServer",
@@ -128,6 +134,14 @@ _API_EXPORTS = frozenset(
         "parse_prometheus",
         "pipeline_spans",
         "write_pipeline_trace",
+        # windowed telemetry + SLO alerting (repro.obs)
+        "TimeSeries",
+        "TelemetryHub",
+        "SloConfig",
+        "SloBoard",
+        "default_slos",
+        "render_timeline",
+        "watch_table",
     }
 )
 

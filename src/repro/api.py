@@ -52,6 +52,8 @@ from repro.faults import (
     run_fault_scenario,
 )
 from repro.fleet import (
+    SCENARIO_SLO,
+    SLO_SCENARIOS,
     AdmissionConfig,
     ChannelConfig,
     FaultsConfig,
@@ -62,11 +64,15 @@ from repro.fleet import (
     SystemConfig,
     SystemReport,
     WorkloadConfig,
+    blackout_fleet_scenario,
     capacity_scenario,
     contended_cloud_scenario,
     default_fleet,
     fleet_accounting_violations,
     run_system,
+    slo_acceptance_scenario,
+    steady_fleet_scenario,
+    with_slo_telemetry,
 )
 from repro.net.bandwidth import (
     FOUR_G,
@@ -83,13 +89,20 @@ from repro.nn.zoo import MODELS, get_model
 from repro.obs import (
     InstantEvent,
     NullTracer,
+    SloBoard,
+    SloConfig,
     Span,
+    TelemetryHub,
+    TimeSeries,
     Tracer,
     chrome_trace_events,
+    default_slos,
     exposition_from_snapshot,
     parse_prometheus,
+    render_timeline,
     to_prometheus,
     validate_chrome_events,
+    watch_table,
     well_formed,
     write_chrome_trace,
 )
@@ -145,6 +158,12 @@ __all__ = [
     "default_fleet",
     "capacity_scenario",
     "fleet_accounting_violations",
+    "steady_fleet_scenario",
+    "blackout_fleet_scenario",
+    "with_slo_telemetry",
+    "slo_acceptance_scenario",
+    "SCENARIO_SLO",
+    "SLO_SCENARIOS",
     # cloud-side batching (repro.cloud)
     "CloudGpuModel",
     "BatchingServer",
@@ -180,6 +199,14 @@ __all__ = [
     "parse_prometheus",
     "pipeline_spans",
     "write_pipeline_trace",
+    # windowed telemetry + SLO alerting (repro.obs)
+    "TimeSeries",
+    "TelemetryHub",
+    "SloConfig",
+    "SloBoard",
+    "default_slos",
+    "render_timeline",
+    "watch_table",
     "Schedule",
     "JobPlan",
     "Structure",

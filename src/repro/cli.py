@@ -20,13 +20,18 @@ fleet [--servers N] [--clients C] [--rate R] [--horizon T] [--model M]
       [--mbps X] [--deadline D] [--placement P] [--scheme S] [--seed K]
       [--queue-depth Q] [--compare-single] [--json PATH]
       [--cloud-gpus K] [--max-batch B] [--max-wait S] [--cloud-policy P]
+      [--telemetry] [--slo] [--watch]
                                N-server fleet through the unified
                                SystemConfig/run_system API: placement,
                                admission, per-server audit; exit 1 on
                                any accounting/clock violation.
                                --cloud-gpus > 0 routes all cloud stages
                                through K shared hold-and-batch GPUs
-                               (repro.cloud) and reports batching stats
+                               (repro.cloud) and reports batching stats.
+                               --telemetry records windowed time-series
+                               into the report, --slo evaluates the
+                               default burn-rate objectives, --watch
+                               prints the per-window operator table
 experiment NAME [--jobs J]     regenerate a paper artifact
                                (fig4 | fig11 | fig12 | fig13 | fig14 | table1
                                 | serving | fleet | cloud)
@@ -35,9 +40,20 @@ energy MODEL [--radio R]       energy-latency Pareto frontier
 campaign OUT [--quick] [--compare OLD] [--tolerance T] [--jobs J]
                                run every experiment, save JSON, diff runs
 trace TARGET [--out PATH] [--prom PATH] [--seed K]
-                               run a target (serving | experiment) under the
-                               tracer; export a Perfetto-loadable Chrome trace
-                               and optionally a Prometheus exposition
+      [--scenario S] [--timeline PATH]
+                               run a target (serving | experiment | fleet)
+                               under the tracer; export a Perfetto-loadable
+                               Chrome trace and optionally a Prometheus
+                               exposition. fleet runs an SLO acceptance
+                               scenario (--scenario steady | blackout |
+                               contended) with per-server and per-GPU lanes
+                               and can also write the telemetry timeline
+                               JSON (--timeline)
+report PATH [--timeline] [--watch] [--every S]
+                               render a saved SystemReport JSON: alert
+                               summary by default, ASCII timeline plots
+                               (--timeline), or the per-window operator
+                               table (--watch)
 """
 
 from __future__ import annotations
@@ -64,6 +80,7 @@ from repro.experiments import (
 )
 from repro.experiments.runner import SCHEMES, ExperimentEnv
 from repro.fleet import PLACEMENT_POLICIES
+from repro.fleet.config import SLO_SCENARIOS
 from repro.nn.zoo import MODELS
 from repro.serving.gateway import GATEWAY_SCHEMES
 from repro.sim.pipeline import simulate_schedule
@@ -201,6 +218,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--cloud-policy", choices=list(BATCHING_POLICIES), default="batch",
         help="GPU dispatch policy (with --cloud-gpus)",
     )
+    p.add_argument(
+        "--telemetry", action="store_true",
+        help="record windowed time-series into the report's timeline section",
+    )
+    p.add_argument(
+        "--slo", action="store_true",
+        help="evaluate the default burn-rate SLOs (implies --telemetry)",
+    )
+    p.add_argument(
+        "--watch", action="store_true",
+        help="print the per-window operator table after the run "
+             "(implies --telemetry)",
+    )
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument(
@@ -241,8 +271,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "target",
-        choices=["serving", "experiment"],
-        help="serving: the default gateway scenario; experiment: a scheme grid",
+        choices=["serving", "experiment", "fleet"],
+        help="serving: the default gateway scenario; experiment: a scheme "
+             "grid; fleet: an SLO acceptance scenario with per-server and "
+             "per-GPU lanes",
     )
     p.add_argument(
         "--out", default="trace.json",
@@ -250,9 +282,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--prom", metavar="PATH", default=None,
-        help="also write the Prometheus exposition ('-' for stdout; serving only)",
+        help="also write the Prometheus exposition "
+             "('-' for stdout; serving and fleet targets)",
     )
-    p.add_argument("--seed", type=int, default=None, help="workload seed (serving)")
+    p.add_argument(
+        "--seed", type=int, default=None, help="workload seed (serving, fleet)"
+    )
+    p.add_argument(
+        "--scenario", choices=list(SLO_SCENARIOS), default="blackout",
+        help="which SLO acceptance scenario the fleet target runs",
+    )
+    p.add_argument(
+        "--timeline", metavar="PATH", default=None,
+        help="also write the telemetry timeline + alerts JSON "
+             "('-' for stdout; fleet only)",
+    )
+
+    p = sub.add_parser(
+        "report", help="render a saved SystemReport JSON (alerts, timeline)"
+    )
+    p.add_argument("path", help="SystemReport JSON written by 'repro fleet --json'")
+    p.add_argument(
+        "--timeline", action="store_true",
+        help="ASCII plots of the windowed telemetry series",
+    )
+    p.add_argument(
+        "--watch", action="store_true",
+        help="the per-window operator table instead of plots",
+    )
+    p.add_argument(
+        "--every", type=float, default=1.0,
+        help="watch-table window width in seconds",
+    )
     return parser
 
 
@@ -267,6 +328,23 @@ def _print_schedule(schedule: Schedule, n: int) -> None:
     if "l_star" in schedule.metadata:
         print(f"l* = {schedule.metadata['l_star']}, "
               f"split = {schedule.metadata.get('n_a')}/{schedule.metadata.get('n_b')}")
+
+
+def _print_alerts(alerts: dict) -> None:
+    """One line per SLO alert, plus the fired/cleared totals."""
+    print(
+        f"slo alerts: {alerts['fired']} fired, {alerts['cleared']} cleared, "
+        f"{alerts['active_at_end']} active at end"
+    )
+    for block in alerts.get("slos", []):
+        name = block["slo"]["name"]
+        for alert in block.get("alerts", []):
+            cleared = alert.get("cleared_at")
+            until = f"cleared {cleared:.2f}s" if cleared is not None else "active"
+            print(
+                f"  {name}: fired {alert['fired_at']:.2f}s ({until}, "
+                f"burn {alert['burn_rate']:.2f}x over {alert['events']} events)"
+            )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -504,6 +582,7 @@ def main(argv: list[str] | None = None) -> int:
         seed = args.seed if args.seed is not None else DEFAULT_SEED
         deadline = args.deadline if args.deadline > 0 else None
         planner = PlanningEngine()
+        want_telemetry = args.telemetry or args.slo or args.watch
 
         def _config(servers: int):
             config = default_fleet(
@@ -528,6 +607,14 @@ def main(argv: list[str] | None = None) -> int:
                         max_wait=args.max_wait,
                         policy=args.cloud_policy,
                     ),
+                )
+            if want_telemetry:
+                from repro.fleet.config import with_slo_telemetry
+
+                # --slo attaches the default burn-rate objectives;
+                # --telemetry/--watch alone record the timeline only
+                config = with_slo_telemetry(
+                    config, slos=None if args.slo else ()
                 )
             return config
 
@@ -596,6 +683,13 @@ def main(argv: list[str] | None = None) -> int:
                 f"{fleet['within_deadline']} "
                 f"({document['fleet_gain_within_deadline']:+d})"
             )
+        if report.alerts:
+            _print_alerts(report.alerts)
+        if args.watch and report.timeline:
+            from repro.obs.render import watch_table
+
+            print()
+            print(watch_table(report.timeline, report.alerts))
         if args.json:
             Path(args.json).write_text(json.dumps(document, indent=2, sort_keys=True))
             print(f"system report written to {args.json}")
@@ -632,6 +726,9 @@ def main(argv: list[str] | None = None) -> int:
 
         tracer = Tracer()
         exposition = None
+        if args.timeline and args.target != "fleet":
+            print("--timeline requires the fleet target", file=sys.stderr)
+            return 2
         if args.target == "serving":
             from repro.serving import default_scenario, run_scenario
 
@@ -645,9 +742,48 @@ def main(argv: list[str] | None = None) -> int:
             exposition = exposition_from_snapshot(
                 report["schemes"][config.schemes[0]]
             )
+        elif args.target == "fleet":
+            from repro.fleet.config import slo_acceptance_scenario
+            from repro.fleet.fleet import run_system
+
+            config = slo_acceptance_scenario(args.scenario)
+            if args.seed is not None:
+                config = dataclasses.replace(
+                    config,
+                    workload=dataclasses.replace(
+                        config.workload, seed=args.seed
+                    ),
+                )
+            report = run_system(config, tracer=tracer)
+            # the fleet registry snapshot rides inside the timeline
+            exposition = exposition_from_snapshot(
+                report.timeline.get("metrics", {})
+            )
+            print(
+                f"{args.scenario}: served {report.served}/{report.arrivals}, "
+                f"within deadline {report.within_deadline}, "
+                f"ok {report.ok}"
+            )
+            if report.alerts:
+                _print_alerts(report.alerts)
+            if args.timeline:
+                timeline_doc = json.dumps(
+                    {
+                        "scenario": args.scenario,
+                        "timeline": report.timeline,
+                        "alerts": report.alerts,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+                if args.timeline == "-":
+                    print(timeline_doc)
+                else:
+                    Path(args.timeline).write_text(timeline_doc)
+                    print(f"timeline JSON written to {args.timeline}")
         else:
             if args.prom:
-                print("--prom requires the serving target", file=sys.stderr)
+                print("--prom requires the serving or fleet target", file=sys.stderr)
                 return 2
             env.tracer = tracer
             env.scheme_grid(["alexnet", "googlenet"], 10.0, 20)
@@ -661,6 +797,35 @@ def main(argv: list[str] | None = None) -> int:
         elif args.prom:
             Path(args.prom).write_text(exposition)
             print(f"prometheus exposition written to {args.prom}")
+        return 0
+
+    if args.command == "report":
+        from pathlib import Path
+
+        from repro.obs.render import render_timeline, watch_table
+
+        document = json.loads(Path(args.path).read_text())
+        timeline = document.get("timeline") or {}
+        alerts = document.get("alerts")
+        if args.watch:
+            print(watch_table(timeline, alerts, every=args.every))
+            return 0
+        if args.timeline:
+            print(render_timeline(timeline))
+            return 0
+        fleet = document.get("fleet", {})
+        if fleet:
+            print(
+                f"fleet: served {fleet.get('served', 0)}"
+                f"/{fleet.get('arrivals', document.get('arrivals', 0))}, "
+                f"within deadline {fleet.get('within_deadline', 0)}"
+            )
+        if alerts:
+            _print_alerts(alerts)
+        elif "alerts" not in document:
+            print("(no SLOs configured; run 'repro fleet --slo --json PATH')")
+        if not timeline:
+            print("(no telemetry timeline; run 'repro fleet --telemetry --json PATH')")
         return 0
 
     if args.command == "experiment":

@@ -35,6 +35,7 @@ import math
 from typing import Callable
 
 from repro.cloud.model import CloudGpuModel
+from repro.obs.timeseries import NULL_HUB
 from repro.obs.tracer import NullTracer, Tracer
 from repro.sim.engine import Engine, Resource
 from repro.utils.validation import require_positive
@@ -57,6 +58,7 @@ class BatchingServer:
         policy: str = "batch",
         name: str = "cloud-gpu",
         tracer: "Tracer | NullTracer | None" = None,
+        telemetry=None,
     ) -> None:
         if policy not in BATCHING_POLICIES:
             raise ValueError(
@@ -71,12 +73,19 @@ class BatchingServer:
         self.max_wait = max_wait
         self.policy = policy
         self.tracer = tracer or NullTracer()
+        self.telemetry = telemetry if telemetry is not None else NULL_HUB
         self.resource = Resource(engine, name)
         #: One entry per completed batch: start/end window, member labels.
         self.batch_log: list[dict] = []
         self.submitted: list[str] = []
         self.flush_reasons: dict[str, int] = {}
+        #: The batch whose completion callbacks are currently firing —
+        #: gateways read it inside ``on_done`` to link a request's trace
+        #: to its batch window and co-batched peers.
+        self.current_batch: dict | None = None
         self._hold: list[tuple[str, float, Callable[[float, float], None]]] = []
+        self._hold_started: float | None = None
+        self._pending_hold_window: float | None = None
         self._generation = 0          # stales pending max_wait timers
         self._launched = 0
         self._backlog = 0.0           # service time of formed, unfinished batches
@@ -137,6 +146,8 @@ class BatchingServer:
             self._launch(self._take_hold() + [item], reason="slack")
             return
         self._hold.append(item)
+        if len(self._hold) == 1:
+            self._hold_started = self.engine.now
         if len(self._hold) >= self.max_batch:
             self._launch(self._take_hold(), reason="size")
         elif self.max_wait == 0:
@@ -151,6 +162,9 @@ class BatchingServer:
     def _take_hold(self) -> list[tuple[str, float, Callable[[float, float], None]]]:
         items, self._hold = self._hold, []
         self._generation += 1
+        # hand the hold window to the launch that consumes these items
+        self._pending_hold_window = self._hold_started
+        self._hold_started = None
         return items
 
     def _timer_fire(self, generation: int) -> None:
@@ -167,10 +181,23 @@ class BatchingServer:
     ) -> None:
         self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
         self._launched += 1
+        index = self._launched
         latency = self.model.batch_latency([unit for _, unit, _ in items])
         self._backlog += latency
         labels = [label for label, _, _ in items]
         batch_label = labels[0] if len(items) == 1 else f"batch[{len(items)}]"
+        hold_started = self._pending_hold_window
+        self._pending_hold_window = None
+        if self.tracer.enabled and hold_started is not None:
+            # the hold window: first held arrival → this flush
+            self.tracer.record(
+                f"hold[{len(items)}]",
+                hold_started,
+                self.engine.now,
+                lane=(self.name, "hold"),
+                size=len(items),
+                reason=reason,
+            )
 
         def done(start: float, end: float) -> None:
             self._backlog -= latency
@@ -183,15 +210,40 @@ class BatchingServer:
                     "reason": reason,
                 }
             )
-            if len(items) > 1:
-                self.tracer.record(
+            if self.tracer.enabled:
+                parent = self.tracer.record(
                     batch_label,
                     start,
                     end,
                     lane=(self.name, "batches"),
                     size=len(items),
                     reason=reason,
+                    batch=index,
+                    requests=list(labels),
                 )
+                # one child window per member, so a batch opens into the
+                # requests that rode it
+                for label in labels:
+                    self.tracer.record(
+                        label,
+                        start,
+                        end,
+                        parent=parent,
+                        lane=(self.name, "requests"),
+                        batch=index,
+                    )
+            if self.telemetry.enabled:
+                self.telemetry.observe("batch_size", end, len(items), gpu=self.name)
+                self.telemetry.record("batches", end, gpu=self.name, reason=reason)
+                self.telemetry.sample("gpu_backlog", end, self._backlog, gpu=self.name)
+            # visible to the members' on_done callbacks (trace linking)
+            self.current_batch = {
+                "batch": index,
+                "batch_size": len(items),
+                "flush_reason": reason,
+                "co_batched": list(labels),
+                "gpu": self.name,
+            }
             for _, _, on_done in items:
                 on_done(start, end)
 

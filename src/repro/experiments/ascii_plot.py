@@ -10,9 +10,24 @@ from __future__ import annotations
 import math
 from typing import Mapping, Sequence
 
-__all__ = ["line_plot"]
+__all__ = ["line_plot", "sparkline"]
 
 _GLYPHS = "ox+*#@%&"
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend glyphs (``repro fleet --watch`` footer rows)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARK[0] * len(values)
+    span = hi - lo
+    return "".join(
+        _SPARK[min(len(_SPARK) - 1, int((v - lo) / span * len(_SPARK)))]
+        for v in values
+    )
 
 
 def _scale(value: float, lo: float, hi: float, log: bool) -> float:

@@ -10,6 +10,8 @@ design notes, and docs/serving.md for the user-facing tour.
 
 from repro.fleet.config import (
     PLACEMENT_POLICIES,
+    SCENARIO_SLO,
+    SLO_SCENARIOS,
     AdmissionConfig,
     ChannelConfig,
     FaultsConfig,
@@ -18,9 +20,13 @@ from repro.fleet.config import (
     ServerSpec,
     SystemConfig,
     WorkloadConfig,
+    blackout_fleet_scenario,
     capacity_scenario,
     contended_cloud_scenario,
     default_fleet,
+    slo_acceptance_scenario,
+    steady_fleet_scenario,
+    with_slo_telemetry,
 )
 from repro.fleet.fleet import (
     FleetGateway,
@@ -34,6 +40,8 @@ from repro.fleet.placement import Placer
 
 __all__ = [
     "PLACEMENT_POLICIES",
+    "SCENARIO_SLO",
+    "SLO_SCENARIOS",
     "AdmissionConfig",
     "ChannelConfig",
     "FaultsConfig",
@@ -46,10 +54,14 @@ __all__ = [
     "SystemConfig",
     "SystemReport",
     "WorkloadConfig",
+    "blackout_fleet_scenario",
     "capacity_scenario",
     "contended_cloud_scenario",
     "default_fleet",
     "events_by_kind",
     "fleet_accounting_violations",
     "run_system",
+    "slo_acceptance_scenario",
+    "steady_fleet_scenario",
+    "with_slo_telemetry",
 ]

@@ -42,9 +42,10 @@ from dataclasses import dataclass, field, replace
 
 from repro.cloud.config import CloudConfig
 from repro.cloud.model import CloudGpuModel
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import Blackout, FaultPlan
 from repro.faults.policy import ResiliencePolicy
 from repro.net.channel import DEFAULT_HEADER_BYTES, DEFAULT_SETUP_LATENCY
+from repro.obs.slo import SloConfig, default_slos
 from repro.net.timeline import BandwidthTimeline
 from repro.serving.gateway import GATEWAY_SCHEMES
 from repro.serving.workload import ClientSpec
@@ -64,6 +65,12 @@ __all__ = [
     "default_fleet",
     "capacity_scenario",
     "contended_cloud_scenario",
+    "blackout_fleet_scenario",
+    "steady_fleet_scenario",
+    "with_slo_telemetry",
+    "SCENARIO_SLO",
+    "slo_acceptance_scenario",
+    "SLO_SCENARIOS",
 ]
 
 #: Client→server placement policies :mod:`repro.fleet.placement` knows.
@@ -313,20 +320,48 @@ class ObservabilityConfig:
     adds ``fleet/migrate`` and ``fleet/reject`` instant markers. Both
     are off on the legacy-wrapper path so single-gateway traces stay
     byte-identical to the pre-fleet code.
+
+    ``telemetry`` turns on the windowed
+    :class:`~repro.obs.timeseries.TelemetryHub` (arrival/outcome/queue/
+    batch series bucketed every ``telemetry_bucket`` virtual seconds →
+    ``SystemReport.timeline``); ``slos`` declares burn-rate objectives
+    evaluated online by an :class:`~repro.obs.slo.SloBoard` →
+    ``SystemReport.alerts``. Both default off so the fault-free
+    ``run_system`` output stays byte-identical to the golden.
     """
 
     per_server_lanes: bool = True
     fleet_events: bool = True
+    telemetry: bool = False
+    telemetry_bucket: float = 0.5
+    slos: tuple[SloConfig, ...] = ()
+
+    def __post_init__(self) -> None:
+        require_positive(self.telemetry_bucket, "telemetry_bucket")
+        object.__setattr__(self, "slos", tuple(self.slos))
 
     def as_dict(self) -> dict:
-        return {
+        out: dict = {
             "per_server_lanes": self.per_server_lanes,
             "fleet_events": self.fleet_events,
         }
+        # new keys only when set, so legacy config dumps stay unchanged
+        if self.telemetry:
+            out["telemetry"] = True
+            out["telemetry_bucket"] = self.telemetry_bucket
+        if self.slos:
+            out["slos"] = [s.as_dict() for s in self.slos]
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "ObservabilityConfig":
-        return cls(**data)
+        return cls(
+            per_server_lanes=data.get("per_server_lanes", True),
+            fleet_events=data.get("fleet_events", True),
+            telemetry=data.get("telemetry", False),
+            telemetry_bucket=data.get("telemetry_bucket", 0.5),
+            slos=tuple(SloConfig.from_dict(s) for s in data.get("slos", ())),
+        )
 
 
 @dataclass(frozen=True)
@@ -598,3 +633,136 @@ def contended_cloud_scenario(
             ),
         ),
     )
+
+
+def blackout_fleet_scenario(
+    clients: int = 3,
+    rate: float = 2.5,
+    horizon: float = 20.0,
+    model: str = "alexnet",
+    seed: int = DEFAULT_SEED,
+    blackout_start: float = 8.0,
+    blackout_duration: float = 2.0,
+    deadline: float = 1.0,
+    mbps: float = 8.0,
+) -> SystemConfig:
+    """The PR 5 blackout-degrade-recover scenario as a ``SystemConfig``.
+
+    Same plan/policy numbers as
+    :func:`repro.faults.scenario.default_fault_scenario` (one uplink
+    blacking out for ``blackout_duration`` seconds, detection tuned to
+    two quarter-second timeouts) but built directly on the fleet
+    surface so SLO telemetry can observe it: during the blackout the
+    deadline-hit-rate burn spikes and the SLO alert must fire, then
+    clear once the probe finds the recovered channel.
+    """
+    plan = FaultPlan(
+        seed=seed,
+        blackouts=(Blackout(blackout_start, blackout_start + blackout_duration),),
+        metadata={"scenario": "blackout-degrade-recover"},
+    )
+    policy = ResiliencePolicy(
+        max_retries=1,
+        backoff_base=0.05,
+        backoff_factor=2.0,
+        transfer_timeout=0.25,
+        degrade_after_failures=2,
+        local_fallback=True,
+        probe_interval=0.25,
+        probe_bytes=16 * 1024.0,
+    )
+    return SystemConfig(
+        workload=WorkloadConfig(
+            clients=tuple(
+                ClientSpec(
+                    name=f"client{i}",
+                    model=model,
+                    process="poisson",
+                    rate=rate,
+                    deadline=deadline,
+                )
+                for i in range(clients)
+            ),
+            horizon=horizon,
+            seed=seed,
+        ),
+        servers=(
+            ServerSpec(
+                name="server0",
+                bandwidth_steps=((0.0, mbps),),
+            ),
+        ),
+        faults=FaultsConfig(plan=plan, resilience=policy),
+    )
+
+
+def steady_fleet_scenario(
+    servers: int = 2,
+    clients: int = 4,
+    rate: float = 1.0,
+    horizon: float = 12.0,
+    deadline: float = 1.0,
+    seed: int = DEFAULT_SEED,
+) -> SystemConfig:
+    """The fault-free acceptance scenario: a fleet with slack to spare.
+
+    Light Poisson load on a healthy fleet — every request lands well
+    inside its deadline, so a correctly calibrated SLO board must fire
+    **zero** alerts here (the negative control the slo-smoke CI job
+    asserts).
+    """
+    return default_fleet(
+        servers=servers,
+        clients=clients,
+        rate=rate,
+        horizon=horizon,
+        deadline=deadline,
+        seed=seed,
+    )
+
+
+def with_slo_telemetry(
+    config: SystemConfig,
+    slos: tuple[SloConfig, ...] | None = None,
+    bucket_width: float = 0.25,
+) -> SystemConfig:
+    """The same run with windowed telemetry + SLO alerting switched on."""
+    return replace(
+        config,
+        observability=replace(
+            config.observability,
+            telemetry=True,
+            telemetry_bucket=bucket_width,
+            slos=tuple(slos) if slos is not None else default_slos(),
+        ),
+    )
+
+
+#: The objective the acceptance scenarios are test-locked against:
+#: ≥60% of requests inside deadline over any 4 s window, with a 2 s fast
+#: window so post-recovery churn must *sustain* before an alert clears.
+#: Calibrated so the steady fleet never fires, the blackout fires during
+#: the outage and clears after recovery, and the contended cloud fires
+#: within the first two seconds and stays active to the end.
+SCENARIO_SLO = SloConfig(target=0.6, fast_window=2.0)
+
+#: The slo-smoke scenario names (CLI ``repro trace fleet --scenario``).
+SLO_SCENARIOS = ("steady", "blackout", "contended")
+
+
+def slo_acceptance_scenario(name: str) -> SystemConfig:
+    """One of the slo-smoke scenarios, telemetry + locked SLO attached.
+
+    The CLI, the CI ``slo-smoke`` job, and the alert acceptance tests
+    all build their runs through this single definition, so "the
+    blackout scenario fires its expected alerts" means the same thing
+    everywhere.
+    """
+    builders = {
+        "steady": steady_fleet_scenario,
+        "blackout": blackout_fleet_scenario,
+        "contended": contended_cloud_scenario,
+    }
+    if name not in builders:
+        raise ValueError(f"unknown SLO scenario {name!r} (use {SLO_SCENARIOS})")
+    return with_slo_telemetry(builders[name](), slos=(SCENARIO_SLO,))

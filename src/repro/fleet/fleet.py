@@ -37,6 +37,8 @@ from repro.fleet.config import ServerSpec, SystemConfig
 from repro.fleet.invariants import fleet_accounting_violations
 from repro.fleet.placement import Placer
 from repro.obs.metrics import MetricsRegistry, StreamingHistogram
+from repro.obs.slo import NULL_BOARD, SloBoard
+from repro.obs.timeseries import NULL_HUB, TelemetryHub
 from repro.obs.tracer import NullTracer, Tracer
 from repro.serving.estimator import AdaptiveChannelEstimator
 from repro.serving.gateway import Gateway, GatewayResult, ServedRecord
@@ -92,6 +94,19 @@ class FleetGateway:
         self.records: list[ServedRecord] = []
         self.per_server_arrivals: dict[str, int] = {}
         self.servers: dict[str, Gateway] = {}
+        # strictly opt-in windowed telemetry + SLO board (null twins keep
+        # the disabled path byte-identical to the pre-telemetry code)
+        obs = config.observability
+        self.telemetry = (
+            TelemetryHub(bucket_width=obs.telemetry_bucket)
+            if obs.telemetry
+            else NULL_HUB
+        )
+        self.slo_board = (
+            SloBoard(obs.slos, tracer=self.tracer, metrics=self.metrics)
+            if obs.slos
+            else NULL_BOARD
+        )
         # opt-in shared batching cloud: K hold-and-batch GPUs on the one
         # fleet engine, gateway i riding GPU i % K (absent CloudConfig,
         # every gateway keeps its private free GPU — golden-locked path)
@@ -107,6 +122,7 @@ class FleetGateway:
                     policy=config.cloud.policy,
                     name=f"cloud-gpu{k}",
                     tracer=self.tracer,
+                    telemetry=self.telemetry,
                 )
                 for k in range(config.cloud.gpus)
             ]
@@ -122,7 +138,13 @@ class FleetGateway:
             self.servers[spec.name] = self._build_server(spec, named, cloud)
             self.per_server_arrivals[spec.name] = 0
         self.placer = Placer(
-            config.placement, self.servers, cloud_of=self.cloud_of or None
+            config.placement,
+            self.servers,
+            cloud_of=self.cloud_of or None,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            telemetry=self.telemetry,
+            events=config.observability.fleet_events,
         )
 
     def _planner_for(self, spec: ServerSpec) -> PlanningEngine:
@@ -168,6 +190,8 @@ class FleetGateway:
             engine=self.engine,
             name=spec.name if named else None,
             cloud_server=cloud,
+            telemetry=self.telemetry,
+            slo=self.slo_board,
         )
 
     # ------------------------------------------------------------------
@@ -179,6 +203,8 @@ class FleetGateway:
     def submit(self, request: Request) -> None:
         """Route one arriving request: fleet admission, then placement."""
         self.metrics.counter("arrived").increment()
+        if self.telemetry.enabled:
+            self.telemetry.record("fleet_arrivals", self.engine.now)
         limit = self.config.admission.max_fleet_outstanding
         if limit is not None and self.outstanding >= limit:
             self.metrics.counter("rejected_fleet").increment()
@@ -194,6 +220,12 @@ class FleetGateway:
                     client=request.client_id,
                     outstanding=self.outstanding,
                 )
+            if self.telemetry.enabled:
+                self.telemetry.record(
+                    "dropped", self.engine.now, server="fleet", reason="fleet_reject"
+                )
+            if self.slo_board.enabled:
+                self.slo_board.outcome(self.engine.now, False)
             return
         migrations_before = len(self.placer.migrations)
         name = self.placer.place(request, self.engine.now)
@@ -208,6 +240,16 @@ class FleetGateway:
                 **self.placer.migrations[-1],
             )
         self.per_server_arrivals[name] += 1
+        if (
+            self.config.observability.fleet_events
+            and self.tracer.enabled
+            and self.placer.last_decision is not None
+        ):
+            # the placement decision joins the request's trace tree as a
+            # child span when the request finishes on its server
+            self.servers[name].note_placement(
+                request.request_id, **self.placer.last_decision
+            )
         self.servers[name].submit(request)
 
     def _submitter(self, request: Request):
@@ -220,6 +262,9 @@ class FleetGateway:
                 request.arrival - self.engine.now, self._submitter(request)
             )
         makespan = self.engine.run(until=until)
+        # end-of-run SLO pass: publishes burn-rate gauges and leaves any
+        # still-burning alert active (no forced clear)
+        self.slo_board.finalize(makespan)
         return FleetResult(
             makespan=makespan,
             arrivals=len(requests),
@@ -302,7 +347,22 @@ class FleetGateway:
                     name: gpu.name for name, gpu in self.cloud_of.items()
                 },
             }
-        return {"servers": servers, "fleet": fleet}
+            # per-GPU busy fraction as registry gauges, Prometheus-ready
+            horizon = max(result.makespan, 1e-12)
+            for gpu in self.cloud_pool:
+                self.metrics.gauge("gpu_busy_fraction", gpu=gpu.name).set(
+                    gpu.resource.total_busy_time / horizon
+                )
+        document = {"servers": servers, "fleet": fleet}
+        if self.telemetry.enabled:
+            timeline = self.telemetry.timeline()
+            # full fleet registry snapshot rides along so one artifact
+            # feeds both the ASCII renderers and Prometheus exposition
+            timeline["metrics"] = self.metrics.snapshot()
+            document["timeline"] = timeline
+        if self.slo_board.enabled:
+            document["alerts"] = self.slo_board.report()
+        return document
 
 
 @dataclass(frozen=True)
@@ -327,6 +387,10 @@ class SystemReport:
     clock_violations: tuple[str, ...]
     baseline: "SystemReport | None" = None
     comparison: dict | None = field(default=None)
+    # opt-in observability artifacts (None unless the config enables
+    # telemetry / declares SLOs — absent keys keep the golden identical)
+    timeline: dict | None = field(default=None)
+    alerts: dict | None = field(default=None)
 
     @property
     def ok(self) -> bool:
@@ -367,6 +431,10 @@ class SystemReport:
             out["baseline"] = self.baseline.as_dict()
         if self.comparison is not None:
             out["comparison"] = self.comparison
+        if self.timeline is not None:
+            out["timeline"] = self.timeline
+        if self.alerts is not None:
+            out["alerts"] = self.alerts
         return json_safe(out)
 
 
@@ -392,6 +460,8 @@ def _run_once(
         fleet=document["fleet"],
         violations=tuple(fleet_accounting_violations(document)),
         clock_violations=tuple(clock.violations),
+        timeline=document.get("timeline"),
+        alerts=document.get("alerts"),
     )
 
 

@@ -31,6 +31,8 @@ from typing import TYPE_CHECKING
 
 from repro.core.baselines import single_job_optimal_cut
 from repro.fleet.config import PlacementConfig
+from repro.obs.timeseries import NULL_HUB
+from repro.obs.tracer import NullTracer
 from repro.serving.gateway import Gateway
 from repro.serving.workload import Request
 
@@ -38,6 +40,10 @@ if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.cloud.server import BatchingServer
 
 __all__ = ["Placer"]
+
+#: Trace lane of placement instants — same lane as the fleet's
+#: reject/migrate markers so one track tells the whole routing story.
+PLACEMENT_LANE = ("fleet", "events")
 
 
 class Placer:
@@ -48,12 +54,26 @@ class Placer:
         config: PlacementConfig,
         servers: dict[str, Gateway],
         cloud_of: "dict[str, BatchingServer] | None" = None,
+        tracer=None,
+        metrics=None,
+        telemetry=None,
+        events: bool = False,
     ) -> None:
         self.config = config
         self.servers = servers
         # server -> shared batching GPU, when the fleet runs a shared
         # cloud: lets the EFT scorer price the GPU queue it would join
         self.cloud_of = cloud_of or {}
+        # decision observability: labeled counters in the fleet registry,
+        # windowed telemetry, and (when ``events``) per-decision trace
+        # instants on the fleet lane
+        self.tracer = tracer or NullTracer()
+        self.metrics = metrics
+        self.telemetry = telemetry if telemetry is not None else NULL_HUB
+        self.events = events
+        #: The most recent decision: {"server", "policy", "eft"(opt)} —
+        #: the fleet attaches it to the request's trace tree.
+        self.last_decision: dict | None = None
         self._order = list(servers)
         #: last (or sticky) server per client — the report's assignment map
         self.assignments: dict[str, str] = {}
@@ -105,15 +125,15 @@ class Placer:
             eft += cloud.queue_delay()
         return eft
 
-    def _eft(self, request: Request) -> str:
+    def _eft(self, request: Request) -> tuple[str, float]:
         best = None
         best_eft = None
         for name in self._order:
             eft = self._finish_time(name, request)
             if best_eft is None or eft < best_eft:
                 best, best_eft = name, eft
-        assert best is not None
-        return best
+        assert best is not None and best_eft is not None
+        return best, best_eft
 
     # ------------------------------------------------------------------
     # migration
@@ -144,13 +164,30 @@ class Placer:
     def place(self, request: Request, now: float) -> str:
         """Pick the serving gateway for one arriving request."""
         policy = self.config.policy
+        estimate = None
         if policy == "least_loaded":
             name = self._least_loaded()
         elif policy == "eft":
-            name = self._eft(request)
+            name, estimate = self._eft(request)
         else:  # affinity
             name = self._place_affinity(request, now)
         self.assignments[request.client_id] = name
+        self.last_decision = {"server": name, "policy": policy}
+        if estimate is not None:
+            self.last_decision["eft"] = estimate
+        if self.metrics is not None:
+            self.metrics.counter("placements", server=name).increment()
+        if self.telemetry.enabled:
+            self.telemetry.record("placements", now, server=name)
+        if self.events and self.tracer.enabled:
+            self.tracer.instant(
+                "fleet/place",
+                timestamp=now,
+                lane=PLACEMENT_LANE,
+                request_id=request.request_id,
+                client=request.client_id,
+                **self.last_decision,
+            )
         return name
 
     def _place_affinity(self, request: Request, now: float) -> str:
@@ -182,5 +219,9 @@ class Placer:
                     "reason": reason,
                 }
             )
+            if self.metrics is not None:
+                self.metrics.counter("migrations", reason=reason).increment()
+            if self.telemetry.enabled:
+                self.telemetry.record("migrations", now, reason=reason)
             return target
         return bound

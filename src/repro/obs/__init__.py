@@ -12,7 +12,13 @@ One dependency-free substrate every layer instruments against:
 * :mod:`~repro.obs.chrome` — spans → Chrome trace-event JSON, loadable
   in Perfetto / ``chrome://tracing`` (``repro trace <target>``);
 * :mod:`~repro.obs.prometheus` — registry snapshot → Prometheus text
-  exposition (plus a scraper for round-trip tests).
+  exposition (plus a scraper for round-trip tests);
+* :mod:`~repro.obs.timeseries` — windowed ring-buffer
+  :class:`TimeSeries` over virtual time with mergeable histogram
+  windows, behind a :class:`TelemetryHub` (``SystemReport.timeline``);
+* :mod:`~repro.obs.slo` — declarative :class:`SloConfig` objectives
+  with multi-window burn-rate alerting (:class:`SloBoard`,
+  ``SystemReport.alerts``).
 
 Instrumentation sites: :class:`~repro.engine.PlanningEngine` (plan and
 structure/table-build spans, cache gauges via ``to_metrics``),
@@ -40,6 +46,21 @@ from repro.obs.prometheus import (
     parse_prometheus,
     to_prometheus,
 )
+from repro.obs.render import render_timeline, watch_table
+from repro.obs.slo import (
+    NULL_BOARD,
+    NullSloBoard,
+    SloBoard,
+    SloConfig,
+    SloMonitor,
+    default_slos,
+)
+from repro.obs.timeseries import (
+    NULL_HUB,
+    NullTelemetryHub,
+    TelemetryHub,
+    TimeSeries,
+)
 from repro.obs.tracer import InstantEvent, NullTracer, Span, Tracer, well_formed
 
 __all__ = [
@@ -59,4 +80,16 @@ __all__ = [
     "to_prometheus",
     "exposition_from_snapshot",
     "parse_prometheus",
+    "TimeSeries",
+    "TelemetryHub",
+    "NullTelemetryHub",
+    "NULL_HUB",
+    "SloConfig",
+    "SloMonitor",
+    "SloBoard",
+    "NullSloBoard",
+    "NULL_BOARD",
+    "default_slos",
+    "render_timeline",
+    "watch_table",
 ]

@@ -1,0 +1,170 @@
+"""Terminal renderers for the telemetry timeline.
+
+``repro fleet --watch`` and ``repro report --timeline`` both read the
+``SystemReport.timeline`` JSON produced by
+:class:`~repro.obs.timeseries.TelemetryHub` — this module turns it into
+a per-window table (:func:`watch_table`, the periodic view an operator
+would tail) and ASCII rate/latency plots (:func:`render_timeline`,
+reusing :func:`repro.experiments.ascii_plot.line_plot`). Labeled series
+(``served{server="server0"}``) are aggregated per base name, so the
+fleet view sums over servers and GPUs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["render_timeline", "watch_table"]
+
+#: Counter series the default plot and table columns aggregate.
+DEFAULT_SERIES = ("arrivals", "served", "degraded", "dropped")
+
+
+def _base_name(key: str) -> str:
+    return key.split("{", 1)[0]
+
+
+def _counter_buckets(timeline: Mapping[str, Any], base: str) -> dict[float, float]:
+    """Per-bucket counts of one base series, summed across label sets."""
+    out: dict[float, float] = {}
+    for key, series in timeline.get("series", {}).items():
+        if _base_name(key) != base:
+            continue
+        for point in series["points"]:
+            out[point["t"]] = out.get(point["t"], 0.0) + point["count"]
+    return out
+
+
+def _p95_buckets(timeline: Mapping[str, Any], base: str) -> dict[float, float]:
+    """Per-bucket worst p95 of one histogram series across label sets."""
+    out: dict[float, float] = {}
+    for key, series in timeline.get("series", {}).items():
+        if _base_name(key) != base or series.get("kind") != "histogram":
+            continue
+        for point in series["points"]:
+            p95 = point.get("p95")
+            if p95 is not None:
+                out[point["t"]] = max(out.get(point["t"], 0.0), p95)
+    return out
+
+
+def _alerts_active_at(alerts: Mapping[str, Any] | None, t: float) -> int:
+    if not alerts:
+        return 0
+    active = 0
+    for block in alerts.get("slos", []):
+        for alert in block.get("alerts", []):
+            cleared = alert.get("cleared_at")
+            if alert["fired_at"] <= t and (cleared is None or t < cleared):
+                active += 1
+    return active
+
+
+def _time_grid(timeline: Mapping[str, Any], step: float) -> list[float]:
+    ts = [
+        point["t"]
+        for series in timeline.get("series", {}).values()
+        for point in series["points"]
+    ]
+    if not ts:
+        return []
+    lo = min(ts) - min(ts) % step
+    hi = max(ts)
+    grid = []
+    t = lo
+    while t <= hi + 1e-9:
+        grid.append(round(t, 9))
+        t += step
+    return grid
+
+
+def watch_table(
+    timeline: Mapping[str, Any],
+    alerts: Mapping[str, Any] | None = None,
+    every: float = 1.0,
+) -> str:
+    """The ``repro fleet --watch`` periodic table, one row per window."""
+    step = max(every, timeline.get("bucket_width", every) or every)
+    grid = _time_grid(timeline, step)
+    if not grid:
+        return "(no telemetry samples)"
+    counters = {base: _counter_buckets(timeline, base) for base in DEFAULT_SERIES}
+    p95 = _p95_buckets(timeline, "latency")
+
+    def window_sum(buckets: dict[float, float], t: float) -> float:
+        return sum(v for bt, v in buckets.items() if t - 1e-9 <= bt < t + step - 1e-9)
+
+    header = (
+        f"{'t(s)':>7s} {'arrivals':>9s} {'served':>7s} {'degraded':>9s} "
+        f"{'dropped':>8s} {'p95(s)':>8s} {'alerts':>7s}"
+    )
+    lines = [header]
+    for t in grid:
+        worst_p95 = max(
+            (v for bt, v in p95.items() if t - 1e-9 <= bt < t + step - 1e-9),
+            default=None,
+        )
+        active = _alerts_active_at(alerts, t + step / 2)
+        lines.append(
+            f"{t:>7.1f} {window_sum(counters['arrivals'], t):>9.0f} "
+            f"{window_sum(counters['served'], t):>7.0f} "
+            f"{window_sum(counters['degraded'], t):>9.0f} "
+            f"{window_sum(counters['dropped'], t):>8.0f} "
+            + (f"{worst_p95:>8.3f} " if worst_p95 is not None else f"{'-':>8s} ")
+            + (f"{active:>7d}" if active else f"{'-':>7s}")
+        )
+    from repro.experiments.ascii_plot import sparkline
+
+    for base in DEFAULT_SERIES:
+        values = [window_sum(counters[base], t) for t in grid]
+        if any(values):
+            lines.append(f"{base:>9s} {sparkline(values)}")
+    return "\n".join(lines)
+
+
+def render_timeline(
+    timeline: Mapping[str, Any],
+    series: list[str] | None = None,
+    width: int = 64,
+    height: int = 12,
+) -> str:
+    """ASCII plots of the windowed series (``repro report --timeline``)."""
+    from repro.experiments.ascii_plot import line_plot
+
+    bucket = timeline.get("bucket_width") or 1.0
+    wanted = list(series) if series else [
+        base for base in DEFAULT_SERIES if _counter_buckets(timeline, base)
+    ]
+    per_base = {base: _counter_buckets(timeline, base) for base in wanted}
+    per_base = {base: buckets for base, buckets in per_base.items() if buckets}
+    if not per_base:
+        return "(no telemetry series to plot)"
+    xs = sorted({t for buckets in per_base.values() for t in buckets})
+    rates = {
+        base: [buckets.get(t, 0.0) / bucket for t in xs]
+        for base, buckets in per_base.items()
+    }
+    blocks = [
+        line_plot(
+            xs,
+            rates,
+            width=width,
+            height=height,
+            title=f"windowed rates (req/s, {bucket:g}s buckets)",
+            y_label="req/s",
+        )
+    ]
+    p95 = _p95_buckets(timeline, "latency")
+    if p95:
+        lat_xs = sorted(p95)
+        blocks.append(
+            line_plot(
+                lat_xs,
+                {"p95 latency": [p95[t] for t in lat_xs]},
+                width=width,
+                height=height,
+                title="windowed p95 completion latency (s)",
+                y_label="s",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -34,6 +34,8 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import ResiliencePolicy
 from repro.net.timeline import BandwidthTimeline
+from repro.obs.slo import NULL_BOARD
+from repro.obs.timeseries import NULL_HUB
 from repro.obs.tracer import NullTracer, Tracer
 from repro.profiling.latency import CostTable
 from repro.serving.estimator import AdaptiveChannelEstimator
@@ -88,6 +90,8 @@ class _Ticket:
     timed_out: bool = False           # last attempt hit the per-attempt timeout
     degraded: bool = False            # completed (or will complete) locally
     local_tail: float = 0.0           # mobile time of the layers past the cut
+    # which GPU batch served the cloud stage (shared batching cloud only)
+    batch_info: dict | None = None
 
 
 class _HeadIndex:
@@ -213,6 +217,8 @@ class Gateway:
         engine: Engine | None = None,
         name: str | None = None,
         cloud_server: "BatchingServer | None" = None,
+        telemetry=None,
+        slo=None,
     ) -> None:
         if scheme not in GATEWAY_SCHEMES:
             raise ValueError(f"unknown scheme {scheme!r} (use one of {GATEWAY_SCHEMES})")
@@ -245,6 +251,14 @@ class Gateway:
         self.name = name
         self._events_lane = ("gateway", "events") if name is None else (name, "events")
         self._lane_prefix = "" if name is None else f"{name}/"
+        # windowed telemetry + SLO feed — both strictly opt-in; the null
+        # twins keep every publish site one attribute check when disabled
+        self.telemetry = telemetry if telemetry is not None else NULL_HUB
+        self.slo = slo if slo is not None else NULL_BOARD
+        self._obs_name = name or "gateway"
+        # fleet placement context, keyed by request id, consumed into the
+        # request's trace tree at finish (see note_placement)
+        self._placements: dict[int, dict] = {}
         self._engine = engine if engine is not None else Engine()
         self._mobile = Resource(self._engine, "mobile-cpu")
         self._uplink = Resource(self._engine, "uplink")
@@ -282,7 +296,29 @@ class Gateway:
         This is the load signal fleet placement policies balance on;
         reading it never mutates dispatch state.
         """
-        return sum(len(q) for q in self._queues.values()) + self._inflight
+        return sum(map(len, self._queues.values())) + self._inflight
+
+    # ------------------------------------------------------------------
+    # windowed telemetry + request correlation
+    # ------------------------------------------------------------------
+    def note_placement(self, request_id: int, **info) -> None:
+        """Attach fleet placement context to a request's trace tree.
+
+        The fleet calls this at placement time; the info becomes a
+        ``placement`` child span of the request's lifecycle parent when
+        the request finishes (see :meth:`_record_spans`).
+        """
+        self._placements[request_id] = info
+
+    def _publish_drop(self, reason: str) -> None:
+        """One dropped request: windowed counter + bad SLO outcome."""
+        now = self._engine.now
+        if self.telemetry.enabled:
+            self.telemetry.record(
+                "dropped", now, server=self._obs_name, reason=reason
+            )
+        if self.slo.enabled:
+            self.slo.outcome(now, False)
 
     # ------------------------------------------------------------------
     # planning state
@@ -342,6 +378,10 @@ class Gateway:
         new_bps = self.estimator.rebase()
         self._rebuild_plans()
         self.metrics.counter("replans").increment()
+        if self.telemetry.enabled:
+            self.telemetry.record(
+                "replans", self._engine.now, server=self._obs_name, kind=kind
+            )
         tagged = {"kind": kind} if self._fault_aware else {}
         self.tracer.instant(
             "gateway/replan",
@@ -368,6 +408,10 @@ class Gateway:
     def submit(self, request: Request) -> None:
         """Admit (or reject) one request at the current simulation time."""
         self.metrics.counter("arrived").increment()
+        if self.telemetry.enabled:
+            self.telemetry.record(
+                "arrivals", self._engine.now, server=self._obs_name
+            )
         if self.faults is not None and self.faults.disconnected(
             request.client_id, self._engine.now
         ):
@@ -386,6 +430,7 @@ class Gateway:
             self._records.append(
                 ServedRecord(request.request_id, request.client_id, "failed", None)
             )
+            self._publish_drop("disconnected")
             return
         if request.client_id not in self._queues:
             self._queues[request.client_id] = deque()
@@ -406,6 +451,7 @@ class Gateway:
             self._records.append(
                 ServedRecord(request.request_id, request.client_id, "rejected", None)
             )
+            self._publish_drop("queue_full")
             return
         state = self._state_of(request.model)
         position = self._next_position(state)
@@ -434,6 +480,13 @@ class Gateway:
             self._index.push(ticket)
         self.metrics.counter("admitted").increment()
         self.metrics.histogram("queue_depth").observe(len(queue))
+        if self.telemetry.enabled:
+            self.telemetry.sample(
+                "queue_depth",
+                self._engine.now,
+                self.outstanding,
+                server=self._obs_name,
+            )
         if self._degraded:
             # new work while degraded: make sure recovery probing runs
             self._schedule_probe()
@@ -479,6 +532,7 @@ class Gateway:
                     None,
                 )
             )
+            self._publish_drop("deadline")
         ticket = (
             self._index.johnson_head()
             if self.scheme == "JPS"
@@ -617,6 +671,7 @@ class Gateway:
             self._records.append(
                 ServedRecord(rid, ticket.request.client_id, "failed", None)
             )
+            self._publish_drop("transfer_failed")
 
         def enter_cloud() -> None:
             if self.include_cloud and ticket.plan.cloud_time > 0:
@@ -636,6 +691,10 @@ class Gateway:
 
         def after_cloud(start: float, end: float) -> None:
             ticket.cloud_window = (start, end)
+            if self._cloud_server is not None:
+                # the batch that just completed is still current: link
+                # this request to its co-batched peers in the trace tree
+                ticket.batch_info = self._cloud_server.current_batch
             finish()
 
         def finish() -> None:
@@ -645,6 +704,17 @@ class Gateway:
             outcome = "degraded" if ticket.degraded else "served"
             self.metrics.counter(outcome).increment()
             self.metrics.histogram("latency").observe(latency)
+            if self.telemetry.enabled:
+                now = ticket.completed
+                self.telemetry.record(outcome, now, server=self._obs_name)
+                self.telemetry.observe(
+                    "latency", now, latency, server=self._obs_name
+                )
+            if self.slo.enabled:
+                deadline = ticket.request.deadline
+                self.slo.outcome(
+                    ticket.completed, deadline is None or latency <= deadline
+                )
             self._record_spans(ticket, latency)
             self._records.append(
                 ServedRecord(
@@ -679,6 +749,18 @@ class Gateway:
             cut=ticket.plan.cut_label or ticket.plan.cut_position,
             latency=latency,
         )
+        placement = self._placements.pop(rid, None)
+        if placement is not None:
+            # the fleet's placement decision, as a zero-width child at
+            # admission so the whole hop sequence reads off one tree
+            self.tracer.record(
+                "placement",
+                ticket.admitted_at,
+                ticket.admitted_at,
+                parent=parent,
+                lane=(process, "placement"),
+                **placement,
+            )
         self.tracer.record(
             "queue", ticket.admitted_at, ticket.started, parent=parent, lane=(process, "queue")
         )
@@ -690,6 +772,14 @@ class Gateway:
         ):
             if window is None:
                 continue
+            # cloud stages served by a shared batching GPU carry their
+            # batch window: which batch, its flush reason, and the
+            # co-batched request labels
+            extra = (
+                ticket.batch_info
+                if stage == "cloud" and ticket.batch_info is not None
+                else {}
+            )
             self.tracer.record(
                 stage,
                 window[0],
@@ -697,6 +787,7 @@ class Gateway:
                 parent=parent,
                 lane=(process, resource),
                 resource=resource,
+                **extra,
             )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,57 @@
+"""Timeline renderers: watch table, ASCII plots, sparklines."""
+
+from repro.experiments.ascii_plot import sparkline
+from repro.obs.render import render_timeline, watch_table
+from repro.obs.timeseries import TelemetryHub
+
+
+def _hub():
+    hub = TelemetryHub(bucket_width=0.5)
+    for t in (0.1, 0.4, 1.2, 1.3, 2.6):
+        hub.record("arrivals", t, server="s0")
+        hub.observe("latency", t + 0.3, 0.2 + t / 10, server="s0")
+    hub.record("served", 1.4, server="s0")
+    hub.record("served", 1.6, server="s1")   # labels aggregate per base name
+    return hub
+
+
+def test_watch_table_rows_and_columns():
+    table = watch_table(_hub().timeline(), every=1.0)
+    lines = table.splitlines()
+    assert "arrivals" in lines[0] and "p95(s)" in lines[0] and "alerts" in lines[0]
+    rows = [line for line in lines if line.lstrip().startswith(("0.0", "1.0", "2.0"))]
+    assert len(rows) == 3
+    assert rows[0].split()[1] == "2"         # two arrivals in [0, 1)
+    assert rows[1].split()[2] == "2"         # served sums across servers
+    assert any(line.strip().startswith("arrivals") for line in lines[1:])  # sparkline
+
+
+def test_watch_table_marks_active_alerts():
+    alerts = {
+        "slos": [
+            {"alerts": [{"fired_at": 0.9, "cleared_at": 2.0}]},
+        ]
+    }
+    table = watch_table(_hub().timeline(), alerts=alerts, every=1.0)
+    row = next(l for l in table.splitlines() if l.lstrip().startswith("1.0"))
+    assert row.split()[-1] == "1"
+
+
+def test_watch_table_empty_timeline():
+    assert watch_table({}) == "(no telemetry samples)"
+
+
+def test_render_timeline_plots_rates_and_latency():
+    out = render_timeline(_hub().timeline())
+    assert "windowed rates" in out
+    assert "windowed p95 completion latency" in out
+    assert "arrivals" in out
+    assert render_timeline({}) == "(no telemetry series to plot)"
+
+
+def test_sparkline():
+    assert sparkline([]) == ""
+    assert sparkline([1.0, 1.0]) == "▁▁"      # constant series stays flat
+    ramp = sparkline([0.0, 1.0, 2.0, 3.0])
+    assert len(ramp) == 4
+    assert ramp[0] == "▁" and ramp[-1] == "█"

@@ -1,0 +1,219 @@
+"""Burn-rate SLOs: unit math, acceptance scenarios, replay determinism.
+
+The acceptance locks mirror the CI ``slo-smoke`` job exactly, through
+the same single definition (:func:`repro.fleet.config.slo_acceptance_scenario`):
+
+* **steady** — a healthy fleet with slack: zero alerts, ever (the
+  negative control — an SLO board that fires here is miscalibrated);
+* **blackout** — the PR-5 blackout (8s→10s): the alert first fires
+  *during or just after* the outage and clears after recovery;
+* **contended** — the PR-7 under-provisioned shared GPU: the alert
+  fires within the first two seconds and is still active at the end.
+
+Alert evaluation is driven purely by outcome events on the virtual
+clock, so the same seed replays to the byte-identical alert list — the
+Hypothesis property locks that across seeds, and a paired run asserts
+telemetry never perturbs the simulation itself.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import PlanningEngine
+from repro.fleet import run_system
+from repro.fleet.config import (
+    SCENARIO_SLO,
+    SLO_SCENARIOS,
+    blackout_fleet_scenario,
+    slo_acceptance_scenario,
+    steady_fleet_scenario,
+    with_slo_telemetry,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    NULL_BOARD,
+    SloBoard,
+    SloConfig,
+    SloMonitor,
+    default_slos,
+)
+from repro.obs.tracer import Tracer
+from repro.core.plans import json_safe
+
+PLANNER = PlanningEngine()
+
+
+# ----------------------------------------------------------------------
+# config validation + burn-rate math
+# ----------------------------------------------------------------------
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="target"):
+        SloConfig(target=1.0)
+    with pytest.raises(ValueError, match="fast_window"):
+        SloConfig(window=1.0, fast_window=2.0)
+    config = SloConfig()
+    assert config.budget == pytest.approx(0.1)
+    assert SloConfig.from_dict(config.as_dict()) == config
+    assert default_slos() == (SloConfig(),)
+
+
+def test_burn_rate_is_miss_fraction_over_budget():
+    monitor = SloMonitor(SloConfig(target=0.9, min_events=100))
+    for i in range(8):
+        monitor.record(0.1 * i, good=i % 2 == 0)   # 50% bad
+    burn, events = monitor.burn_rate(4.0, now=0.8)
+    assert events == 8
+    assert burn == pytest.approx(0.5 / 0.1)        # 5x budget burn
+
+
+def test_fire_requires_min_events():
+    monitor = SloMonitor(SloConfig(min_events=8))
+    for i in range(7):
+        monitor.record(0.1 * i, good=False)
+    assert not monitor.active
+    monitor.record(0.8, good=False)                # 8th event trips it
+    assert monitor.active
+    assert monitor.alerts[0]["cleared_at"] is None
+
+
+def test_fire_then_clear_on_fast_window_recovery():
+    config = SloConfig(target=0.9, window=4.0, fast_window=1.0, min_events=8)
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    monitor = SloMonitor(config, tracer=tracer, metrics=metrics)
+    for i in range(10):
+        monitor.record(0.05 * i, good=False)
+    assert monitor.active
+    # a clean fast window: goods far enough out that the 1 s fast
+    # window no longer sees the bad burst
+    for i in range(20):
+        monitor.record(2.0 + 0.05 * i, good=True)
+    assert not monitor.active
+    alert = monitor.alerts[0]
+    assert alert["cleared_at"] is not None
+    assert alert["duration"] == pytest.approx(
+        alert["cleared_at"] - alert["fired_at"]
+    )
+    names = [instant.name for instant in tracer.instants]
+    assert names.count("slo/fire") == 1 and names.count("slo/clear") == 1
+    snapshot = metrics.snapshot()
+    assert snapshot["counters"]['slo_alerts_fired{slo="deadline-hit-rate"}'] == 1
+    assert snapshot["counters"]['slo_alerts_cleared{slo="deadline-hit-rate"}'] == 1
+
+
+def test_finalize_publishes_gauges():
+    metrics = MetricsRegistry()
+    monitor = SloMonitor(SloConfig(), metrics=metrics)
+    monitor.record(0.1, good=True)
+    monitor.finalize(1.0)
+    gauges = metrics.snapshot()["gauges"]
+    assert gauges['slo_active{slo="deadline-hit-rate"}'] == 0.0
+    assert 'slo_burn_rate{slo="deadline-hit-rate",window="long"}' in gauges
+    assert 'slo_burn_rate{slo="deadline-hit-rate",window="fast"}' in gauges
+
+
+def test_board_fans_out_and_reports():
+    board = SloBoard((SloConfig(name="a", min_events=1), SloConfig(name="b")))
+    board.outcome(0.1, False)
+    report = board.report()
+    assert [block["slo"]["name"] for block in report["slos"]] == ["a", "b"]
+    assert report["fired"] == 1 and board.fired == 1
+    assert NULL_BOARD.enabled is False and NULL_BOARD.report() == {}
+
+
+# ----------------------------------------------------------------------
+# acceptance scenarios (the slo-smoke locks)
+# ----------------------------------------------------------------------
+
+
+def _alerts(report):
+    return report.alerts["slos"][0]["alerts"]
+
+
+def test_steady_scenario_fires_nothing():
+    report = run_system(slo_acceptance_scenario("steady"), planner=PLANNER)
+    assert report.ok
+    assert report.alerts["fired"] == 0
+    assert report.alerts["active_at_end"] == 0
+    # the timeline recorded the run even though nothing fired
+    assert report.timeline["series"]
+
+
+def test_blackout_scenario_fires_during_outage_and_clears():
+    config = slo_acceptance_scenario("blackout")
+    blackout = config.faults.plan.blackouts[0]
+    report = run_system(config, planner=PLANNER, tracer=Tracer())
+    assert report.ok
+    assert report.alerts["fired"] > 0
+    assert report.alerts["cleared"] > 0
+    first = _alerts(report)[0]
+    # first fire lands in (or just after) the 8s→10s outage; the miss
+    # backlog takes the alert past the outage end before it clears
+    assert blackout.start <= first["fired_at"] <= blackout.end + 2.0
+    assert first["cleared_at"] > blackout.end
+
+
+def test_contended_scenario_fires_early_and_stays_active():
+    report = run_system(slo_acceptance_scenario("contended"), planner=PLANNER)
+    assert report.ok
+    assert report.alerts["fired"] >= 1
+    assert _alerts(report)[0]["fired_at"] < 2.0
+    assert report.alerts["active_at_end"] >= 1
+
+
+def test_unknown_scenario_rejected():
+    assert SLO_SCENARIOS == ("steady", "blackout", "contended")
+    with pytest.raises(ValueError, match="unknown SLO scenario"):
+        slo_acceptance_scenario("meltdown")
+
+
+def test_scenario_slo_calibration_is_locked():
+    assert SCENARIO_SLO == SloConfig(target=0.6, fast_window=2.0)
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+
+
+def test_telemetry_never_perturbs_the_simulation():
+    """Same seed, telemetry on vs off: identical serving outcome.
+
+    Fresh planners on both sides: the gateway report embeds the engine
+    cache gauges, which reflect planner warmth, not run behavior.
+    """
+    plain = run_system(steady_fleet_scenario(), planner=PlanningEngine())
+    telemetered = run_system(
+        with_slo_telemetry(steady_fleet_scenario()), planner=PlanningEngine()
+    )
+    assert json.dumps(json_safe(plain.servers), sort_keys=True) == json.dumps(
+        json_safe(telemetered.servers), sort_keys=True
+    )
+    assert json.dumps(json_safe(plain.fleet), sort_keys=True) == json.dumps(
+        json_safe(telemetered.fleet), sort_keys=True
+    )
+    assert plain.timeline is None and telemetered.timeline is not None
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_alert_replay_is_deterministic_under_seeded_faults(seed):
+    def run():
+        config = with_slo_telemetry(
+            blackout_fleet_scenario(clients=2, horizon=12.0, seed=seed),
+            slos=(SCENARIO_SLO,),
+        )
+        return run_system(config, planner=PLANNER)
+
+    first, second = run(), run()
+    assert json.dumps(json_safe(first.alerts), sort_keys=True) == json.dumps(
+        json_safe(second.alerts), sort_keys=True
+    )
+    assert json.dumps(json_safe(first.timeline), sort_keys=True) == json.dumps(
+        json_safe(second.timeline), sort_keys=True
+    )

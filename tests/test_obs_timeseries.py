@@ -1,0 +1,241 @@
+"""Windowed time-series: ring semantics, merge identity, hub surface.
+
+The two Hypothesis properties lock what the SLO engine leans on:
+
+* **Merge bit-identity** — DDSketch merge is bucket-wise addition on a
+  shared grid, so merging *any* partition of a sample stream's
+  per-bucket sketches reproduces the whole-stream sketch exactly
+  (sketch buckets, count, min/max, every snapshot quantile). Float
+  ``sum`` is deliberately excluded: addition order differs across
+  partitions.
+* **Eviction safety** — as long as the queried window fits the ring
+  (``window <= capacity * bucket_width``), a windowed count equals the
+  brute-force count over the raw samples: eviction only ever discards
+  buckets that no in-window query can reach, and too-old out-of-order
+  arrivals it refuses were never in-window to begin with.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import SNAPSHOT_QUANTILES, StreamingHistogram
+from repro.obs.timeseries import (
+    NULL_HUB,
+    SERIES_KINDS,
+    TelemetryHub,
+    TimeSeries,
+)
+
+# ----------------------------------------------------------------------
+# TimeSeries unit behaviour
+# ----------------------------------------------------------------------
+
+
+def test_counter_windowed_reads():
+    series = TimeSeries("arrivals", bucket_width=0.5)
+    for t in (0.1, 0.2, 0.9, 1.4, 2.1):
+        series.observe(t)
+    assert series.count == 5
+    # bucket-aligned: the last ceil(1.0/0.5)=2 buckets ([1.5, 2.5))
+    # hold only the 2.1 sample
+    assert series.window_count(1.0, now=2.1) == 1
+    assert series.rate(1.0, now=2.1) == pytest.approx(1.0)
+    assert series.window_count(4.0, now=2.1) == 5
+
+
+def test_mean_and_totals():
+    series = TimeSeries("depth", bucket_width=1.0, kind="gauge")
+    series.observe(0.5, 4.0)
+    series.observe(0.6, 6.0)
+    assert series.window_total(1.0, now=0.9) == pytest.approx(10.0)
+    assert series.mean(1.0, now=0.9) == pytest.approx(5.0)
+    point = series.points()[0]
+    assert point["last"] == 6.0 and point["min"] == 4.0 and point["max"] == 6.0
+
+
+def test_out_of_order_within_ring_accepted():
+    series = TimeSeries("x", bucket_width=1.0, capacity=8)
+    series.observe(5.0)
+    series.observe(1.5)          # older bucket, still on the ring
+    assert series.window_count(8.0, now=5.0) == 2
+    assert series.evicted_samples == 0
+
+
+def test_too_old_sample_dropped_and_counted():
+    series = TimeSeries("x", bucket_width=1.0, capacity=4)
+    series.observe(10.0)
+    series.observe(2.0)          # bucket 2 <= 10 - 4: off the ring
+    assert series.count == 1
+    assert series.evicted_samples == 1
+
+
+def test_eviction_drops_old_buckets():
+    series = TimeSeries("x", bucket_width=1.0, capacity=2)
+    for t in (0.5, 1.5, 2.5, 3.5):
+        series.observe(t)
+    assert series.evicted_buckets == 2
+    assert len(series.points()) == 2
+    assert series.count == 4     # run totals survive eviction
+
+
+def test_window_wider_than_ring_rejected():
+    series = TimeSeries("x", bucket_width=1.0, capacity=4)
+    series.observe(0.0)
+    with pytest.raises(ValueError, match="exceeds ring span"):
+        series.window_count(5.0, now=0.0)
+
+
+def test_histogram_quantiles_and_serialization():
+    series = TimeSeries("latency", bucket_width=1.0, kind="histogram")
+    for value in (0.1, 0.2, 0.3, 0.4, 1.0):
+        series.observe(0.5, value)
+    assert series.quantile(1.0, window=1.0, now=0.5) == pytest.approx(1.0)
+    point = series.points()[0]
+    assert point["count"] == 5
+    for q in SNAPSHOT_QUANTILES:
+        assert f"p{round(q * 100):02d}" in point
+    assert series.as_dict()["kind"] == "histogram"
+
+
+def test_merged_requires_histogram_kind():
+    series = TimeSeries("x", kind="counter")
+    with pytest.raises(ValueError, match="not histogram"):
+        series.merged(1.0, now=0.0)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown series kind"):
+        TimeSeries("x", kind="summary")
+    assert SERIES_KINDS == ("counter", "gauge", "histogram")
+
+
+# ----------------------------------------------------------------------
+# TelemetryHub surface
+# ----------------------------------------------------------------------
+
+
+def test_hub_labels_name_distinct_series():
+    hub = TelemetryHub(bucket_width=0.5)
+    hub.record("served", 0.1, server="s0")
+    hub.record("served", 0.2, server="s1")
+    timeline = hub.timeline()
+    assert set(timeline["series"]) == {
+        'served{server="s0"}',
+        'served{server="s1"}',
+    }
+    assert timeline["bucket_width"] == 0.5
+
+
+def test_hub_kind_conflict_rejected():
+    hub = TelemetryHub()
+    hub.record("latency", 0.1)
+    with pytest.raises(ValueError, match="already registered"):
+        hub.observe("latency", 0.2, 1.0)
+
+
+def test_hub_label_named_kind_is_just_a_label():
+    # positional-only parameters: a label called "kind" must not
+    # collide with the series-kind argument
+    hub = TelemetryHub()
+    hub.record("replans", 1.0, 1.0, kind="drift", server="s0")
+    assert 'replans{kind="drift",server="s0"}' in hub.timeline()["series"]
+
+
+def test_null_hub_is_inert():
+    assert NULL_HUB.enabled is False
+    NULL_HUB.record("x", 0.0)
+    NULL_HUB.sample("x", 0.0, 1.0, kind="drift")
+    NULL_HUB.observe("x", 0.0, 1.0)
+    assert NULL_HUB.timeline() == {}
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: merge bit-identity over any partition
+# ----------------------------------------------------------------------
+
+values_strategy = st.lists(
+    st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=120,
+)
+
+
+def _assert_sketches_identical(merged: StreamingHistogram, whole: StreamingHistogram):
+    # bit-identical on everything except float total/mean (addition order)
+    assert merged._buckets == whole._buckets
+    assert merged._zeros == whole._zeros
+    assert merged.count == whole.count
+    assert merged.min == whole.min
+    assert merged.max == whole.max
+    for q in SNAPSHOT_QUANTILES:
+        assert merged.quantile(q) == whole.quantile(q)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=values_strategy, data=st.data())
+def test_histogram_merge_identity_over_any_partition(values, data):
+    whole = StreamingHistogram()
+    for value in values:
+        whole.observe(value)
+    # split the stream at arbitrary sorted cut points
+    cuts = sorted(
+        data.draw(
+            st.lists(st.integers(0, len(values)), max_size=6), label="cuts"
+        )
+    )
+    merged = StreamingHistogram()
+    previous = 0
+    for cut in cuts + [len(values)]:
+        part = StreamingHistogram()
+        for value in values[previous:cut]:
+            part.observe(value)
+        merged.merge(part)
+        previous = cut
+    _assert_sketches_identical(merged, whole)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    samples=st.lists(
+        st.tuples(st.floats(0.0, 30.0, allow_nan=False), st.floats(0.0, 100.0)),
+        min_size=1,
+        max_size=80,
+    )
+)
+def test_windowed_merge_matches_whole_run_sketch(samples):
+    series = TimeSeries("latency", bucket_width=0.5, capacity=4096, kind="histogram")
+    for t, value in samples:
+        series.observe(t, value)
+    now = max(t for t, _ in samples)
+    # a window covering every retained bucket must reproduce the
+    # whole-run sketch exactly (nothing was evicted: capacity is ample)
+    merged = series.merged(2048.0, now=now)
+    _assert_sketches_identical(merged, series.total_histogram)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: eviction never loses an in-window sample
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    times=st.lists(st.floats(0.0, 200.0, allow_nan=False), min_size=1, max_size=150),
+    capacity=st.integers(2, 32),
+    window_buckets=st.integers(1, 32),
+)
+def test_windowed_count_matches_brute_force(times, capacity, window_buckets):
+    width = 1.0
+    window_buckets = min(window_buckets, capacity)
+    series = TimeSeries("x", bucket_width=width, capacity=capacity)
+    for t in times:
+        series.observe(t)
+    now = max(times)
+    window = window_buckets * width
+    hi = math.floor(now / width)
+    lo = hi - window_buckets + 1
+    expected = sum(1 for t in times if lo <= math.floor(t / width) <= hi)
+    assert series.window_count(window, now=now) == expected

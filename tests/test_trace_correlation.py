@@ -1,0 +1,131 @@
+"""End-to-end request correlation: one request, one trace tree.
+
+A traced run of the contended shared-GPU acceptance scenario must hand
+back a *single well-formed tree per request* spanning the whole hop
+sequence — placement decision, gateway queue wait, uplink transfer,
+and the cloud stage carrying its batch window — with co-batched
+request ids linked both ways (request → batch members, batch → member
+child spans). This is the PR's tentpole acceptance criterion, locked
+against the one scenario where every hop exists: fleet placement in
+front, a shared hold-and-batch GPU behind.
+"""
+
+import pytest
+
+from repro.engine import PlanningEngine
+from repro.fleet import run_system
+from repro.fleet.config import slo_acceptance_scenario
+from repro.obs.slo import SLO_LANE
+from repro.obs.tracer import Tracer, well_formed
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    tracer = Tracer()
+    report = run_system(
+        slo_acceptance_scenario("contended"),
+        planner=PlanningEngine(),
+        tracer=tracer,
+    )
+    return report, tracer
+
+
+def _children_of(tracer, span):
+    return [s for s in tracer.spans if s.parent_id == span.span_id]
+
+
+def _request_trees(tracer):
+    """(request parent span, {stage name: child span}) pairs."""
+    return [
+        (span, {child.name: child for child in _children_of(tracer, span)})
+        for span in tracer.spans
+        if span.name.startswith("request ") and span.parent_id is None
+    ]
+
+
+def test_trace_is_well_formed(traced_run):
+    report, tracer = traced_run
+    assert report.ok
+    assert well_formed(tracer.spans) == []
+
+
+def test_one_tree_per_request_spanning_every_hop(traced_run):
+    report, tracer = traced_run
+    trees = _request_trees(tracer)
+    assert len(trees) == report.served
+    full = [
+        (parent, stages)
+        for parent, stages in trees
+        if {"placement", "queue", "transfer", "cloud"} <= set(stages)
+    ]
+    assert full, "no request offloaded through the whole hop sequence"
+    for parent, stages in full:
+        # children nest inside the request window, in causal order
+        assert stages["placement"].start == stages["placement"].end
+        assert parent.start <= stages["queue"].start
+        assert stages["queue"].end <= stages["transfer"].start
+        assert stages["transfer"].end <= stages["cloud"].start
+        assert stages["cloud"].end <= parent.end
+        decision = stages["placement"].attributes
+        assert decision["server"] in report.servers
+        assert decision["policy"] == "least_loaded"
+
+
+def test_cloud_stage_links_its_batch_and_peers(traced_run):
+    report, tracer = traced_run
+    trees = _request_trees(tracer)
+    batch_spans = {
+        span.attributes["batch"]: span
+        for span in tracer.spans
+        if span.lane is not None and span.lane[1] == "batches"
+    }
+    assert batch_spans
+    linked = 0
+    for parent, stages in trees:
+        cloud = stages.get("cloud")
+        if cloud is None or "batch" not in cloud.attributes:
+            continue
+        linked += 1
+        rid = parent.attributes["request_id"]
+        label = f"req{rid}/cloud"
+        batch = batch_spans[cloud.attributes["batch"]]
+        # the request names its peers; the batch names the request
+        assert label in cloud.attributes["co_batched"]
+        assert cloud.attributes["co_batched"] == batch.attributes["requests"]
+        assert cloud.attributes["batch_size"] == batch.attributes["size"]
+        assert cloud.attributes["flush_reason"] == batch.attributes["reason"]
+        # the cloud stage window IS the batch window
+        assert (cloud.start, cloud.end) == (batch.start, batch.end)
+    assert linked > 0
+    # every batch opens into one member child span per request it carried
+    for index, batch in batch_spans.items():
+        members = _children_of(tracer, batch)
+        assert len(members) == batch.attributes["size"]
+        assert {m.name for m in members} == set(batch.attributes["requests"])
+        assert all(m.attributes["batch"] == index for m in members)
+
+
+def test_hold_spans_carry_flush_reason(traced_run):
+    _, tracer = traced_run
+    holds = [
+        span
+        for span in tracer.spans
+        if span.lane is not None and span.lane[1] == "hold"
+    ]
+    assert holds
+    for span in holds:
+        assert span.attributes["reason"] in ("size", "timer", "slack", "now")
+        assert span.attributes["size"] >= 1
+        assert span.end >= span.start
+
+
+def test_slo_instants_and_gpu_gauges_surface(traced_run):
+    report, tracer = traced_run
+    fires = [i for i in tracer.instants if i.name == "slo/fire"]
+    assert fires and all(i.lane == SLO_LANE for i in fires)
+    places = [i for i in tracer.instants if i.name == "fleet/place"]
+    assert len(places) == report.arrivals
+    gauges = report.timeline["metrics"]["gauges"]
+    busy = {k: v for k, v in gauges.items() if k.startswith("gpu_busy_fraction")}
+    assert busy
+    assert all(0.0 <= v <= 1.0 for v in busy.values())
