@@ -48,6 +48,9 @@ def bench_parity() -> dict:
             max_batch=1,
             max_wait=0.0,
             policy="serve_now",
+            # round_robin keeps the server->GPU mapping bijective; the
+            # least_queued default would re-route and break byte parity
+            assignment="round_robin",
             model=CloudGpuModel(),
         ),
     )

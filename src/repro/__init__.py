@@ -90,6 +90,7 @@ _API_EXPORTS = frozenset(
         "ObservabilityConfig",
         "FleetGateway",
         "run_system",
+        "ENGINE_CORES",
         "default_fleet",
         "capacity_scenario",
         "fleet_accounting_violations",
@@ -104,6 +105,8 @@ _API_EXPORTS = frozenset(
         "BatchingServer",
         "CloudConfig",
         "BATCHING_POLICIES",
+        "GPU_ASSIGNMENTS",
+        "LeastQueuedRouter",
         "contended_cloud_scenario",
         # fault injection + resilience (repro.faults)
         "FaultPlan",

@@ -22,9 +22,11 @@ from __future__ import annotations
 
 from repro.cloud import (
     BATCHING_POLICIES,
+    GPU_ASSIGNMENTS,
     BatchingServer,
     CloudConfig,
     CloudGpuModel,
+    LeastQueuedRouter,
 )
 from repro.core.joint import SplitMode, Structure, jps
 from repro.core.plans import JobPlan, Schedule
@@ -52,6 +54,7 @@ from repro.faults import (
     run_fault_scenario,
 )
 from repro.fleet import (
+    ENGINE_CORES,
     SCENARIO_SLO,
     SLO_SCENARIOS,
     AdmissionConfig,
@@ -155,6 +158,7 @@ __all__ = [
     "ObservabilityConfig",
     "FleetGateway",
     "run_system",
+    "ENGINE_CORES",
     "default_fleet",
     "capacity_scenario",
     "fleet_accounting_violations",
@@ -169,6 +173,8 @@ __all__ = [
     "BatchingServer",
     "CloudConfig",
     "BATCHING_POLICIES",
+    "GPU_ASSIGNMENTS",
+    "LeastQueuedRouter",
     "contended_cloud_scenario",
     # fault injection + resilience (repro.faults)
     "FaultPlan",

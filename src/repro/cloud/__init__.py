@@ -21,11 +21,18 @@ every run is byte-identical to the pre-batching system.
 
 from repro.cloud.config import CloudConfig
 from repro.cloud.model import CloudGpuModel
-from repro.cloud.server import BATCHING_POLICIES, BatchingServer
+from repro.cloud.server import (
+    BATCHING_POLICIES,
+    GPU_ASSIGNMENTS,
+    BatchingServer,
+    LeastQueuedRouter,
+)
 
 __all__ = [
     "BATCHING_POLICIES",
+    "GPU_ASSIGNMENTS",
     "BatchingServer",
     "CloudConfig",
     "CloudGpuModel",
+    "LeastQueuedRouter",
 ]

@@ -15,7 +15,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.cloud.model import CloudGpuModel
-from repro.cloud.server import BATCHING_POLICIES
+from repro.cloud.server import BATCHING_POLICIES, GPU_ASSIGNMENTS
 from repro.utils.validation import require_positive
 
 __all__ = ["CloudConfig"]
@@ -23,12 +23,22 @@ __all__ = ["CloudConfig"]
 
 @dataclass(frozen=True)
 class CloudConfig:
-    """Shared batching cloud: pool size, hold knobs, GPU model."""
+    """Shared batching cloud: pool size, hold knobs, GPU model.
+
+    ``assignment`` picks how servers map to pool GPUs:
+    ``"least_queued"`` (the default) routes every submit to the GPU
+    with the smallest :meth:`~repro.cloud.server.BatchingServer.queue_delay`
+    at that instant; ``"round_robin"`` restores the PR 7 static
+    gateway ``i`` → GPU ``i % gpus`` wiring (the serve-now bijection
+    parity lock pins this). A single-GPU pool is identical either way
+    and never builds a router.
+    """
 
     gpus: int = 1
     max_batch: int = 8
     max_wait: float = 0.02
     policy: str = "batch"
+    assignment: str = "least_queued"
     model: CloudGpuModel = field(default_factory=CloudGpuModel)
 
     def __post_init__(self) -> None:
@@ -40,6 +50,10 @@ class CloudConfig:
             raise ValueError(
                 f"unknown batching policy {self.policy!r} (use {BATCHING_POLICIES})"
             )
+        if self.assignment not in GPU_ASSIGNMENTS:
+            raise ValueError(
+                f"unknown GPU assignment {self.assignment!r} (use {GPU_ASSIGNMENTS})"
+            )
 
     def as_dict(self) -> dict:
         return {
@@ -47,6 +61,7 @@ class CloudConfig:
             "max_batch": self.max_batch,
             "max_wait": self.max_wait,
             "policy": self.policy,
+            "assignment": self.assignment,
             "model": self.model.as_dict(),
         }
 
@@ -58,6 +73,7 @@ class CloudConfig:
             max_batch=data.get("max_batch", 8),
             max_wait=data.get("max_wait", 0.02),
             policy=data.get("policy", "batch"),
+            assignment=data.get("assignment", "least_queued"),
             model=(
                 CloudGpuModel() if model is None else CloudGpuModel.from_dict(model)
             ),

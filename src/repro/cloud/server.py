@@ -37,13 +37,18 @@ from typing import Callable
 from repro.cloud.model import CloudGpuModel
 from repro.obs.timeseries import NULL_HUB
 from repro.obs.tracer import NullTracer, Tracer
-from repro.sim.engine import Engine, Resource
+from repro.sim.engine import Engine
+from repro.sim.fast import FastEngine
 from repro.utils.validation import require_positive
 
-__all__ = ["BATCHING_POLICIES", "BatchingServer"]
+__all__ = ["BATCHING_POLICIES", "GPU_ASSIGNMENTS", "BatchingServer", "LeastQueuedRouter"]
 
 #: Dispatch policies a :class:`BatchingServer` understands.
 BATCHING_POLICIES = ("serve_now", "batch", "adaptive")
+
+#: Server→GPU assignment policies the fleet understands: static
+#: round-robin at build time, or least-queued GPU chosen per submit.
+GPU_ASSIGNMENTS = ("round_robin", "least_queued")
 
 
 class BatchingServer:
@@ -51,7 +56,7 @@ class BatchingServer:
 
     def __init__(
         self,
-        engine: Engine,
+        engine: Engine | FastEngine,
         model: CloudGpuModel | None = None,
         max_batch: int = 8,
         max_wait: float = 0.02,
@@ -74,7 +79,7 @@ class BatchingServer:
         self.policy = policy
         self.tracer = tracer or NullTracer()
         self.telemetry = telemetry if telemetry is not None else NULL_HUB
-        self.resource = Resource(engine, name)
+        self.resource = engine.resource(name)
         #: One entry per completed batch: start/end window, member labels.
         self.batch_log: list[dict] = []
         self.submitted: list[str] = []
@@ -268,3 +273,80 @@ class BatchingServer:
             "flush_reasons": dict(self.flush_reasons),
             "busy_time": self.resource.total_busy_time,
         }
+
+
+class _PoolBusy:
+    """Aggregate resource view of a GPU pool (duck-typed ``Resource``).
+
+    Gateways riding a router report cloud utilization through this:
+    ``total_busy_time`` sums the pool, so the report's cloud fraction
+    reads as pool-seconds over the horizon (it may exceed 1.0 with
+    several GPUs — busy GPU-seconds, not a single-device fraction).
+    """
+
+    def __init__(self, pool: list[BatchingServer], name: str) -> None:
+        self._pool = pool
+        self.name = name
+
+    @property
+    def total_busy_time(self) -> float:
+        return sum(gpu.resource.total_busy_time for gpu in self._pool)
+
+    def utilization(self, horizon: float) -> float:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        return self.total_busy_time / horizon
+
+
+class LeastQueuedRouter:
+    """Route each cloud submit to the least-queued GPU *at submit time*.
+
+    The PR 7 fleet pinned gateway ``i`` to GPU ``i % K`` at build time,
+    so a skewed placement could saturate one GPU while its neighbor
+    idled. This router scores the pool with the same greedy
+    :meth:`BatchingServer.queue_delay` estimate the EFT placer prices,
+    picks the minimum (ties → lowest index, deterministic), and
+    delegates — hold/flush semantics, batch logs, and per-GPU stats
+    stay exactly the :class:`BatchingServer`'s. It mirrors the server's
+    gateway-facing surface (``submit`` / ``queue_delay`` /
+    ``current_batch`` / ``resource`` / ``name``) so gateways cannot
+    tell a router from a private GPU.
+    """
+
+    name = "least-queued-pool"
+
+    def __init__(self, pool: list[BatchingServer]) -> None:
+        if not pool:
+            raise ValueError("LeastQueuedRouter needs a non-empty GPU pool")
+        self.pool = pool
+        self.resource = _PoolBusy(pool, self.name)
+        #: Mirrors the routed GPU's ``current_batch`` while completion
+        #: callbacks fire (what gateways read inside ``on_done``).
+        self.current_batch: dict | None = None
+        #: Per-GPU routed-submit counts, for reports and tests.
+        self.routed: dict[str, int] = {gpu.name: 0 for gpu in pool}
+
+    def queue_delay(self) -> float:
+        """The wait a new upload would see on the best GPU."""
+        return min(gpu.queue_delay() for gpu in self.pool)
+
+    def submit(
+        self,
+        label: str,
+        solo_time: float,
+        on_done: Callable[[float, float], None],
+        slack: float = math.inf,
+    ) -> None:
+        best = self.pool[0]
+        best_delay = best.queue_delay()
+        for gpu in self.pool[1:]:
+            delay = gpu.queue_delay()
+            if delay < best_delay:
+                best, best_delay = gpu, delay
+        self.routed[best.name] += 1
+
+        def done(start: float, end: float) -> None:
+            self.current_batch = best.current_batch
+            on_done(start, end)
+
+        best.submit(label, solo_time, done, slack)

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.cloud.server import BatchingServer
+from repro.cloud.server import BatchingServer, LeastQueuedRouter
 from repro.core.plans import json_safe
 from repro.engine import PlanningEngine
 from repro.faults.invariants import MonotoneClockMonitor, accounting_violations
@@ -44,14 +44,30 @@ from repro.serving.estimator import AdaptiveChannelEstimator
 from repro.serving.gateway import Gateway, GatewayResult, ServedRecord
 from repro.serving.workload import Request, generate_requests
 from repro.sim.engine import Engine
+from repro.sim.fast import FastEngine
 
 __all__ = [
+    "ENGINE_CORES",
     "FleetGateway",
     "FleetResult",
     "SystemReport",
     "events_by_kind",
     "run_system",
 ]
+
+#: Event cores :func:`run_system` can drive a fleet on. ``fast`` is the
+#: structure-of-arrays core (the default); ``heap`` is the original
+#: binary-heap engine, kept as the parity oracle — both produce
+#: byte-identical reports (see docs/performance.md).
+ENGINE_CORES = ("fast", "heap")
+
+
+def _make_engine(core: str) -> "Engine | FastEngine":
+    if core == "fast":
+        return FastEngine()
+    if core == "heap":
+        return Engine()
+    raise ValueError(f"unknown engine core {core!r} (use one of {ENGINE_CORES})")
 
 #: Trace lane of fleet-level instants (rejects, migrations).
 FLEET_LANE = ("fleet", "events")
@@ -85,11 +101,14 @@ class FleetGateway:
         config: SystemConfig,
         planner: PlanningEngine | None = None,
         tracer: "Tracer | NullTracer | None" = None,
+        engine: "Engine | FastEngine | None" = None,
     ) -> None:
         self.config = config
         self.planner = planner or PlanningEngine()
         self.tracer = tracer or NullTracer()
-        self.engine = Engine()
+        # one shared virtual clock for every server; the SoA core by
+        # default, the heap core (or any compatible engine) on request
+        self.engine = engine if engine is not None else FastEngine()
         self.metrics = MetricsRegistry()
         self.records: list[ServedRecord] = []
         self.per_server_arrivals: dict[str, int] = {}
@@ -111,7 +130,8 @@ class FleetGateway:
         # fleet engine, gateway i riding GPU i % K (absent CloudConfig,
         # every gateway keeps its private free GPU — golden-locked path)
         self.cloud_pool: list[BatchingServer] = []
-        self.cloud_of: dict[str, BatchingServer] = {}
+        self.cloud_of: dict[str, BatchingServer | LeastQueuedRouter] = {}
+        self.cloud_router: LeastQueuedRouter | None = None
         if config.cloud is not None:
             self.cloud_pool = [
                 BatchingServer(
@@ -126,13 +146,18 @@ class FleetGateway:
                 )
                 for k in range(config.cloud.gpus)
             ]
+            # least-queued assignment shares one router across servers;
+            # a single-GPU pool routes identically either way, so it
+            # keeps the direct wiring (and the PR 7 byte-identity)
+            if config.cloud.assignment == "least_queued" and len(self.cloud_pool) > 1:
+                self.cloud_router = LeastQueuedRouter(self.cloud_pool)
         named = config.observability.per_server_lanes
         for index, spec in enumerate(config.servers):
-            cloud = (
-                self.cloud_pool[index % len(self.cloud_pool)]
-                if self.cloud_pool
-                else None
-            )
+            cloud: BatchingServer | LeastQueuedRouter | None = None
+            if self.cloud_router is not None:
+                cloud = self.cloud_router
+            elif self.cloud_pool:
+                cloud = self.cloud_pool[index % len(self.cloud_pool)]
             if cloud is not None:
                 self.cloud_of[spec.name] = cloud
             self.servers[spec.name] = self._build_server(spec, named, cloud)
@@ -163,7 +188,7 @@ class FleetGateway:
         self,
         spec: ServerSpec,
         named: bool,
-        cloud: BatchingServer | None = None,
+        cloud: "BatchingServer | LeastQueuedRouter | None" = None,
     ) -> Gateway:
         config = self.config
         timeline = config.timeline_for(spec)
@@ -343,10 +368,13 @@ class FleetGateway:
                 "max_wait": config.max_wait,
                 "model": config.model.as_dict(),
                 "servers": [gpu.stats() for gpu in self.cloud_pool],
+                "assignment_policy": config.assignment,
                 "assignment": {
                     name: gpu.name for name, gpu in self.cloud_of.items()
                 },
             }
+            if self.cloud_router is not None:
+                fleet["cloud"]["routed"] = dict(self.cloud_router.routed)
             # per-GPU busy fraction as registry gauges, Prometheus-ready
             horizon = max(result.makespan, 1e-12)
             for gpu in self.cloud_pool:
@@ -442,12 +470,13 @@ def _run_once(
     config: SystemConfig,
     planner: PlanningEngine,
     tracer: "Tracer | NullTracer | None",
+    core: str = "fast",
 ) -> SystemReport:
     workload = config.workload
     requests = generate_requests(
         list(workload.clients), workload.horizon, workload.seed
     )
-    fleet = FleetGateway(config, planner=planner, tracer=tracer)
+    fleet = FleetGateway(config, planner=planner, tracer=tracer, engine=_make_engine(core))
     clock = MonotoneClockMonitor().attach(fleet.engine)
     result = fleet.run(requests)
     document = fleet.report(result)
@@ -469,6 +498,7 @@ def run_system(
     config: SystemConfig,
     planner: PlanningEngine | None = None,
     tracer: "Tracer | NullTracer | None" = None,
+    core: str = "fast",
 ) -> SystemReport:
     """Execute a :class:`SystemConfig` end to end (see module docstring).
 
@@ -479,17 +509,22 @@ def run_system(
     stream is replayed with every resilience policy stripped (bare pass
     untraced, exactly like the legacy fault scenario) and the report
     carries the baseline plus a policy-vs-no-policy comparison.
+
+    ``core`` picks the event engine (:data:`ENGINE_CORES`): ``"fast"``
+    is the structure-of-arrays core, ``"heap"`` the original engine.
+    Reports are byte-identical across cores — the hypothesis parity
+    suite (``tests/test_engine_parity.py``) holds them to that.
     """
     planner = planner or PlanningEngine()
     if config.faults is None or not config.faults.compare_no_policy:
-        return _run_once(config, planner, tracer)
+        return _run_once(config, planner, tracer, core)
 
     # policy pass first (traced), then the stripped baseline untraced —
     # the order and span the legacy fault scenario is golden-locked to
     obs = tracer or NullTracer()
     with obs.span("faults/policy", lane=("scenario", "policy")):
-        report = _run_once(config, planner, tracer)
-    bare = _run_once(config.without_resilience(), planner, None)
+        report = _run_once(config, planner, tracer, core)
+    bare = _run_once(config.without_resilience(), planner, None, core)
 
     def _census(rep: SystemReport, kind: str) -> int:
         return sum(block["events"].get(kind, 0) for block in rep.servers.values())

@@ -42,6 +42,7 @@ from repro.serving.estimator import AdaptiveChannelEstimator
 from repro.obs.metrics import MetricsRegistry
 from repro.serving.workload import Request
 from repro.sim.engine import Engine, Resource
+from repro.sim.fast import FastEngine, FastResource
 from repro.utils.validation import require_positive
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -184,9 +185,9 @@ class GatewayResult:
     records: list[ServedRecord]
     metrics: MetricsRegistry
     replan_events: list[dict]
-    mobile: Resource
-    uplink: Resource
-    cloud: Resource
+    mobile: Resource | FastResource
+    uplink: Resource | FastResource
+    cloud: Resource | FastResource
     pending: int                      # admitted but unfinished (truncated runs)
 
 
@@ -214,7 +215,7 @@ class Gateway:
         tracer: Tracer | NullTracer | None = None,
         resilience: ResiliencePolicy | None = None,
         faults: FaultInjector | FaultPlan | None = None,
-        engine: Engine | None = None,
+        engine: Engine | FastEngine | None = None,
         name: str | None = None,
         cloud_server: "BatchingServer | None" = None,
         telemetry=None,
@@ -259,16 +260,21 @@ class Gateway:
         # fleet placement context, keyed by request id, consumed into the
         # request's trace tree at finish (see note_placement)
         self._placements: dict[int, dict] = {}
-        self._engine = engine if engine is not None else Engine()
-        self._mobile = Resource(self._engine, "mobile-cpu")
-        self._uplink = Resource(self._engine, "uplink")
-        self._cloud = Resource(self._engine, "cloud-gpu")
+        # the engine seam: standalone gateways default to the SoA core
+        # (byte-identical event order, see repro.sim.fast); a fleet (or
+        # a parity test) passes a shared engine of either core, and the
+        # resources come from the engine's own factory
+        self._engine = engine if engine is not None else FastEngine()
+        self._mobile = self._engine.resource("mobile-cpu")
+        self._uplink = self._engine.resource("uplink")
+        self._cloud = self._engine.resource("cloud-gpu")
         # opt-in shared batching cloud (repro.cloud): when set, the cloud
         # stage routes through the hold-and-batch server instead of the
         # gateway's private GPU — strictly opt-in, like faults/resilience
         self._cloud_server = cloud_server
         self._cpu_claimed = False
         self._inflight = 0
+        self._queued = 0
         # resilience + fault injection (both strictly opt-in: leaving them
         # None keeps this gateway byte-identical to the policy-free path)
         self.resilience = resilience
@@ -294,9 +300,12 @@ class Gateway:
         """Admitted-but-unfinished work (queued + in flight).
 
         This is the load signal fleet placement policies balance on;
-        reading it never mutates dispatch state.
+        reading it never mutates dispatch state. Maintained as O(1)
+        counters — placement polls this per arrival, and a rescan of
+        every client queue is what capped fleet sweeps at hundreds of
+        clients.
         """
-        return sum(map(len, self._queues.values())) + self._inflight
+        return self._queued + self._inflight
 
     # ------------------------------------------------------------------
     # windowed telemetry + request correlation
@@ -476,6 +485,7 @@ class Gateway:
             degraded=self._degraded,
         )
         queue.append(ticket)
+        self._queued += 1
         if len(queue) == 1:
             self._index.push(ticket)
         self.metrics.counter("admitted").increment()
@@ -499,6 +509,7 @@ class Gateway:
         """Remove a head from its queue and index the promoted successor."""
         queue = self._queues[ticket.request.client_id]
         queue.popleft()
+        self._queued -= 1
         if queue:
             self._index.push(queue[0])
 

@@ -1,12 +1,12 @@
 """Discrete-event simulation of the mobile→uplink→cloud pipeline."""
 
 from repro.sim.engine import Busy, Engine, Resource, SimulationError
-from repro.sim.pipeline import (
-    JobTrace,
-    PipelineResult,
-    StageSpan,
-    simulate_schedule,
-    simulate_schedule_on_timeline,
+from repro.sim.fast import (
+    ChainResult,
+    FastEngine,
+    FastResource,
+    run_chain,
+    run_chain_scalar,
 )
 from repro.sim.perturb import (
     executed_makespan,
@@ -14,11 +14,21 @@ from repro.sim.perturb import (
     straggler_schedule,
     two_phase_makespan,
 )
+from repro.sim.pipeline import (
+    JobTrace,
+    PipelineResult,
+    StageSpan,
+    simulate_schedule,
+    simulate_schedule_on_timeline,
+)
 from repro.sim.trace import render_gantt, validate_against_recurrence
 
 __all__ = [
     "Busy",
+    "ChainResult",
     "Engine",
+    "FastEngine",
+    "FastResource",
     "JobTrace",
     "PipelineResult",
     "Resource",
@@ -27,9 +37,11 @@ __all__ = [
     "executed_makespan",
     "perturbed_schedule",
     "render_gantt",
-    "straggler_schedule",
-    "two_phase_makespan",
+    "run_chain",
+    "run_chain_scalar",
     "simulate_schedule",
     "simulate_schedule_on_timeline",
+    "straggler_schedule",
+    "two_phase_makespan",
     "validate_against_recurrence",
 ]

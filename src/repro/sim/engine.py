@@ -32,10 +32,14 @@ class SimulationError(RuntimeError):
 class Engine:
     """Event loop with a virtual clock."""
 
-    def __init__(self) -> None:
+    def __init__(self, log_busy: bool = True) -> None:
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = 0
         self.now = 0.0
+        #: Default busy-interval retention for resources built through
+        #: :meth:`resource` — long sweeps turn it off so million-event
+        #: runs don't accumulate :class:`Busy` records.
+        self.log_busy = log_busy
         #: Optional observer fired with the clock value before each event
         #: callback. The fault-injection invariant monitor
         #: (:class:`repro.faults.invariants.MonotoneClockMonitor`) hooks
@@ -50,14 +54,28 @@ class Engine:
         heapq.heappush(self._heap, (self.now + delay, self._sequence, callback))
         self._sequence += 1
 
+    def resource(self, name: str, log_busy: bool | None = None) -> "Resource":
+        """A :class:`Resource` bound to this engine.
+
+        The serving stack creates resources through this factory so
+        either event core (this one or :class:`repro.sim.fast.FastEngine`)
+        supplies its own resource type behind the same seam.
+        """
+        return Resource(
+            self, name, log_busy=self.log_busy if log_busy is None else log_busy
+        )
+
     def run(self, until: float | None = None) -> float:
-        """Drain the event heap; returns the final clock value."""
+        """Drain the event heap; returns the final clock value.
+
+        A deferred event (``time > until``) is peeked, never popped, so
+        it keeps its original sequence number and still fires *before*
+        same-timestamp events scheduled after the paused run.
+        """
         while self._heap:
-            time, _, callback = heapq.heappop(self._heap)
-            if until is not None and time > until:
-                heapq.heappush(self._heap, (time, self._sequence, callback))
-                self._sequence += 1
+            if until is not None and self._heap[0][0] > until:
                 break
+            time, _, callback = heapq.heappop(self._heap)
             if time < self.now - 1e-12:
                 raise SimulationError(f"event at {time} is before now={self.now}")
             self.now = max(self.now, time)
@@ -95,8 +113,13 @@ class Resource:
     engine: Engine
     name: str
     busy_log: list[Busy] = field(default_factory=list)
+    #: Retain per-grant :class:`Busy` records (Gantt traces, overlap
+    #: audits). Opt out on long runs: ``total_busy_time`` stays exact
+    #: either way via the running accumulator.
+    log_busy: bool = True
     _queue: deque = field(default_factory=deque)
     _busy: bool = False
+    _busy_time: float = 0.0
 
     def acquire(
         self,
@@ -124,7 +147,9 @@ class Resource:
 
         def _finish() -> None:
             end = self.engine.now
-            self.busy_log.append(Busy(start=start, end=end, label=label))
+            self._busy_time += end - start
+            if self.log_busy:
+                self.busy_log.append(Busy(start=start, end=end, label=label))
             self._busy = False
             if on_done is not None:
                 on_done(start, end)
@@ -134,7 +159,9 @@ class Resource:
 
     @property
     def total_busy_time(self) -> float:
-        return sum(b.end - b.start for b in self.busy_log)
+        """Total granted time so far — a running O(1) accumulator, so
+        per-event telemetry polls don't re-sum the whole busy log."""
+        return self._busy_time
 
     def utilization(self, horizon: float) -> float:
         """Fraction of ``[0, horizon]`` this resource was busy."""

@@ -1,0 +1,553 @@
+"""Structure-of-arrays DES core: the fast twin of :mod:`repro.sim.engine`.
+
+The heap :class:`~repro.sim.engine.Engine` pops one ``(time, sequence,
+callback)`` tuple per event and :class:`~repro.sim.engine.Resource`
+allocates a fresh ``_finish`` closure per grant — clean to read, but
+every simulated second costs a closure, a ``Busy`` dataclass, and an
+f-string label. This module keeps the exact same event *order* while
+removing the per-event allocation:
+
+* **Flat event backbone.** Bulk-scheduled events (the open arrival
+  stream, deadline timers) live in flat arrays — ``times``, ``seqs``,
+  ``kinds``, payload ``args`` — sorted once with a stable numpy argsort
+  instead of one heappush each. Same-timestamp events sit contiguously
+  in the backbone and are extracted by advancing a cursor, no heap
+  traffic at all; only events scheduled *during* the run (grant
+  completions, retry/flush timers) go through a small ``heapq``. The
+  drain loop merges the two sources by ``(time, seq)``.
+* **Integer-coded handler tables.** Hot event kinds — compute/transfer
+  complete (resource grants), timers — dispatch as ``(kind, arg)``
+  pairs through a handler table (:meth:`FastEngine.register_kind`)
+  instead of per-event closures.
+* **Closure-free grants.** :class:`FastResource` stores the single
+  in-flight grant in slots and completes it through one registered
+  kind; ``total_busy_time`` is a running accumulator and busy-interval
+  logging is opt-in (``FastEngine(log_busy=False)``), so million-event
+  sweeps don't accumulate :class:`~repro.sim.engine.Busy` records.
+
+One sequence counter is shared by ``schedule``, ``schedule_kind`` and
+``schedule_many``: given the same logical program, both cores fire
+events in the *identical* global ``(time, seq)`` order, which is what
+makes fleet reports byte-identical across cores. The heap engine stays
+as the parity oracle, exactly like the ``*_scalar`` planning kernels
+(``docs/performance.md``); :func:`run_chain` vs :func:`run_chain_scalar`
+is the self-contained microbench pair exercising both paths.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.sim.engine import Busy, Engine, Resource, SimulationError
+
+__all__ = [
+    "KIND_CALLBACK",
+    "ChainResult",
+    "FastEngine",
+    "FastResource",
+    "run_chain",
+    "run_chain_scalar",
+]
+
+#: Reserved kind 0: ``arg`` is a plain zero-argument callback (what the
+#: compatibility :meth:`FastEngine.schedule` path uses).
+KIND_CALLBACK = 0
+
+
+class FastEngine:
+    """Event loop with a virtual clock, SoA backbone + handler table.
+
+    API-compatible with :class:`~repro.sim.engine.Engine` (``schedule``,
+    ``run(until=)``, ``now``, ``on_advance``, ``pending_events``,
+    ``resource``) so the serving/fleet stack runs unchanged on either
+    core; the native ``register_kind`` / ``schedule_kind`` /
+    ``schedule_many`` surface is what the hot paths use.
+    """
+
+    def __init__(self, log_busy: bool = True) -> None:
+        self.now = 0.0
+        #: Default busy-interval retention for :meth:`resource`.
+        self.log_busy = log_busy
+        #: Same observer contract as the heap engine: fired with the
+        #: clock value before each event callback (the monotone-clock
+        #: monitor attaches here on either core).
+        self.on_advance: Callable[[float], None] | None = None
+        self._sequence = 0
+        # runtime-scheduled events: (time, seq, kind, arg)
+        self._heap: list[tuple[float, int, int, object]] = []
+        # kind -> handler(arg); slot 0 is the plain-callback sentinel
+        self._handlers: list = [None]
+        # bulk backbone, sorted by (time, seq). numpy does the sort;
+        # the drain loop reads plain-list mirrors (scalar indexing on
+        # ndarrays costs ~10x a list index).
+        self._btime: list[float] = []
+        self._bseq: list[int] = []
+        self._bkind: list[int] = []
+        self._barg: list = []
+        self._cursor = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # native surface
+    # ------------------------------------------------------------------
+    def register_kind(self, handler: Callable[[object], None]) -> int:
+        """Install ``handler`` and return its integer event kind."""
+        self._handlers.append(handler)
+        return len(self._handlers) - 1
+
+    def schedule_kind(self, delay: float, kind: int, arg: object = None) -> None:
+        """Fire ``handlers[kind](arg)`` at ``now + delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, kind, arg))
+        self._sequence += 1
+
+    def schedule_many(
+        self,
+        times: Sequence[float] | np.ndarray,
+        kind: int | Sequence[int] = KIND_CALLBACK,
+        args: Sequence | None = None,
+    ) -> None:
+        """Bulk-schedule events at absolute ``times`` (one stable sort).
+
+        Sequence numbers are assigned in input order, so equal-time
+        entries fire in the order given — the same tie-break a loop of
+        ``schedule`` calls would produce. ``kind`` is one kind for all
+        events or a per-event sequence; ``args`` defaults to ``None``
+        per event (kind 0 requires callables).
+        """
+        times = np.asarray(times, dtype=float)
+        n = len(times)
+        if n == 0:
+            return
+        if float(times.min()) < self.now:
+            raise SimulationError(
+                f"bulk event at {times.min()} is before now={self.now}"
+            )
+        kinds = [int(kind)] * n if np.isscalar(kind) else [int(k) for k in kind]
+        if len(kinds) != n:
+            raise SimulationError(f"{len(kinds)} kinds for {n} times")
+        arglist = [None] * n if args is None else list(args)
+        if len(arglist) != n:
+            raise SimulationError(f"{len(arglist)} args for {n} times")
+        if self._running:
+            # the drain loop holds references to the list mirrors; fall
+            # back to per-event pushes instead of rebinding them mid-run
+            push, seq = heapq.heappush, self._sequence
+            for i, t in enumerate(times.tolist()):
+                push(self._heap, (t, seq, kinds[i], arglist[i]))
+                seq += 1
+            self._sequence = seq
+            return
+        first = self._sequence
+        self._sequence += n
+        order = np.argsort(times, kind="stable")
+        order_list = order.tolist()
+        new_time = times[order].tolist()
+        new_seq = [first + i for i in order_list]
+        new_kind = [kinds[i] for i in order_list]
+        new_arg = [arglist[i] for i in order_list]
+        if self._cursor < len(self._btime):
+            # merge with the unconsumed backbone remainder by (time, seq)
+            old_time = self._btime[self._cursor :]
+            old_seq = self._bseq[self._cursor :]
+            old_kind = self._bkind[self._cursor :]
+            old_arg = self._barg[self._cursor :]
+            all_time = np.asarray(old_time + new_time)
+            all_seq = np.asarray(old_seq + new_seq)
+            merged = np.lexsort((all_seq, all_time))
+            merged_list = merged.tolist()
+            kinds_all = old_kind + new_kind
+            args_all = old_arg + new_arg
+            self._btime = all_time[merged].tolist()
+            self._bseq = all_seq[merged].tolist()
+            self._bkind = [kinds_all[i] for i in merged_list]
+            self._barg = [args_all[i] for i in merged_list]
+        else:
+            self._btime, self._bseq = new_time, new_seq
+            self._bkind, self._barg = new_kind, new_arg
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    # Engine-compatible surface
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``now + delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        heapq.heappush(
+            self._heap, (self.now + delay, self._sequence, KIND_CALLBACK, callback)
+        )
+        self._sequence += 1
+
+    def resource(self, name: str, log_busy: bool | None = None) -> "FastResource":
+        """A :class:`FastResource` bound to this engine (seam twin of
+        :meth:`repro.sim.engine.Engine.resource`)."""
+        return FastResource(
+            self, name, log_busy=self.log_busy if log_busy is None else log_busy
+        )
+
+    def run(self, until: float | None = None) -> float:
+        """Drain both event sources in ``(time, seq)`` order.
+
+        Like the heap core, a deferred event (``time > until``) is
+        peeked and left in place — cursor not advanced, heap not popped
+        — so a resumed run replays it with its original sequence
+        number, ahead of any same-timestamp event scheduled later.
+        """
+        heap = self._heap
+        handlers = self._handlers
+        btime, bseq, bkind, barg = self._btime, self._bseq, self._bkind, self._barg
+        cursor = self._cursor
+        length = len(btime)
+        limit = float("inf") if until is None else until
+        now = self.now
+        heappop = heapq.heappop
+        # read once per run: observers (the monotone-clock monitor)
+        # attach before `run`, so re-reading per event buys nothing
+        on_advance = self.on_advance
+        self._running = True
+        try:
+            while True:
+                # pick the earlier source by (time, seq); a backbone
+                # batch of same-timestamp events drains through the
+                # cursor with no heap traffic at all
+                if cursor < length:
+                    time = btime[cursor]
+                    head = heap[0] if heap else None
+                    if head is not None and (
+                        head[0] < time or (head[0] == time and head[1] < bseq[cursor])
+                    ):
+                        time = head[0]
+                        if time > limit:
+                            break
+                        heappop(heap)
+                        kind = head[2]
+                        arg = head[3]
+                    else:
+                        if time > limit:
+                            break
+                        kind = bkind[cursor]
+                        arg = barg[cursor]
+                        cursor += 1
+                elif heap:
+                    head = heap[0]
+                    time = head[0]
+                    if time > limit:
+                        break
+                    heappop(heap)
+                    kind = head[2]
+                    arg = head[3]
+                else:
+                    break
+                if time > now:
+                    now = time
+                    self.now = now
+                elif time < now - 1e-12:
+                    raise SimulationError(f"event at {time} is before now={now}")
+                if on_advance is not None:
+                    on_advance(now)
+                if kind:
+                    handlers[kind](arg)
+                else:
+                    arg()
+        finally:
+            self._running = False
+            if cursor == length:
+                # fully consumed: release the mirrors in one shot
+                del btime[:], bseq[:], bkind[:], barg[:]
+                cursor = 0
+            self._cursor = cursor
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap) + len(self._btime) - self._cursor
+
+
+class FastResource:
+    """Exclusive FIFO resource on the fast core, closure-free grants.
+
+    Same contract as :class:`~repro.sim.engine.Resource` — ``acquire``
+    enqueues ``(label, duration, on_done)``, grants are FIFO, callable
+    durations are priced at grant time, and completion runs in the
+    exact heap-core order (log busy, free the resource, fire
+    ``on_done``, pump) — but the in-flight grant lives in slots on the
+    resource and completes through one registered event kind, so a
+    grant allocates no closure and, with logging off, no ``Busy``.
+    """
+
+    __slots__ = (
+        "engine",
+        "name",
+        "busy_log",
+        "log_busy",
+        "_queue",
+        "_busy",
+        "_busy_time",
+        "_label",
+        "_start",
+        "_on_done",
+        "_kind",
+    )
+
+    def __init__(self, engine: FastEngine, name: str, log_busy: bool = True) -> None:
+        self.engine = engine
+        self.name = name
+        self.busy_log: list[Busy] = []
+        self.log_busy = log_busy
+        self._queue: deque = deque()
+        self._busy = False
+        self._busy_time = 0.0
+        self._label: str | None = None
+        self._start = 0.0
+        self._on_done: Callable[[float, float], None] | None = None
+        self._kind = engine.register_kind(self._finish)
+
+    def acquire(
+        self,
+        label: str,
+        duration: float | Callable[[float], float],
+        on_done: Callable[[float, float], None] | None = None,
+    ) -> None:
+        if not callable(duration) and duration < 0:
+            raise SimulationError(f"{self.name}: negative duration {duration}")
+        self._queue.append((label, duration, on_done))
+        if not self._busy:
+            self._pump()
+
+    def _pump(self) -> None:
+        if self._busy or not self._queue:
+            return
+        label, duration, on_done = self._queue.popleft()
+        self._busy = True
+        start = self.engine.now
+        if callable(duration):
+            duration = duration(start)
+            if duration < 0:
+                raise SimulationError(
+                    f"{self.name}: callable duration returned {duration}"
+                )
+        self._label = label
+        self._start = start
+        self._on_done = on_done
+        self.engine.schedule_kind(duration, self._kind)
+
+    def _finish(self, _arg: object) -> None:
+        end = self.engine.now
+        start = self._start
+        on_done = self._on_done
+        self._busy_time += end - start
+        if self.log_busy:
+            self.busy_log.append(Busy(start=start, end=end, label=self._label))
+        self._busy = False
+        self._label = None
+        self._on_done = None
+        if on_done is not None:
+            on_done(start, end)
+        self._pump()
+
+    @property
+    def total_busy_time(self) -> float:
+        """Running accumulator — O(1), independent of ``log_busy``."""
+        return self._busy_time
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` this resource was busy."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        return self._busy_time / horizon
+
+
+# ----------------------------------------------------------------------
+# the gateway-dispatch chain: one workload, two cores
+# ----------------------------------------------------------------------
+@dataclass
+class ChainResult:
+    """Outcome of one chain run (identical across cores by design)."""
+
+    completions: list[float]          # -1.0 where never completed
+    expired: list[bool]               # deadline fired before completion
+    busy_time: list[float]            # per-stage granted time
+    events: int                       # total events the run dispatched
+
+    def checksum(self) -> tuple:
+        """Order-sensitive digest the benches parity-assert on."""
+        return (tuple(self.completions), tuple(self.expired), tuple(self.busy_time))
+
+
+def _chain_events(n: int, stages: int, deadlines) -> int:
+    # n arrivals + n deadline timers (if any) + one grant end per stage
+    return n * (stages + 1) + (n if deadlines is not None else 0)
+
+
+def run_chain(
+    arrivals: Sequence[float] | np.ndarray,
+    durations: Sequence[Sequence[float] | np.ndarray],
+    deadlines: Sequence[float] | np.ndarray | None = None,
+    engine: FastEngine | None = None,
+) -> ChainResult:
+    """Request-lifecycle chain on the fast core's native path.
+
+    Request ``i`` arrives at ``arrivals[i]`` and flows through the
+    exclusive FIFO stages (mobile CPU → uplink → cloud GPU in the
+    serving stack's shape), holding stage ``s`` for
+    ``durations[s][i]``; an optional deadline timer marks requests
+    still unfinished at their deadline. Grants are index updates into
+    per-stage state arrays (``busy``, queue + head cursor, running
+    busy-time accumulators); arrivals and deadline timers ride the
+    bulk backbone; grant completions dispatch through registered kinds.
+    """
+    engine = engine if engine is not None else FastEngine(log_busy=False)
+    arrivals = np.asarray(arrivals, dtype=float)
+    stage_durations = [np.asarray(d, dtype=float).tolist() for d in durations]
+    n = len(arrivals)
+    stages = len(stage_durations)
+    last = stages - 1
+    completions = [-1.0] * n
+    expired = [False] * n
+    # per-stage SoA state: one slot per stage, index updates per grant.
+    # Grant-end pushes go straight onto the engine heap with the shared
+    # sequence counter — same (time, seq) stream `schedule_kind` would
+    # produce, minus a call layer on the hottest edge.
+    busy = [False] * stages
+    queues: list[list[int]] = [[] for _ in range(stages)]
+    heads = [0] * stages
+    current = [-1] * stages
+    started = [0.0] * stages
+    busy_time = [0.0] * stages
+    heap = engine._heap
+    heappush = heapq.heappush
+    first_durations = stage_durations[0]
+
+    def arrive(req: int) -> None:
+        if busy[0]:
+            queues[0].append(req)
+        else:
+            busy[0] = True
+            current[0] = req
+            now = engine.now
+            started[0] = now
+            seq = engine._sequence
+            heappush(heap, (now + first_durations[req], seq, end_kind, 0))
+            engine._sequence = seq + 1
+
+    def stage_end(stage: int) -> None:
+        now = engine.now
+        req = current[stage]
+        busy_time[stage] += now - started[stage]
+        if stage < last:
+            nxt = stage + 1
+            if busy[nxt]:
+                queues[nxt].append(req)
+            else:
+                busy[nxt] = True
+                current[nxt] = req
+                started[nxt] = now
+                seq = engine._sequence
+                heappush(heap, (now + stage_durations[nxt][req], seq, end_kind, nxt))
+                engine._sequence = seq + 1
+        else:
+            completions[req] = now
+        queue = queues[stage]
+        head = heads[stage]
+        if head < len(queue):
+            nxt_req = queue[head]
+            heads[stage] = head + 1
+            current[stage] = nxt_req
+            started[stage] = now
+            seq = engine._sequence
+            heappush(heap, (now + stage_durations[stage][nxt_req], seq, end_kind, stage))
+            engine._sequence = seq + 1
+        else:
+            busy[stage] = False
+            if head:
+                queue.clear()
+                heads[stage] = 0
+
+    def expire(req: int) -> None:
+        if completions[req] < 0.0:
+            expired[req] = True
+
+    arrive_kind = engine.register_kind(arrive)
+    end_kind = engine.register_kind(stage_end)
+    ids = list(range(n))
+    if deadlines is None:
+        engine.schedule_many(arrivals, arrive_kind, ids)
+    else:
+        # one bulk call, one stable sort: input order (arrivals first,
+        # then timers) assigns the same sequence numbers the scalar
+        # side's two schedule loops produce
+        expire_kind = engine.register_kind(expire)
+        engine.schedule_many(
+            np.concatenate([arrivals, np.asarray(deadlines, dtype=float)]),
+            [arrive_kind] * n + [expire_kind] * n,
+            ids + ids,
+        )
+    engine.run()
+    return ChainResult(
+        completions=completions,
+        expired=expired,
+        busy_time=busy_time,
+        events=_chain_events(n, stages, deadlines),
+    )
+
+
+def run_chain_scalar(
+    arrivals: Sequence[float] | np.ndarray,
+    durations: Sequence[Sequence[float] | np.ndarray],
+    deadlines: Sequence[float] | np.ndarray | None = None,
+    engine: Engine | None = None,
+) -> ChainResult:
+    """The identical chain on the heap core — the parity oracle.
+
+    Deliberately written the way the serving gateway drives the heap
+    engine: per-request closures over :meth:`Resource.acquire`,
+    f-string grant labels, one ``schedule`` per arrival and deadline —
+    so the bench ratio measures the event cores, same program, same
+    ``(time, seq)`` interleaving, not two different simulations.
+    """
+    engine = engine if engine is not None else Engine()
+    arrivals = np.asarray(arrivals, dtype=float).tolist()
+    stage_durations = [np.asarray(d, dtype=float).tolist() for d in durations]
+    n = len(arrivals)
+    stages = len(stage_durations)
+    resources = [Resource(engine, f"stage{s}") for s in range(stages)]
+    completions = [-1.0] * n
+    expired = [False] * n
+
+    def submit(req: int) -> None:
+        def stage_done(stage: int):
+            def done(start: float, end: float) -> None:
+                nxt = stage + 1
+                if nxt < stages:
+                    resources[nxt].acquire(
+                        f"req{req}/s{nxt}", stage_durations[nxt][req], stage_done(nxt)
+                    )
+                else:
+                    completions[req] = end
+            return done
+
+        resources[0].acquire(f"req{req}/s0", stage_durations[0][req], stage_done(0))
+
+    def expire(req: int) -> None:
+        if completions[req] < 0.0:
+            expired[req] = True
+
+    for i in range(n):
+        engine.schedule(arrivals[i] - engine.now, lambda i=i: submit(i))
+    if deadlines is not None:
+        for i, deadline in enumerate(np.asarray(deadlines, dtype=float).tolist()):
+            engine.schedule(deadline - engine.now, lambda i=i: expire(i))
+    engine.run()
+    return ChainResult(
+        completions=completions,
+        expired=expired,
+        busy_time=[r.total_busy_time for r in resources],
+        events=_chain_events(n, stages, deadlines),
+    )

@@ -55,10 +55,17 @@ def test_cloud_config_validation():
         CloudConfig(max_wait=-1.0)
     with pytest.raises(ValueError):
         CloudConfig(policy="nope")
+    with pytest.raises(ValueError):
+        CloudConfig(assignment="nope")
 
 
 def test_serve_now_bijective_cloud_is_byte_identical_to_unbatched():
-    """One serve-now GPU per server == the private per-server cloud."""
+    """One serve-now GPU per server == the private per-server cloud.
+
+    Pins ``assignment="round_robin"``: the bijection needs the static
+    gateway ``i`` → GPU ``i`` wiring; least-queued routing would let
+    servers share GPUs and break the one-to-one mirror.
+    """
     base = capacity_scenario(servers=4)
     mirrored = replace(
         base,
@@ -67,6 +74,7 @@ def test_serve_now_bijective_cloud_is_byte_identical_to_unbatched():
             max_batch=1,
             max_wait=0.0,
             policy="serve_now",
+            assignment="round_robin",
             model=CloudGpuModel(),
         ),
     )
@@ -99,6 +107,39 @@ def test_batching_beats_serve_now_on_contended_cloud():
     stats = batch.fleet["cloud"]["servers"]
     assert sum(gpu["batches"] for gpu in stats) < sum(
         gpu["batched_requests"] for gpu in stats
+    )
+
+
+def test_least_queued_router_spreads_load_across_gpus():
+    """The default assignment routes per submit, touching every GPU."""
+    report = run_system(
+        contended_cloud_scenario(servers=4, gpus=2), planner=PlanningEngine()
+    )
+    cloud = report.fleet["cloud"]
+    assert cloud["assignment_policy"] == "least_queued"
+    # every server submits through the shared router, not a fixed GPU
+    assert set(cloud["assignment"].values()) == {"least-queued-pool"}
+    routed = cloud["routed"]
+    assert set(routed) == {gpu["name"] for gpu in cloud["servers"]}
+    assert all(count > 0 for count in routed.values())
+    assert sum(routed.values()) == sum(gpu["submitted"] for gpu in cloud["servers"])
+    assert report.violations == () and report.clock_violations == ()
+
+
+def test_single_gpu_pool_identical_under_both_assignments():
+    """gpus=1 never builds a router: the contended acceptance scenario
+    (and its 71-within-deadline lock) is untouched by the new default."""
+    base = contended_cloud_scenario()
+    pinned = replace(base, cloud=replace(base.cloud, assignment="round_robin"))
+    least = run_system(base, planner=PlanningEngine()).as_dict()
+    fixed = run_system(pinned, planner=PlanningEngine()).as_dict()
+    assert json.dumps(least["servers"], sort_keys=True) == json.dumps(
+        fixed["servers"], sort_keys=True
+    )
+    for report in (least, fixed):
+        report["fleet"]["cloud"].pop("assignment_policy")
+    assert json.dumps(least["fleet"], sort_keys=True) == json.dumps(
+        fixed["fleet"], sort_keys=True
     )
 
 

@@ -1,0 +1,120 @@
+"""Byte parity of the two event cores over randomized systems.
+
+The SoA core (ISSUE 9) is only allowed to be *fast*; it is never
+allowed to be *different*. Hypothesis drives randomized fleets — server
+heterogeneity, fault plans on the uplinks, every placement policy,
+optional shared batching cloud — through :func:`run_system` on both
+``core="heap"`` and ``core="fast"`` and asserts the serialized reports
+are byte-identical. One shared sequence counter per engine plus
+identical resource-completion ordering is the whole argument (see
+docs/performance.md); this suite is where the argument meets arbitrary
+workloads.
+
+The golden locks elsewhere (``tests/test_fleet_system.py``,
+``tests/test_faults_golden.py``) run the default fast core against
+byte-frozen reports, so heap==fast here transitively re-locks the heap
+core too.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import CloudConfig
+from repro.engine import PlanningEngine
+from repro.faults.plan import Blackout, FaultPlan, RateSpike
+from repro.fleet import (
+    ENGINE_CORES,
+    PLACEMENT_POLICIES,
+    AdmissionConfig,
+    PlacementConfig,
+    ServerSpec,
+    SystemConfig,
+    WorkloadConfig,
+    run_system,
+)
+from repro.serving.workload import ClientSpec
+
+assert ENGINE_CORES == ("fast", "heap")
+
+
+@st.composite
+def parity_configs(draw) -> SystemConfig:
+    n_servers = draw(st.integers(1, 3))
+    servers = []
+    for index in range(n_servers):
+        plan = None
+        if draw(st.booleans()):
+            start = draw(st.floats(0.0, 2.0))
+            if draw(st.booleans()):
+                plan = FaultPlan(blackouts=(Blackout(start, start + 1.5),))
+            else:
+                plan = FaultPlan(spikes=(RateSpike(start, start + 1.5, 0.25),))
+        servers.append(
+            ServerSpec(
+                name=f"s{index}",
+                mobile_speedup=draw(st.sampled_from([0.5, 1.0, 2.0])),
+                max_queue_depth=draw(st.sampled_from([2, 64])),
+                fault_plan=plan,
+            )
+        )
+    clients = tuple(
+        ClientSpec(
+            name=f"c{i}",
+            rate=draw(st.sampled_from([0.5, 3.0])),
+            deadline=draw(st.sampled_from([None, 1.0])),
+        )
+        for i in range(draw(st.integers(1, 4)))
+    )
+    cloud = None
+    if draw(st.booleans()):
+        cloud = CloudConfig(
+            gpus=draw(st.integers(1, 3)),
+            max_batch=draw(st.sampled_from([1, 4])),
+            max_wait=draw(st.sampled_from([0.0, 0.05])),
+            policy=draw(st.sampled_from(["serve_now", "batch"])),
+            assignment=draw(st.sampled_from(["round_robin", "least_queued"])),
+        )
+    return SystemConfig(
+        workload=WorkloadConfig(
+            clients=clients,
+            horizon=3.0,
+            seed=draw(st.integers(0, 2**31 - 1)),
+        ),
+        servers=tuple(servers),
+        placement=PlacementConfig(
+            policy=draw(st.sampled_from(PLACEMENT_POLICIES)),
+            migration_backlog=draw(st.sampled_from([2, None])),
+            migration_patience=0.5,
+        ),
+        admission=AdmissionConfig(
+            max_fleet_outstanding=draw(st.sampled_from([None, 16]))
+        ),
+        cloud=cloud,
+    )
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(config=parity_configs())
+def test_heap_and_fast_cores_produce_byte_identical_reports(config):
+    # fresh planners per core: shared caches would skew the gauge
+    # counters between the first and second run, not the simulation
+    heap = run_system(config, planner=PlanningEngine(), core="heap")
+    fast = run_system(config, planner=PlanningEngine(), core="fast")
+    assert json.dumps(heap.as_dict(), sort_keys=True) == json.dumps(
+        fast.as_dict(), sort_keys=True
+    )
+    assert fast.violations == () and fast.clock_violations == ()
+
+
+def test_unknown_core_rejected():
+    from repro.fleet import capacity_scenario
+
+    with pytest.raises(ValueError, match="engine core"):
+        run_system(capacity_scenario(servers=1, clients=1), core="warp")
