@@ -1,0 +1,166 @@
+"""True-DAG partitioner benchmarks → ``BENCH_dag.json``.
+
+Quantifies the two claims behind ``repro.dag.partition`` on random
+dyadic-grid DAGs (the same seed expansion the differential oracle uses)
+and writes a machine-readable artifact at the repo root:
+
+* **pricing** — the priced makespan of :func:`partition_dag` against the
+  Fig.-9 duplication baseline (:func:`duplication_schedule`), per
+  instance and aggregated: the partitioner must never price worse, and
+  the mean ratio shows what shared-once pricing buys;
+* **scheduling** — wall time of the exact multiset menu against the
+  two-cut split on identical cut tables, plus their makespan gap (the
+  two-cut mode trades optimality for speed past the menu budget).
+
+Run as a CLI::
+
+    python benchmarks/bench_dag.py [--quick] [--check] [--out PATH]
+
+``--quick`` trims the instance count for CI smoke; ``--check`` exits
+non-zero when the dominance guarantee breaks (partition pricing worse
+than duplication anywhere) or no instance shows a strict improvement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+# allow running from a source checkout without installation
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from repro.dag.partition import (  # noqa: E402
+    dag_cut_table,
+    dag_schedule_from_table,
+    duplication_schedule,
+    partition_dag,
+)
+from repro.dag.topology import PathExplosionError  # noqa: E402
+from tests.oracles.harness import dag_instance_from_seed  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUT = REPO_ROOT / "BENCH_dag.json"
+
+#: Bench seeds live in their own range, away from corpus/fuzz/property.
+SEED_BASE = 5_000_000
+
+TOLERANCE = 1e-9
+
+
+def bench_pricing(instances: int) -> dict:
+    """partition_dag vs the Fig.-9 duplication baseline."""
+    ratios = []
+    worse = strict = skipped = 0
+    for i in range(instances):
+        instance = dag_instance_from_seed(SEED_BASE + i)
+        schedule = partition_dag(
+            instance.dag, instance.node_cost, instance.upload_time, instance.n
+        )
+        try:
+            baseline = duplication_schedule(
+                instance.dag, instance.node_cost, instance.upload_time, instance.n
+            )
+        except (ValueError, PathExplosionError):
+            skipped += 1
+            continue
+        if schedule.makespan > baseline.makespan + TOLERANCE:
+            worse += 1
+        if schedule.makespan < baseline.makespan - TOLERANCE:
+            strict += 1
+        if baseline.makespan > 0:
+            ratios.append(schedule.makespan / baseline.makespan)
+    return {
+        "instances": instances,
+        "skipped": skipped,
+        "priced_worse": worse,
+        "strictly_better": strict,
+        "mean_cost_ratio": sum(ratios) / len(ratios) if ratios else 1.0,
+        "worst_cost_ratio": max(ratios) if ratios else 1.0,
+        "best_cost_ratio": min(ratios) if ratios else 1.0,
+    }
+
+
+def bench_scheduling(instances: int, n: int = 8) -> dict:
+    """Exact multiset menu vs the two-cut split on identical tables."""
+    exact_s = two_cut_s = 0.0
+    gaps = []
+    for i in range(instances):
+        instance = dag_instance_from_seed(SEED_BASE + i)
+        dct = dag_cut_table(instance.dag, instance.node_cost, instance.upload_time)
+        start = time.perf_counter()
+        exact = dag_schedule_from_table(dct.table, dct.cuts, n, schedule="exact")
+        exact_s += time.perf_counter() - start
+        start = time.perf_counter()
+        two_cut = dag_schedule_from_table(dct.table, dct.cuts, n, schedule="two-cut")
+        two_cut_s += time.perf_counter() - start
+        if exact.makespan > 0:
+            gaps.append(two_cut.makespan / exact.makespan - 1.0)
+    return {
+        "instances": instances,
+        "jobs": n,
+        "exact_ms_per_instance": 1e3 * exact_s / instances,
+        "two_cut_ms_per_instance": 1e3 * two_cut_s / instances,
+        "exact_over_two_cut_time": exact_s / two_cut_s if two_cut_s else 0.0,
+        "mean_two_cut_gap": sum(gaps) / len(gaps) if gaps else 0.0,
+        "max_two_cut_gap": max(gaps) if gaps else 0.0,
+    }
+
+
+def run(quick: bool) -> dict:
+    instances = 40 if quick else 200
+    return {
+        "generated_by": "benchmarks/bench_dag.py",
+        "quick": quick,
+        "pricing": bench_pricing(instances),
+        "scheduling": bench_scheduling(max(10, instances // 4)),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--check", action="store_true", help="exit 1 when the dominance gate breaks"
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    document = run(quick=args.quick)
+    args.out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    pricing = document["pricing"]
+    scheduling = document["scheduling"]
+    print(
+        f"pricing: {pricing['instances']} instances, "
+        f"{pricing['strictly_better']} strictly better, "
+        f"{pricing['priced_worse']} worse, "
+        f"mean ratio {pricing['mean_cost_ratio']:.3f} "
+        f"(worst {pricing['worst_cost_ratio']:.3f})"
+    )
+    print(
+        f"scheduling: exact {scheduling['exact_ms_per_instance']:.2f} ms vs "
+        f"two-cut {scheduling['two_cut_ms_per_instance']:.2f} ms per instance, "
+        f"mean two-cut gap {100 * scheduling['mean_two_cut_gap']:.2f}%"
+    )
+
+    failures = []
+    if pricing["priced_worse"]:
+        failures.append(
+            f"{pricing['priced_worse']} instances priced worse than duplication"
+        )
+    if pricing["strictly_better"] == 0:
+        failures.append("no instance showed a strict improvement over duplication")
+    if args.check and failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,8 @@ bandwidths or job counts over one model costs only the binary search
 and the Johnson sort per call.
 
 Packages: ``repro.api`` (stable facade), ``repro.engine`` (memoized
-planning engine), ``repro.dag`` (computation graphs and cuts),
+planning engine), ``repro.dag`` (computation graphs, cuts, and the
+true-DAG partitioner with its brute-force oracle — see ``docs/dag.md``),
 ``repro.nn`` (layers + model zoo), ``repro.profiling`` (device cost
 models and estimators), ``repro.net`` (bandwidth/channel models),
 ``repro.core`` (the paper's algorithms), ``repro.sim`` (discrete-event
@@ -38,7 +39,7 @@ fault injection, gateway resilience policies, and the differential
 oracle — see ``docs/robustness.md``).
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Facade names re-exported lazily from :mod:`repro.api` (PEP 562), so
 #: ``import repro`` stays light and experiment modules that import
@@ -64,6 +65,20 @@ _API_EXPORTS = frozenset(
         "WIFI",
         "MODELS",
         "get_model",
+        # true DAG partitioning + its differential oracle (repro.dag)
+        "jps_dag",
+        "partition_dag",
+        "DagCutTable",
+        "dag_cut_table",
+        "dag_pareto_cuts",
+        "dag_schedule_from_table",
+        "duplication_schedule",
+        "DuplicationMetrics",
+        "duplication_metrics",
+        "DagInstance",
+        "check_dag_instance",
+        "dag_exhaustive_optimal",
+        "random_dag",
         # online scheduling + serving gateway
         "OnlineJpsScheduler",
         "ReleasedJob",

@@ -28,8 +28,23 @@ from repro.cloud import (
     CloudGpuModel,
     LeastQueuedRouter,
 )
-from repro.core.joint import SplitMode, Structure, jps
+from repro.core.joint import SplitMode, Structure, jps, jps_dag
 from repro.core.plans import JobPlan, Schedule
+from repro.dag.metrics import DuplicationMetrics, duplication_metrics
+from repro.dag.oracle import (
+    DagInstance,
+    check_dag_instance,
+    dag_exhaustive_optimal,
+    random_dag,
+)
+from repro.dag.partition import (
+    DagCutTable,
+    dag_cut_table,
+    dag_pareto_cuts,
+    dag_schedule_from_table,
+    duplication_schedule,
+    partition_dag,
+)
 from repro.engine import CacheStats, PlanningEngine
 from repro.extensions.online import (
     OnlineJpsScheduler,
@@ -213,6 +228,20 @@ __all__ = [
     "default_slos",
     "render_timeline",
     "watch_table",
+    # true DAG partitioning + its differential oracle (repro.dag)
+    "jps_dag",
+    "partition_dag",
+    "DagCutTable",
+    "dag_cut_table",
+    "dag_pareto_cuts",
+    "dag_schedule_from_table",
+    "duplication_schedule",
+    "DuplicationMetrics",
+    "duplication_metrics",
+    "DagInstance",
+    "check_dag_instance",
+    "dag_exhaustive_optimal",
+    "random_dag",
     "Schedule",
     "JobPlan",
     "Structure",

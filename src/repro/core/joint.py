@@ -44,6 +44,7 @@ from repro.profiling.latency import (
     LayerPredictor,
     cut_costs,
     line_cost_table,
+    node_mobile_time,
 )
 
 __all__ = [
@@ -54,6 +55,7 @@ __all__ = [
     "FrontierTable",
     "frontier_table",
     "jps_frontier",
+    "jps_dag",
     "jps",
 ]
 
@@ -92,6 +94,7 @@ class Structure(_CoercibleEnum):
     AUTO = "auto"
     LINE = "line"
     FRONTIER = "frontier"
+    DAG = "dag"
     PATHS = "paths"
 
 
@@ -253,6 +256,46 @@ def jps_frontier(
     )
 
 
+def jps_dag(
+    network: Network,
+    mobile: DeviceModel,
+    cloud: DeviceModel,
+    channel: Channel,
+    n: int,
+    predictor: LayerPredictor | None = None,
+    schedule: str = "auto",
+    max_states: int = 4096,
+) -> Schedule:
+    """True-DAG JPS on a profiled network (method ``JPS-dag``).
+
+    Derives per-node device times and the channel's upload curve, then
+    delegates to :func:`repro.dag.partition.partition_dag`: downward-
+    closed cuts priced with shared tensors shipped once, candidate space
+    from exact closure enumeration (or topo-prefix DP + critical-path
+    refinement past ``max_states``), seeded with the Fig.-9 duplication
+    cut so it never prices worse than the path transform. Works on *any*
+    DAG — including non-series-parallel graphs the frontier enumeration
+    cannot handle. See ``docs/dag.md``.
+    """
+    from repro.dag.partition import partition_dag
+
+    graph = network.graph
+    mobile_time = {
+        v: node_mobile_time(graph.payload(v), mobile, predictor) for v in graph.node_ids
+    }
+    cloud_time = {v: node_mobile_time(graph.payload(v), cloud) for v in graph.node_ids}
+    return partition_dag(
+        graph,
+        mobile_time.__getitem__,
+        channel.uplink_time,
+        n,
+        cloud_time=cloud_time.__getitem__,
+        schedule=schedule,
+        max_states=max_states,
+        name=network.name,
+    )
+
+
 def jps(
     network: Network,
     mobile: DeviceModel,
@@ -266,23 +309,35 @@ def jps(
     """Entry point: dispatch on network structure.
 
     ``structure``: ``"line"`` forces linearization (virtual-block
-    clustering), ``"frontier"`` uses the exact general-DAG cut space,
-    ``"paths"`` runs the paper's Alg. 3, and ``"auto"`` picks ``line``
-    for networks that cluster into lines (AlexNet, MobileNet-v2,
-    ResNet-18) and ``frontier`` otherwise (GoogLeNet). Raw strings are
-    accepted and coerced to :class:`Structure` / :class:`SplitMode`.
+    clustering), ``"frontier"`` uses the exact series-parallel cut
+    space, ``"dag"`` the true-DAG partitioner (any graph shape, shared
+    tensors priced once — see ``docs/dag.md``), ``"paths"`` runs the
+    paper's Alg. 3, and ``"auto"`` picks ``line`` for networks that
+    cluster into lines (AlexNet, MobileNet-v2, ResNet-18), ``frontier``
+    for other series-parallel graphs (GoogLeNet), and ``dag`` for
+    non-series-parallel graphs the frontier enumeration cannot cover.
+    Raw strings are accepted and coerced to :class:`Structure` /
+    :class:`SplitMode`.
     """
     chosen = Structure.coerce(structure)
     if chosen is Structure.AUTO:
+        from repro.dag.topology import is_series_parallel
         from repro.dag.transform import collapse_clusterable_blocks
 
         clustered = collapse_clusterable_blocks(network.graph)
-        chosen = Structure.LINE if clustered.is_line() else Structure.FRONTIER
+        if clustered.is_line():
+            chosen = Structure.LINE
+        elif is_series_parallel(network.graph):
+            chosen = Structure.FRONTIER
+        else:
+            chosen = Structure.DAG
     if chosen is Structure.LINE:
         table = line_cost_table(network, mobile, cloud, channel, predictor)
         return jps_line(table, n, split=split)
     if chosen is Structure.FRONTIER:
         return jps_frontier(network, mobile, cloud, channel, n, split, predictor)
+    if chosen is Structure.DAG:
+        return jps_dag(network, mobile, cloud, channel, n, predictor)
     from repro.core.general import alg3_schedule
 
     return alg3_schedule(network, mobile, cloud, channel, n, predictor=predictor)

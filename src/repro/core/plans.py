@@ -130,6 +130,18 @@ class Schedule:
             counts[job.cut_position] = counts.get(job.cut_position, 0) + 1
         return dict(sorted(counts.items()))
 
+    def label_histogram(self) -> dict[str, int]:
+        """How many jobs use each cut *label*.
+
+        DAG schedules index positions into a per-table Pareto cut list,
+        so raw positions are not comparable across tables; the labels
+        (frontier node sets) are the stable human-readable key.
+        """
+        counts: dict[str, int] = {}
+        for job in self.jobs:
+            counts[job.cut_label] = counts.get(job.cut_label, 0) + 1
+        return dict(sorted(counts.items()))
+
     def to_dict(self) -> dict[str, Any]:
         """A JSON-serializable encoding; inverse of :meth:`from_dict`.
 

@@ -12,7 +12,14 @@ from typing import Callable, Iterable
 
 from repro.dag.graph import Dag
 
-__all__ = ["GraphMetrics", "graph_metrics", "critical_path", "to_dot"]
+__all__ = [
+    "GraphMetrics",
+    "graph_metrics",
+    "DuplicationMetrics",
+    "duplication_metrics",
+    "critical_path",
+    "to_dot",
+]
 
 
 @dataclass(frozen=True)
@@ -46,6 +53,61 @@ def graph_metrics(dag: Dag) -> GraphMetrics:
         branch_nodes=sum(dag.out_degree(v) > 1 for v in order),
         merge_nodes=sum(dag.in_degree(v) > 1 for v in order),
         total_edge_bytes=sum(e.volume for e in dag.edges()),
+    )
+
+
+@dataclass(frozen=True)
+class DuplicationMetrics:
+    """What the Fig.-9 path duplication over-counts on one DAG.
+
+    ``shipped_bytes`` is the edge traffic after duplication — every path
+    carries its own copy of each shared tensor — against the
+    ``original_bytes`` actually flowing in the DAG. The gap
+    (``duplicated_bytes``, ratio ``duplication_factor``) is exactly the
+    upload-side over-pricing the true partitioner in
+    :mod:`repro.dag.partition` eliminates; ``node_work_factor`` is the
+    same ratio for compute (each shared layer nominally re-run once per
+    path through it).
+    """
+
+    num_paths: int
+    original_bytes: float
+    shipped_bytes: float
+    duplicated_bytes: float
+    duplication_factor: float
+    duplicated_nodes: int       # nodes appearing on more than one path
+    node_work_factor: float     # path-copies of nodes / original nodes
+
+
+def duplication_metrics(dag: Dag, max_paths: int = 4096) -> DuplicationMetrics:
+    """Measure the Fig.-9 over-shipping on ``dag``.
+
+    Requires a single-source/single-sink DAG (same contract as
+    :func:`repro.dag.transform.to_independent_paths`, which raises
+    otherwise). A line graph reports factor 1.0 on both axes.
+    """
+    from repro.dag.transform import to_independent_paths
+
+    converted = to_independent_paths(dag, max_paths=max_paths)
+    original = sum(e.volume for e in dag.edges())
+    shipped = sum(
+        dag.volume(a, b)
+        for path in converted.paths
+        for a, b in zip(path, path[1:])
+    )
+    copies: dict[str, int] = {}
+    for path in converted.paths:
+        for v in path:
+            copies[v] = copies.get(v, 0) + 1
+    total_copies = sum(copies.values())
+    return DuplicationMetrics(
+        num_paths=converted.num_paths,
+        original_bytes=original,
+        shipped_bytes=shipped,
+        duplicated_bytes=shipped - original,
+        duplication_factor=shipped / original if original > 0 else 1.0,
+        duplicated_nodes=sum(count > 1 for count in copies.values()),
+        node_work_factor=total_copies / len(dag) if len(dag) else 1.0,
     )
 
 

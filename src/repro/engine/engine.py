@@ -46,6 +46,13 @@ from repro.core.joint import (
 from repro.core.plans import Schedule
 from repro.dag.cuts import Cut, enumerate_frontier_cuts, prune_dominated
 from repro.dag.graph import Dag
+from repro.dag.partition import (
+    DagCutTable,
+    dag_pareto_cuts,
+    dag_schedule_from_table,
+    unique_cut_labels,
+)
+from repro.dag.topology import is_series_parallel
 from repro.dag.transform import collapse_clusterable_blocks, linearize
 from repro.engine.cache import LRUCache
 from repro.engine.keys import (
@@ -77,9 +84,12 @@ BASELINES = {"LO": local_only, "CO": cloud_only, "PO": partition_only}
 
 
 def _wrap_frontier_schedule(
-    model_name: str, schedule: Schedule, cuts: tuple[Cut, ...]
+    model_name: str,
+    schedule: Schedule,
+    cuts: tuple[Cut, ...],
+    method: str = "JPS-frontier",
 ) -> Schedule:
-    """Re-attach concrete graph cuts to a schedule built on a frontier table."""
+    """Re-attach concrete graph cuts to a schedule built on a cut-backed table."""
     jobs = tuple(
         replace(
             plan,
@@ -91,7 +101,7 @@ def _wrap_frontier_schedule(
     return Schedule(
         jobs=jobs,
         makespan=schedule.makespan,
-        method="JPS-frontier",
+        method=method,
         metadata={**schedule.metadata, "num_pareto_cuts": len(cuts)},
     )
 
@@ -117,6 +127,28 @@ class _FrontierStructure:
     rests: np.ndarray               # cloud time of the part after each cut
     full_cut_sizes: np.ndarray      # |mobile| per cut (full cut uploads nothing)
     num_nodes: int
+
+
+@dataclass(frozen=True)
+class _DagStructure:
+    """Bandwidth-independent true-DAG Pareto cut data (shared-once pricing).
+
+    Same columns as :class:`_FrontierStructure`, but the cut space comes
+    from :func:`repro.dag.partition.dag_pareto_cuts` — downward-closed
+    sets of the *original* graph, so it also covers
+    non-series-parallel models the frontier enumeration rejects.
+    ``mode``/``states`` record how the space was generated.
+    """
+
+    cuts: tuple[Cut, ...]
+    labels: tuple[str, ...]         # disambiguated cut labels
+    f: np.ndarray
+    transfer_bytes: np.ndarray
+    rests: np.ndarray
+    full_cut_sizes: np.ndarray
+    num_nodes: int
+    mode: str
+    states: int
 
 
 @dataclass(frozen=True)
@@ -205,7 +237,7 @@ class PlanningEngine:
     def __post_init__(self) -> None:
         self._networks: dict[str, Network] = {}
         self._fingerprints: dict[int, str] = {}
-        self._is_line: dict[str, bool] = {}
+        self._structures: dict[str, Structure] = {}
         self._device_key = (
             device_fingerprint(self.mobile),
             device_fingerprint(self.cloud),
@@ -216,6 +248,8 @@ class PlanningEngine:
         self._frontier_tables: LRUCache[FrontierTable] = LRUCache(self.max_entries)
         self._alg3: LRUCache[tuple] = LRUCache(self.max_entries)
         self._pricing: LRUCache[_PricingKernel] = LRUCache(self.max_entries)
+        self._dags: LRUCache[_DagStructure] = LRUCache(self.max_entries)
+        self._dag_tables: LRUCache[DagCutTable] = LRUCache(self.max_entries)
 
     # ------------------------------------------------------------------
     # keys and resolution
@@ -245,13 +279,19 @@ class PlanningEngine:
         )
 
     def structure_of(self, model: str | Network) -> Structure:
-        """``auto`` resolution: LINE when clustering linearizes the graph."""
+        """``auto`` resolution: LINE when clustering linearizes the graph,
+        FRONTIER for other series-parallel graphs, DAG past that."""
         network = self.resolve(model)
         key = self._net_key(network)
-        if key not in self._is_line:
+        if key not in self._structures:
             clustered = collapse_clusterable_blocks(network.graph)
-            self._is_line[key] = clustered.is_line()
-        return Structure.LINE if self._is_line[key] else Structure.FRONTIER
+            if clustered.is_line():
+                self._structures[key] = Structure.LINE
+            elif is_series_parallel(network.graph):
+                self._structures[key] = Structure.FRONTIER
+            else:
+                self._structures[key] = Structure.DAG
+        return self._structures[key]
 
     def _traced(self, kind: str, model: str, build):
         """Wrap a cache build closure in an ``engine/build`` span.
@@ -327,6 +367,44 @@ class PlanningEngine:
 
         return self._frontiers.get_or_build(
             key, self._traced("frontier_structure", network.name, build)
+        )
+
+    def _dag_structure(
+        self, network: Network, predictor: LayerPredictor | None, predictor_key
+    ) -> _DagStructure:
+        key = ("dag",) + self._base_key(network, predictor, predictor_key)
+
+        def build() -> _DagStructure:
+            graph = network.graph
+            mobile_time = {
+                v: node_mobile_time(graph.payload(v), self.mobile, predictor)
+                for v in graph.node_ids
+            }
+            cloud_time = {
+                v: node_mobile_time(graph.payload(v), self.cloud)
+                for v in graph.node_ids
+            }
+            total_cloud = sum(cloud_time.values())
+            cuts, info = dag_pareto_cuts(graph, mobile_time.__getitem__)
+            return _DagStructure(
+                cuts=tuple(cuts),
+                labels=unique_cut_labels(cuts),
+                f=np.array([sum(mobile_time[v] for v in c.mobile) for c in cuts]),
+                transfer_bytes=np.array([c.transfer_bytes for c in cuts]),
+                rests=np.array(
+                    [
+                        total_cloud - sum(cloud_time[v] for v in c.mobile)
+                        for c in cuts
+                    ]
+                ),
+                full_cut_sizes=np.array([len(c.mobile) for c in cuts]),
+                num_nodes=len(graph),
+                mode=info["mode"],
+                states=info["states"],
+            )
+
+        return self._dags.get_or_build(
+            key, self._traced("dag_structure", network.name, build)
         )
 
     # ------------------------------------------------------------------
@@ -410,6 +488,58 @@ class PlanningEngine:
             key, self._traced("frontier_table", network.name, build)
         )
 
+    def dag_table(
+        self,
+        model: str | Network,
+        channel: Channel,
+        predictor: LayerPredictor | None = None,
+        predictor_key=None,
+    ) -> DagCutTable:
+        """The true-DAG Pareto cut table, priced through ``channel``.
+
+        Same pricing as :func:`repro.dag.partition.dag_cut_table` over
+        the memoized cut space: shared crossing tensors counted once per
+        tail, full cut uploads nothing, cloud column in running-max
+        form. See ``docs/dag.md``.
+        """
+        network = self.resolve(model)
+        key = (
+            ("table-dag",)
+            + self._base_key(network, predictor, predictor_key)
+            + (channel_fingerprint(channel),)
+        )
+
+        def build() -> DagCutTable:
+            structure = self._dag_structure(network, predictor, predictor_key)
+            g = np.array(
+                [
+                    channel.uplink_time(b) if b > 0 else 0.0
+                    for b in structure.transfer_bytes
+                ]
+            )
+            g[structure.full_cut_sizes == structure.num_nodes] = 0.0
+            cloud_of_mobile = np.maximum.accumulate(
+                structure.rests.max() - structure.rests
+            )
+            table = CostTable(
+                model_name=f"{network.name}/dag",
+                positions=structure.labels,
+                f=structure.f.copy(),
+                g=g,
+                cloud=cloud_of_mobile,
+                graph=None,
+            )
+            return DagCutTable(
+                table=table,
+                cuts=structure.cuts,
+                mode=structure.mode,
+                states=structure.states,
+            )
+
+        return self._dag_tables.get_or_build(
+            key, self._traced("dag_table", network.name, build)
+        )
+
     def cost_table(
         self,
         model: str | Network,
@@ -426,6 +556,8 @@ class PlanningEngine:
             return self.line_table(model, channel, predictor, predictor_key)
         if chosen is Structure.FRONTIER:
             return self.frontier_table(model, channel, predictor, predictor_key).table
+        if chosen is Structure.DAG:
+            return self.dag_table(model, channel, predictor, predictor_key).table
         raise ValueError("Alg. 3 plans per-path tables; use plan(structure='paths')")
 
     # ------------------------------------------------------------------
@@ -455,6 +587,18 @@ class PlanningEngine:
                 positions: tuple[str, ...] = structure.order
                 f, cloud = structure.f, structure.cloud
                 graph, cuts = structure.graph, None
+            elif chosen is Structure.DAG:
+                dag = self._dag_structure(network, predictor, predictor_key)
+                payloads = np.where(
+                    dag.full_cut_sizes == dag.num_nodes,
+                    0.0,
+                    dag.transfer_bytes.astype(float),
+                )
+                model_name = f"{network.name}/dag"
+                positions = dag.labels
+                f = dag.f
+                cloud = np.maximum.accumulate(dag.rests.max() - dag.rests)
+                graph, cuts = None, dag.cuts
             else:
                 frontier = self._frontier_structure(network, predictor, predictor_key)
                 # the full cut keeps everything mobile: nothing crosses
@@ -648,6 +792,12 @@ class PlanningEngine:
             if scheme in BASELINES:
                 schedules.append(BASELINES[scheme](table, n))
                 continue
+            if chosen is Structure.DAG:
+                assert kernel.cuts is not None
+                schedules.append(
+                    dag_schedule_from_table(table, kernel.cuts, n, model=network.name)
+                )
+                continue
             schedule = jps_line_fast(table, n, split=split)
             if chosen is Structure.FRONTIER and wrap_frontier:
                 assert kernel.cuts is not None
@@ -743,6 +893,9 @@ class PlanningEngine:
             frontier = self.frontier_table(network, channel, predictor, predictor_key)
             schedule = jps_line(frontier.table, n, split=split)
             return _wrap_frontier_schedule(network.name, schedule, frontier.cuts)
+        if chosen is Structure.DAG:
+            dct = self.dag_table(network, channel, predictor, predictor_key)
+            return dag_schedule_from_table(dct.table, dct.cuts, n, model=network.name)
         from repro.core.general import alg3_schedule_from_plans
 
         path_plans, info = self._alg3_plans(network, channel, predictor, predictor_key)
@@ -769,8 +922,10 @@ class PlanningEngine:
         caches = {
             "line_structure": self._lines,
             "frontier_structure": self._frontiers,
+            "dag_structure": self._dags,
             "line_tables": self._tables,
             "frontier_tables": self._frontier_tables,
+            "dag_tables": self._dag_tables,
             "alg3_plans": self._alg3,
             "pricing_kernels": self._pricing,
         }
@@ -819,12 +974,14 @@ class PlanningEngine:
         for cache in (
             self._lines,
             self._frontiers,
+            self._dags,
             self._tables,
             self._frontier_tables,
+            self._dag_tables,
             self._alg3,
             self._pricing,
         ):
             cache.clear()
-        self._is_line.clear()
+        self._structures.clear()
         self._fingerprints.clear()
         self._networks.clear()

@@ -1,16 +1,24 @@
-"""Instance generation + corpus management for the differential oracle.
+"""Instance generation + corpus management for the differential oracles.
 
-One seed deterministically expands to one small planning instance
-(``n`` jobs over a random dyadic-grid cost table), which
-:func:`repro.faults.oracle.check_instance` cross-examines against the
-exhaustive brute-force planner. Two consumers:
+One seed deterministically expands to one small planning instance,
+which a brute-force planner cross-examines. Two instance families:
+
+* **line** — ``n`` jobs over a random dyadic-grid cost table, checked
+  by :func:`repro.faults.oracle.check_instance`;
+* **dag** — ``n`` jobs over a random dyadic-grid DAG, checked by
+  :func:`repro.dag.oracle.check_dag_instance` (partitioner vs the
+  ``2^m``-assignment oracle vs the Fig.-9 duplication baseline).
+
+Two consumers each:
 
 * ``tests/test_oracle_differential.py`` fuzzes ``--fuzz-rounds`` fresh
-  seeds per run and replays the committed corpus exactly;
+  seeds per run and replays the committed corpora exactly;
 * ``python -m tests.oracles.harness [count]`` regenerates
-  ``tests/data/oracle_corpus.json`` — scanning seeds for instances where
-  JPS *equals* the exhaustive optimum (gap 0), so the committed corpus
-  asserts exact agreement, not just no-worse-than.
+  ``tests/data/oracle_corpus.json`` and
+  ``python -m tests.oracles.harness dag [count]`` regenerates
+  ``tests/data/dag_oracle_corpus.json`` — scanning seeds for instances
+  where the planner *equals* the exhaustive optimum, so the committed
+  corpora assert exact agreement, not just no-worse-than.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro.dag.oracle import DagInstance, DagInstanceCheck, check_dag_instance, random_dag
 from repro.faults.oracle import InstanceCheck, check_instance, random_line_table
 from repro.profiling.latency import CostTable
 from repro.utils.rng import make_rng
@@ -28,7 +37,17 @@ from repro.utils.rng import make_rng
 MAX_JOBS = 6
 MAX_POSITIONS = 8
 
-CORPUS_PATH = Path(__file__).resolve().parent.parent / "data" / "oracle_corpus.json"
+#: DAG instance bounds. Fuzz instances up to 14 nodes; the bitmask
+#: oracle only runs on <= DAG_EXACT_LIMIT nodes (larger instances are
+#: still checked against the duplication baseline and plan validity).
+MIN_DAG_NODES = 4
+MAX_DAG_NODES = 14
+MAX_DAG_JOBS = 4
+DAG_EXACT_LIMIT = 10
+
+_DATA_DIR = Path(__file__).resolve().parent.parent / "data"
+CORPUS_PATH = _DATA_DIR / "oracle_corpus.json"
+DAG_CORPUS_PATH = _DATA_DIR / "dag_oracle_corpus.json"
 
 
 def instance_from_seed(seed: int) -> tuple[CostTable, int]:
@@ -77,7 +96,94 @@ def build_corpus(count: int = 24, start_seed: int = 0) -> list[dict]:
     return corpus
 
 
+def dag_instance_from_seed(seed: int) -> DagInstance:
+    """Deterministically expand one seed into a dyadic-grid DAG instance.
+
+    Node times are multiples of 1/1024 (the source pinned to 0, like the
+    line tables' input pseudo-layer), edge volumes integer bytes, and
+    the channel a power-of-two seconds-per-byte — every downstream float
+    sum is exact, so corpus replay can compare makespans with ``==``.
+    """
+    rng = make_rng(seed)
+    num_nodes = int(rng.integers(MIN_DAG_NODES, MAX_DAG_NODES + 1))
+    n = int(rng.integers(2, MAX_DAG_JOBS + 1))
+    seconds_per_byte = 2.0 ** -int(rng.integers(10, 15))
+    dag = random_dag(rng, num_nodes, name=f"oracle-dag-{seed}")
+    order = dag.topological_order()
+    node_time = {order[0]: 0.0}
+    for v in order[1:]:
+        node_time[v] = int(rng.integers(0, 257)) / 1024.0
+    return DagInstance(
+        dag=dag, node_time=node_time, seconds_per_byte=seconds_per_byte, n=n
+    )
+
+
+def check_dag_seed(seed: int) -> DagInstanceCheck:
+    return check_dag_instance(dag_instance_from_seed(seed), exact_limit=DAG_EXACT_LIMIT)
+
+
+def load_dag_corpus() -> list[dict]:
+    return json.loads(DAG_CORPUS_PATH.read_text())
+
+
+def _has_branch(instance: DagInstance) -> bool:
+    """Does any node fan out (a shared tensor duplication would re-ship)?"""
+    return any(instance.dag.out_degree(v) >= 2 for v in instance.dag.node_ids)
+
+
+def build_dag_corpus(count: int = 24, start_seed: int = 0) -> list[dict]:
+    """Scan seeds for exact-oracle DAG instances.
+
+    Only instances small enough for the bitmask oracle are committed, so
+    the corpus test asserts float-equality against the exhaustive
+    optimum; the fuzz test covers the larger duplication-bounded tail.
+    The scan keeps going until at least one committed instance has a
+    branch node *and* strictly beats the Fig.-9 duplication baseline —
+    the acceptance witness that true cut pricing buys something real.
+    """
+    corpus: list[dict] = []
+    seed = start_seed
+    have_witness = False
+    while len(corpus) < count or not have_witness:
+        result = check_dag_seed(seed)
+        if result.mismatches:
+            raise AssertionError(
+                f"seed {seed} found a real divergence while building the "
+                f"DAG corpus: {result.mismatches}"
+            )
+        if result.exact:
+            witness = result.improvement > 0.0 and _has_branch(
+                dag_instance_from_seed(seed)
+            )
+            if len(corpus) < count or witness:
+                corpus.append(
+                    {
+                        "seed": seed,
+                        "nodes": result.nodes,
+                        "edges": result.edges,
+                        "n": result.n,
+                        "makespan": result.partition_makespan,
+                        "duplication_makespan": result.duplication_makespan,
+                        "improvement": result.improvement,
+                        "branch": _has_branch(dag_instance_from_seed(seed)),
+                    }
+                )
+                have_witness = have_witness or witness
+        seed += 1
+    return corpus
+
+
 def main(argv: list[str]) -> int:
+    if len(argv) > 1 and argv[1] == "dag":
+        count = int(argv[2]) if len(argv) > 2 else 24
+        corpus = build_dag_corpus(count)
+        DAG_CORPUS_PATH.write_text(json.dumps(corpus, indent=1, sort_keys=True) + "\n")
+        witnesses = sum(1 for e in corpus if e["improvement"] > 0.0 and e["branch"])
+        print(
+            f"{len(corpus)} exact DAG instances "
+            f"({witnesses} strict-improvement witnesses) -> {DAG_CORPUS_PATH}"
+        )
+        return 0
     count = int(argv[1]) if len(argv) > 1 else 24
     corpus = build_corpus(count)
     CORPUS_PATH.write_text(json.dumps(corpus, indent=1, sort_keys=True) + "\n")

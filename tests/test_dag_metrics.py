@@ -3,7 +3,12 @@
 import pytest
 
 from repro.dag.graph import Dag
-from repro.dag.metrics import critical_path, graph_metrics, to_dot
+from repro.dag.metrics import (
+    critical_path,
+    duplication_metrics,
+    graph_metrics,
+    to_dot,
+)
 
 
 def diamond() -> Dag:
@@ -76,3 +81,63 @@ def test_to_dot_highlights_cut():
 def test_to_dot_rejects_unknown_nodes():
     with pytest.raises(KeyError):
         to_dot(diamond(), mobile_nodes={"zzz"})
+
+
+# ----------------------------------------------------------------------
+# Fig.-9 duplication accounting
+# ----------------------------------------------------------------------
+
+
+def shared_chain() -> Dag:
+    """a->b, then b fans out to c/d which merge in e: a->b is shared.
+
+    Both independent paths (a,b,c,e) and (a,b,d,e) carry their own copy
+    of the 100-byte a->b tensor, so duplication ships it twice.
+    """
+    g = Dag(name="shared-chain")
+    for v in "abcde":
+        g.add_node(v)
+    g.add_edge("a", "b", 100)
+    g.add_edge("b", "c", 10)
+    g.add_edge("b", "d", 20)
+    g.add_edge("c", "e", 5)
+    g.add_edge("d", "e", 7)
+    return g
+
+
+def test_duplication_metrics_diamond_ships_bytes_once():
+    m = duplication_metrics(diamond())
+    # every edge lies on exactly one path: no byte duplication...
+    assert m.num_paths == 2
+    assert m.original_bytes == 42
+    assert m.shipped_bytes == 42
+    assert m.duplicated_bytes == 0
+    assert m.duplication_factor == 1.0
+    # ...but the shared endpoints a and d are copied onto both paths
+    assert m.duplicated_nodes == 2
+    assert m.node_work_factor == pytest.approx(6 / 4)
+
+
+def test_duplication_metrics_shared_chain_over_ships():
+    m = duplication_metrics(shared_chain())
+    assert m.num_paths == 2
+    assert m.original_bytes == 142
+    # a->b is counted once per path through it
+    assert m.shipped_bytes == 242
+    assert m.duplicated_bytes == 100
+    assert m.duplication_factor == pytest.approx(242 / 142)
+    assert m.duplicated_nodes == 3          # a, b, e each appear on both paths
+    assert m.node_work_factor == pytest.approx(8 / 5)
+
+
+def test_duplication_metrics_line_is_the_identity():
+    g = Dag(name="line")
+    for v in "abc":
+        g.add_node(v)
+    g.add_edge("a", "b", 10)
+    g.add_edge("b", "c", 20)
+    m = duplication_metrics(g)
+    assert m.num_paths == 1
+    assert m.duplication_factor == 1.0
+    assert m.duplicated_nodes == 0
+    assert m.node_work_factor == 1.0
